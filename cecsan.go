@@ -1,0 +1,190 @@
+// Package cecsan is the public API of this reproduction of "Highly
+// Comprehensive and Efficient Memory Safety Enforcement with Pointer
+// Tagging" (CECSan, DSN 2024).
+//
+// The library executes C-like programs (built with the prog package) on a
+// simulated 64-bit machine under a chosen sanitizer:
+//
+//	p := prog.NewProgram()
+//	f := p.Function("main", 0)
+//	buf := f.MallocBytes(16)
+//	f.Store(buf, 16, f.Const(1), prog.Char()) // off-by-one
+//	f.RetVoid()
+//
+//	res, err := cecsan.Run(p.MustBuild(), cecsan.Config{Sanitizer: cecsan.CECSan})
+//	if res.Violation != nil { fmt.Println(res.Violation) } // buffer-overflow-write
+//
+// Available sanitizers: CECSan itself plus the paper's comparators (ASan,
+// ASAN--, HWASan, SoftBound/CETS, PACMem, CryptSan) and the uninstrumented
+// Native baseline. The workloads package provides the paper's experiment
+// suites (Juliet-style cases, Linux-Flaw CVE scenarios, SPEC-like
+// benchmarks), and cmd/* regenerate each table of the paper's evaluation.
+package cecsan
+
+import (
+	"fmt"
+
+	"cecsan/internal/core"
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/rt"
+	"cecsan/internal/sanitizers"
+	"cecsan/internal/tagptr"
+	"cecsan/prog"
+)
+
+// Sanitizer names accepted by Config.Sanitizer.
+const (
+	Native    = string(sanitizers.Native)
+	CECSan    = string(sanitizers.CECSan)
+	ASan      = string(sanitizers.ASan)
+	ASanLite  = string(sanitizers.ASanLite)
+	HWASan    = string(sanitizers.HWASan)
+	SoftBound = string(sanitizers.SoftBound)
+	PACMem    = string(sanitizers.PACMem)
+	CryptSan  = string(sanitizers.CryptSan)
+)
+
+// SanitizerNames lists every registered sanitizer.
+func SanitizerNames() []string {
+	all := sanitizers.All()
+	out := make([]string, len(all))
+	for i, n := range all {
+		out[i] = string(n)
+	}
+	return out
+}
+
+// Result is the outcome of one program run: the sanitizer report (if any),
+// machine fault, execution error, return value and counters.
+type Result = interp.Result
+
+// Stats are per-run execution counters and footprint gauges.
+type Stats = interp.Stats
+
+// Violation is a sanitizer report.
+type Violation = rt.Violation
+
+// Violation kinds, for classifying reports.
+const (
+	KindOOBRead           = rt.KindOOBRead
+	KindOOBWrite          = rt.KindOOBWrite
+	KindUseAfterFree      = rt.KindUseAfterFree
+	KindDoubleFree        = rt.KindDoubleFree
+	KindInvalidFree       = rt.KindInvalidFree
+	KindSubObjectOverflow = rt.KindSubObjectOverflow
+)
+
+// CECSanOptions tunes the CECSan sanitizer itself (architecture, sub-object
+// narrowing, §II.F optimization toggles) when Config.Sanitizer is CECSan.
+type CECSanOptions = core.Options
+
+// DefaultCECSanOptions returns the paper's prototype configuration
+// (x86-64: 47 address bits, 2^17-entry table).
+func DefaultCECSanOptions() CECSanOptions { return core.DefaultOptions() }
+
+// ARM64CECSanOptions returns the ARM64 configuration (48 address bits,
+// 2^16-entry table).
+func ARM64CECSanOptions() CECSanOptions {
+	opts := core.DefaultOptions()
+	opts.Arch = tagptr.ARM64
+	return opts
+}
+
+// Config selects the sanitizer and machine parameters for a run.
+type Config struct {
+	// Sanitizer is the registry name; default CECSan.
+	Sanitizer string
+	// CECSan optionally overrides CECSan's own options (ablations). Only
+	// consulted when Sanitizer is CECSan or empty.
+	CECSan *CECSanOptions
+	// MaxInstructions bounds the run (0 = default 2e9).
+	MaxInstructions int64
+	// Seed seeds the program-visible rand() stream (0 = 1).
+	Seed uint64
+	// Inputs pre-queues payloads for the program's fgets/recv calls.
+	Inputs [][]byte
+}
+
+// Machine is a prepared, single-use execution: an instrumented program
+// bound to a fresh sanitizer runtime and simulated address space.
+type Machine struct {
+	inner *interp.Machine
+	san   rt.Sanitizer
+}
+
+// NewMachine instruments the program per the configured sanitizer's profile
+// and prepares a machine. Each NewMachine call is an independent "process".
+func NewMachine(p *prog.Program, cfg Config) (*Machine, error) {
+	if cfg.Sanitizer == "" {
+		cfg.Sanitizer = CECSan
+	}
+	var san rt.Sanitizer
+	var err error
+	if cfg.Sanitizer == CECSan && cfg.CECSan != nil {
+		san, err = core.Sanitizer(*cfg.CECSan)
+	} else {
+		san, err = sanitizers.New(sanitizers.Name(cfg.Sanitizer))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cecsan: %w", err)
+	}
+	instrumented := instrument.Apply(p, san.Profile)
+	opts := interp.DefaultOptions()
+	if cfg.MaxInstructions > 0 {
+		opts.MaxInstructions = cfg.MaxInstructions
+	}
+	if cfg.Seed != 0 {
+		opts.Seed = cfg.Seed
+	}
+	m, err := interp.New(instrumented, san, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cecsan: %w", err)
+	}
+	for _, in := range cfg.Inputs {
+		m.Feed(in)
+	}
+	return &Machine{inner: m, san: san}, nil
+}
+
+// Feed queues additional input payloads for fgets/recv.
+func (m *Machine) Feed(payloads ...[]byte) { m.inner.Feed(payloads...) }
+
+// Run executes the program to completion or abort. Run must be called at
+// most once per Machine.
+func (m *Machine) Run() *Result { return m.inner.Run() }
+
+// Output returns lines printed by the program via print_int/print_str.
+func (m *Machine) Output() []string { return m.inner.Output() }
+
+// SanitizerName returns the attached sanitizer's name.
+func (m *Machine) SanitizerName() string { return m.san.Runtime.Name() }
+
+// CoreRuntime returns the underlying CECSan runtime for white-box
+// inspection (metadata table statistics), or nil when another sanitizer is
+// attached.
+func (m *Machine) CoreRuntime() *core.Runtime {
+	if r, ok := m.san.Runtime.(*core.Runtime); ok {
+		return r
+	}
+	return nil
+}
+
+// Run is the one-shot convenience: instrument, execute, return the result.
+func Run(p *prog.Program, cfg Config) (*Result, error) {
+	m, err := NewMachine(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}
+
+// Instrument exposes the compiled (instrumented) form of a program under a
+// sanitizer's profile, for inspection and tooling.
+func Instrument(p *prog.Program, sanitizer string) (*prog.Program, error) {
+	san, err := sanitizers.New(sanitizers.Name(sanitizer))
+	if err != nil {
+		return nil, fmt.Errorf("cecsan: %w", err)
+	}
+	return instrument.Apply(p, san.Profile), nil
+}

@@ -1,0 +1,152 @@
+// Command cecsan-run executes a named workload — or a C-like source file —
+// under a chosen sanitizer with individually toggleable CECSan
+// optimizations: the driver behind the §II.F ablation experiments (Figure 4)
+// and general poking-around.
+//
+// Usage:
+//
+//	cecsan-run -workload 462.libquantum [-sanitizer CECSan]
+//	           [-no-subobject] [-no-redundant] [-no-loopinv] [-no-monotonic] [-no-typebased]
+//	cecsan-run -src prog.csc [-input hex] [-sanitizer ASan]
+//	cecsan-run -list
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cecsan/csrc"
+	"cecsan/internal/core"
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/rt"
+	"cecsan/internal/sanitizers"
+	"cecsan/internal/specsim"
+	"cecsan/prog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cecsan-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	workload := flag.String("workload", "", "workload name (see -list)")
+	srcPath := flag.String("src", "", "compile and run a C-like source file instead of a workload")
+	inputs := flag.String("input", "", "comma-separated hex payloads fed to the program's recv/fgets calls")
+	list := flag.Bool("list", false, "list available workloads")
+	tool := flag.String("sanitizer", "CECSan", "sanitizer name")
+	noSub := flag.Bool("no-subobject", false, "disable §II.D sub-object narrowing")
+	noRed := flag.Bool("no-redundant", false, "disable redundant-check elimination")
+	noInv := flag.Bool("no-loopinv", false, "disable loop-invariant check relocation")
+	noMono := flag.Bool("no-monotonic", false, "disable monotonic check grouping")
+	noType := flag.Bool("no-typebased", false, "disable type-based check removal")
+	flag.Parse()
+
+	if *list {
+		for _, w := range append(specsim.Spec2006(), append(specsim.Spec2017(), specsim.Smoke()...)...) {
+			par := ""
+			if w.Parallel {
+				par = " (parallel)"
+			}
+			fmt.Printf("%-20s suite %s%s\n", w.Name, w.Suite, par)
+		}
+		return nil
+	}
+
+	var programName string
+	var build func() *prog.Program
+	if *srcPath != "" {
+		text, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return err
+		}
+		compiled, err := csrc.Compile(string(text))
+		if err != nil {
+			return err
+		}
+		programName = *srcPath
+		build = func() *prog.Program { return compiled }
+	} else {
+		w, ok := specsim.ByName(*workload)
+		if !ok {
+			for _, sw := range specsim.Smoke() {
+				if sw.Name == *workload {
+					w, ok = sw, true
+					break
+				}
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown workload %q (try -list)", *workload)
+		}
+		programName = w.Name
+		build = w.Build
+	}
+
+	var san rt.Sanitizer
+	var err error
+	if *tool == string(sanitizers.CECSan) {
+		opts := core.DefaultOptions()
+		opts.SubObject = !*noSub
+		opts.OptRedundant = !*noRed
+		opts.OptLoopInvariant = !*noInv
+		opts.OptMonotonic = !*noMono
+		opts.OptTypeBased = !*noType
+		san, err = core.Sanitizer(opts)
+	} else {
+		san, err = sanitizers.New(sanitizers.Name(*tool))
+	}
+	if err != nil {
+		return err
+	}
+
+	p := build()
+	ip := instrument.Apply(p, san.Profile)
+	m, err := interp.New(ip, san, interp.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	if *inputs != "" {
+		for _, h := range strings.Split(*inputs, ",") {
+			payload, err := hex.DecodeString(strings.TrimSpace(h))
+			if err != nil {
+				return fmt.Errorf("bad -input payload %q: %w", h, err)
+			}
+			m.Feed(payload)
+		}
+	}
+	start := time.Now()
+	res := m.Run()
+	dur := time.Since(start)
+
+	fmt.Printf("workload   %s under %s\n", programName, san.Runtime.Name())
+	fmt.Printf("wall time  %v\n", dur)
+	if res.Violation != nil {
+		fmt.Printf("VIOLATION  %v\n", res.Violation)
+	}
+	if res.Fault != nil {
+		fmt.Printf("FAULT      %v\n", res.Fault)
+	}
+	if res.Err != nil {
+		fmt.Printf("ERROR      %v\n", res.Err)
+	}
+	for _, line := range m.Output() {
+		fmt.Printf("output     %s\n", line)
+	}
+	s := res.Stats
+	fmt.Printf("instructions      %d\n", s.Instructions)
+	fmt.Printf("checks executed   %d\n", s.ChecksExecuted)
+	fmt.Printf("subptr ops        %d\n", s.SubPtrOps)
+	fmt.Printf("mallocs / frees   %d / %d\n", s.Mallocs, s.Frees)
+	fmt.Printf("peak program      %d bytes\n", s.PeakProgramBytes)
+	fmt.Printf("peak overhead     %d bytes\n", s.PeakOverheadBytes)
+	fmt.Printf("peak RSS          %d bytes\n", s.PeakRSS)
+	return nil
+}

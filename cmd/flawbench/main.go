@@ -1,0 +1,79 @@
+// Command flawbench regenerates Table III: detection of the ten Linux Flaw
+// Project CVE scenarios by CECSan.
+//
+// Usage:
+//
+//	flawbench [-tool CECSan] [-patched]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"cecsan/internal/flaws"
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/sanitizers"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flawbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tool := flag.String("tool", "CECSan", "sanitizer to evaluate")
+	patched := flag.Bool("patched", false, "run the fixed variants instead (expect no detections)")
+	flag.Parse()
+
+	list := flaws.All()
+	if err := flaws.Validate(list); err != nil {
+		return err
+	}
+
+	fmt.Printf("Table III: Vulnerability Detection on Linux-Flaw-style scenarios (%s)\n", *tool)
+	fmt.Printf("%-16s %-24s %s\n", "CVE", "Type", "Detected?")
+	for _, fl := range list {
+		detected, err := runFlaw(fl, *patched, sanitizers.Name(*tool))
+		if err != nil {
+			return fmt.Errorf("%s: %w", fl.CVE, err)
+		}
+		mark := "no"
+		if detected {
+			mark = "YES"
+		}
+		fmt.Printf("%-16s %-24s %s\n", fl.CVE, fl.Type, mark)
+	}
+	return nil
+}
+
+func runFlaw(fl flaws.Flaw, patched bool, tool sanitizers.Name) (bool, error) {
+	p, inputs := fl.Build(patched)
+	san, err := sanitizers.New(tool)
+	if err != nil {
+		return false, err
+	}
+	ip := instrument.Apply(p, san.Profile)
+	m, err := interp.New(ip, san, interp.DefaultOptions())
+	if err != nil {
+		return false, err
+	}
+	for _, in := range inputs {
+		m.Feed(in)
+	}
+	res := m.Run()
+	switch {
+	case res.Violation != nil, res.Fault != nil:
+		return true, nil
+	case errors.Is(res.Err, interp.ErrCallDepth):
+		return true, nil // stack exhaustion crash
+	case res.Err != nil:
+		return false, res.Err
+	default:
+		return false, nil
+	}
+}

@@ -1,0 +1,72 @@
+// Command specbench regenerates the paper's performance evaluation:
+// Table IV (per-benchmark runtime and memory overhead on the SPEC
+// CPU2006-like workloads) and Table V (aggregates on the SPEC CPU2017-like
+// workloads, OpenMP-analogue parallel regions included).
+//
+// Usage:
+//
+//	specbench -suite 2006|2017|smoke [-reps 3] [-tools ASan,ASAN--,CECSan]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cecsan/internal/harness"
+	"cecsan/internal/sanitizers"
+	"cecsan/internal/specsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "specbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suite := flag.String("suite", "2006", "workload suite: 2006, 2017 or smoke")
+	reps := flag.Int("reps", 3, "repetitions per measurement (best-of)")
+	toolsFlag := flag.String("tools", "ASan,ASAN--,CECSan", "comma-separated sanitizer list")
+	model := flag.Bool("model", false, "also print the cycle-model overhead table (per-operation costs from the published instrumentation sequences)")
+	flag.Parse()
+
+	var ws []specsim.Workload
+	switch *suite {
+	case "2006":
+		ws = specsim.Spec2006()
+	case "2017":
+		ws = specsim.Spec2017()
+	case "smoke":
+		ws = specsim.Smoke()
+	default:
+		return fmt.Errorf("unknown suite %q", *suite)
+	}
+
+	var tools []sanitizers.Name
+	for _, t := range strings.Split(*toolsFlag, ",") {
+		tools = append(tools, sanitizers.Name(strings.TrimSpace(t)))
+	}
+
+	harness.Verbose = true
+	fmt.Printf("measuring %d workloads x %d tools (reps=%d)...\n", len(ws), len(tools), *reps)
+	table, err := harness.EvaluatePerf(ws, tools, *reps)
+	if err != nil {
+		return err
+	}
+	if *suite == "2017" {
+		fmt.Println(harness.FormatTable5(table))
+	} else {
+		fmt.Println(harness.FormatTable4(table))
+	}
+	if *model {
+		ct, err := harness.EvaluateCycles(ws, tools)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatCycleTable(ct))
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+package csrc
+
+import "cecsan/prog"
+
+// value is an evaluated expression: its register plus the pointee type the
+// compiler could track (nil for plain integers / untyped pointers).
+type value struct {
+	reg     prog.Reg
+	pointee *prog.Type
+}
+
+// placeKind classifies assignable locations.
+type placeKind int
+
+const (
+	placeVar   placeKind = iota + 1 // a named variable's register
+	placeMem                        // memory at addr+off of scalar type typ
+	placeValue                      // not assignable: an r-value that fell out of chain parsing
+)
+
+// place is a parsed postfix chain that may be stored to or loaded from.
+type place struct {
+	kind placeKind
+	bind *binding   // placeVar
+	addr prog.Reg   // placeMem base register
+	off  int64      // placeMem static offset
+	typ  *prog.Type // placeMem scalar type
+	val  value      // placeValue
+}
+
+// returnsDst marks libc functions returning their first pointer argument.
+var returnsDst = map[string]bool{
+	"memcpy": true, "memmove": true, "memset": true, "strcpy": true,
+	"strncpy": true, "strcat": true, "strncat": true, "wcsncpy": true,
+	"wmemcpy": true, "wmemset": true,
+}
+
+// expr parses a full expression.
+func (p *parser) expr() (value, error) {
+	left, err := p.unary()
+	if err != nil {
+		return value{}, err
+	}
+	return p.continueExpr(left, 0)
+}
+
+// binOps lists binary operators by precedence level (low to high).
+var binOps = [][]string{
+	{"&&", "||"},
+	{"==", "!=", "<", "<=", ">", ">="},
+	{"&", "|", "^"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+// continueExpr finishes a binary expression whose left operand is already
+// evaluated, by precedence climbing: operators at minLevel or tighter are
+// consumed; looser ones are left for the caller.
+func (p *parser) continueExpr(left value, minLevel int) (value, error) {
+	for {
+		level, op, ok := p.peekAnyOp()
+		if !ok || level < minLevel {
+			return left, nil
+		}
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return value{}, err
+		}
+		// Bind tighter levels on the right first.
+		right, err = p.continueExpr(right, level+1)
+		if err != nil {
+			return value{}, err
+		}
+		left = p.applyBinOp(op, left, right)
+	}
+}
+
+// peekAnyOp returns the precedence level of the operator at the cursor.
+func (p *parser) peekAnyOp() (int, string, bool) {
+	if p.cur().kind != tokPunct {
+		return 0, "", false
+	}
+	for level, ops := range binOps {
+		for _, op := range ops {
+			if p.cur().text == op {
+				return level, op, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// applyBinOp emits the operation. Pointer arithmetic is in bytes (char*
+// semantics); the pointee type rides along through + and -.
+func (p *parser) applyBinOp(op string, a, b value) value {
+	f := p.fb
+	switch op {
+	case "+":
+		return value{reg: f.Add(a.reg, b.reg), pointee: firstPointee(a, b)}
+	case "-":
+		return value{reg: f.Sub(a.reg, b.reg), pointee: firstPointee(a, b)}
+	case "*":
+		return value{reg: f.Mul(a.reg, b.reg)}
+	case "/":
+		return value{reg: f.Bin(prog.BinDiv, a.reg, b.reg)}
+	case "%":
+		return value{reg: f.Bin(prog.BinRem, a.reg, b.reg)}
+	case "&":
+		return value{reg: f.Bin(prog.BinAnd, a.reg, b.reg)}
+	case "|":
+		return value{reg: f.Bin(prog.BinOr, a.reg, b.reg)}
+	case "^":
+		return value{reg: f.Bin(prog.BinXor, a.reg, b.reg)}
+	case "<<":
+		return value{reg: f.Bin(prog.BinShl, a.reg, b.reg)}
+	case ">>":
+		return value{reg: f.Bin(prog.BinShr, a.reg, b.reg)}
+	case "==":
+		return value{reg: f.Cmp(prog.CmpEq, a.reg, b.reg)}
+	case "!=":
+		return value{reg: f.Cmp(prog.CmpNe, a.reg, b.reg)}
+	case "<":
+		return value{reg: f.Cmp(prog.CmpSLt, a.reg, b.reg)}
+	case "<=":
+		return value{reg: f.Cmp(prog.CmpSLe, a.reg, b.reg)}
+	case ">":
+		return value{reg: f.Cmp(prog.CmpSGt, a.reg, b.reg)}
+	case ">=":
+		return value{reg: f.Cmp(prog.CmpSGe, a.reg, b.reg)}
+	case "&&":
+		an := f.Cmp(prog.CmpNe, a.reg, f.Const(0))
+		bn := f.Cmp(prog.CmpNe, b.reg, f.Const(0))
+		return value{reg: f.Bin(prog.BinAnd, an, bn)}
+	case "||":
+		an := f.Cmp(prog.CmpNe, a.reg, f.Const(0))
+		bn := f.Cmp(prog.CmpNe, b.reg, f.Const(0))
+		return value{reg: f.Bin(prog.BinOr, an, bn)}
+	}
+	return a // unreachable: binOps covers all cases
+}
+
+func firstPointee(a, b value) *prog.Type {
+	if a.pointee != nil {
+		return a.pointee
+	}
+	return b.pointee
+}
+
+// unary parses -x, !x and primaries.
+func (p *parser) unary() (value, error) {
+	if p.cur().kind == tokPunct {
+		switch p.cur().text {
+		case "-":
+			p.next()
+			v, err := p.unary()
+			if err != nil {
+				return value{}, err
+			}
+			return value{reg: p.fb.Sub(p.fb.Const(0), v.reg)}, nil
+		case "!":
+			p.next()
+			v, err := p.unary()
+			if err != nil {
+				return value{}, err
+			}
+			return value{reg: p.fb.Cmp(prog.CmpEq, v.reg, p.fb.Const(0))}, nil
+		case "(":
+			p.next()
+			v, err := p.expr()
+			if err != nil {
+				return value{}, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return value{}, err
+			}
+			return v, nil
+		}
+	}
+	return p.primary()
+}
+
+// primary parses literals, calls, allocation forms and places.
+func (p *parser) primary() (value, error) {
+	t := p.cur()
+	if t.kind == tokInt {
+		p.next()
+		return value{reg: p.fb.Const(t.val)}, nil
+	}
+	if t.kind != tokIdent {
+		return value{}, p.errf("unexpected token %q in expression", t.text)
+	}
+
+	switch t.text {
+	case "malloc":
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return value{}, err
+		}
+		// Constant sizes keep their compile-time size information.
+		if p.cur().kind == tokInt && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ")" {
+			n := p.next().val
+			p.next() // )
+			return value{reg: p.fb.MallocBytes(n), pointee: prog.Char()}, nil
+		}
+		n, err := p.expr()
+		if err != nil {
+			return value{}, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return value{}, err
+		}
+		return value{reg: p.fb.MallocReg(n.reg), pointee: prog.Char()}, nil
+
+	case "new":
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return value{}, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return value{}, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return value{}, err
+		}
+		return value{reg: p.fb.MallocType(ty), pointee: ty}, nil
+
+	case "local":
+		p.next()
+		ty, err := p.parseType()
+		if err != nil {
+			return value{}, err
+		}
+		return value{reg: p.fb.Alloca(ty), pointee: ty}, nil
+
+	case "extern", "externret":
+		retIsArg0 := t.text == "externret"
+		p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return value{}, err
+		}
+		args, err := p.callArgs()
+		if err != nil {
+			return value{}, err
+		}
+		regs := make([]prog.Reg, len(args))
+		for i, a := range args {
+			regs[i] = a.reg
+		}
+		v := value{reg: p.fb.CallExternal(name.text, retIsArg0, regs...)}
+		if retIsArg0 && len(args) > 0 {
+			v.pointee = args[0].pointee
+		}
+		return v, nil
+	}
+
+	if libcNames[t.text] {
+		p.next()
+		args, err := p.callArgs()
+		if err != nil {
+			return value{}, err
+		}
+		regs := make([]prog.Reg, len(args))
+		for i, a := range args {
+			regs[i] = a.reg
+		}
+		v := value{reg: p.fb.Libc(t.text, regs...)}
+		switch {
+		case returnsDst[t.text] && len(args) > 0:
+			v.pointee = args[0].pointee
+		case t.text == "calloc" || t.text == "realloc":
+			v.pointee = prog.Char()
+		}
+		return v, nil
+	}
+
+	if _, ok := p.funcs[t.text]; ok {
+		p.next()
+		args, err := p.callArgs()
+		if err != nil {
+			return value{}, err
+		}
+		if len(args) != p.funcs[t.text] {
+			return value{}, p.errf("call of %q with %d args, want %d", t.text, len(args), p.funcs[t.text])
+		}
+		regs := make([]prog.Reg, len(args))
+		for i, a := range args {
+			regs[i] = a.reg
+		}
+		return value{reg: p.fb.Call(t.text, regs...)}, nil
+	}
+
+	pl, err := p.parsePlace()
+	if err != nil {
+		return value{}, err
+	}
+	if pl == nil {
+		return value{}, p.errf("undefined name %q", t.text)
+	}
+	return p.loadPlace(pl)
+}
+
+// callArgs parses `( expr, ... )`.
+func (p *parser) callArgs() ([]value, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []value
+	for !p.accept(tokPunct, ")") {
+		if len(args) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+// parsePlace parses an identifier postfix chain (`x`, `p[i]`, `s->f`,
+// `s->buf[i]`, `g`). It returns nil without consuming tokens when the
+// cursor does not start a place (callables and literals).
+func (p *parser) parsePlace() (*place, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, nil
+	}
+	if p.reservedName(t.text) {
+		return nil, nil
+	}
+
+	var cur value
+	if b, ok := p.vars[t.text]; ok {
+		p.next()
+		// A bare variable with no postfix is itself the place.
+		if !p.isPostfix() {
+			return &place{kind: placeVar, bind: b}, nil
+		}
+		cur = value{reg: b.reg, pointee: b.pointee}
+	} else if gt, ok := p.globals[t.text]; ok {
+		p.next()
+		addr := p.fb.GlobalAddr(t.text)
+		if gt.IsComposite() {
+			// Arrays/structs decay to a typed pointer.
+			cur = value{reg: addr, pointee: gt}
+			if !p.isPostfix() {
+				return &place{kind: placeValue, val: cur}, nil
+			}
+		} else {
+			// Scalar global: an assignable memory place.
+			if p.isPostfix() {
+				return nil, p.errf("cannot index scalar global %q", t.text)
+			}
+			return &place{kind: placeMem, addr: addr, typ: gt}, nil
+		}
+	} else {
+		return nil, nil
+	}
+
+	// Postfix chain.
+	for {
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			elem := prog.Char()
+			var gep prog.Reg
+			if pt := cur.pointee; pt != nil && pt.Kind() == prog.KindArray {
+				elem = pt.Elem()
+				gep = p.fb.IndexPtr(cur.reg, pt, idx.reg)
+			} else {
+				if pt := cur.pointee; pt != nil && pt.Kind() != prog.KindStruct {
+					elem = pt
+				} else if pt != nil {
+					elem = pt // array of structs via pointer
+				}
+				gep = p.fb.ElemPtr(cur.reg, elem, idx.reg)
+			}
+			if elem.Kind() == prog.KindStruct {
+				cur = value{reg: gep, pointee: elem}
+				continue
+			}
+			if p.isPostfix() {
+				return nil, p.errf("cannot chain further after scalar index")
+			}
+			return &place{kind: placeMem, addr: gep, typ: elem}, nil
+
+		case p.accept(tokPunct, "->"):
+			fieldTok, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st := cur.pointee
+			if st == nil || st.Kind() != prog.KindStruct {
+				return nil, p.errf("-> requires a struct pointer")
+			}
+			fl, ok := st.FieldByName(fieldTok.text)
+			if !ok {
+				return nil, p.errf("struct %s has no field %q", st.Name(), fieldTok.text)
+			}
+			switch fl.Type.Kind() {
+			case prog.KindArray:
+				// Array fields decay via a sub-object GEP (the §II.D
+				// narrowing candidate).
+				cur = value{reg: p.fb.FieldPtr(cur.reg, st, fieldTok.text), pointee: fl.Type}
+				if !p.isPostfix() {
+					return &place{kind: placeValue, val: cur}, nil
+				}
+			case prog.KindStruct:
+				cur = value{reg: p.fb.FieldPtr(cur.reg, st, fieldTok.text), pointee: fl.Type}
+			default:
+				// Scalar field: a direct typed access at a static offset.
+				if p.isPostfix() {
+					return nil, p.errf("cannot chain further after scalar field")
+				}
+				return &place{kind: placeMem, addr: cur.reg, off: fl.Offset, typ: fl.Type}, nil
+			}
+
+		default:
+			return &place{kind: placeValue, val: cur}, nil
+		}
+	}
+}
+
+// isPostfix reports whether the cursor starts a postfix operator.
+func (p *parser) isPostfix() bool {
+	return p.cur().kind == tokPunct && (p.cur().text == "[" || p.cur().text == "->")
+}
+
+// loadPlace converts a place into a value.
+func (p *parser) loadPlace(pl *place) (value, error) {
+	switch pl.kind {
+	case placeVar:
+		return value{reg: pl.bind.reg, pointee: pl.bind.pointee}, nil
+	case placeMem:
+		v := value{reg: p.fb.Load(pl.addr, pl.off, pl.typ)}
+		return v, nil
+	case placeValue:
+		return pl.val, nil
+	}
+	return value{}, p.errf("internal: bad place")
+}
+
+// storePlace assigns a value to a place.
+func (p *parser) storePlace(pl *place, v value) error {
+	switch pl.kind {
+	case placeVar:
+		p.fb.Assign(pl.bind.reg, v.reg)
+		pl.bind.pointee = v.pointee
+		return nil
+	case placeMem:
+		p.fb.Store(pl.addr, pl.off, v.reg, pl.typ)
+		return nil
+	default:
+		return p.errf("left side of = is not assignable")
+	}
+}

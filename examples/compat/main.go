@@ -1,0 +1,94 @@
+// Compat demonstrates §II.E: tagged pointers crossing into external,
+// uninstrumented code and back. Arguments are checked and stripped at the
+// boundary, functions that return one of their pointer arguments get the
+// tag re-applied, and pointers born in foreign code map to the reserved
+// metadata entry — usable, never checked, never breaking functionality.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cecsan"
+	"cecsan/prog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "compat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("1) tagged pointer survives an external round trip; protection intact after return")
+	{
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		buf := f.MallocBytes(32)
+		// same = ext_identity(buf): external function returning its arg;
+		// the §II.E wrapper strips the tag for the callee and re-applies it
+		// to the returned pointer.
+		same := f.CallExternal("ext_identity", true, buf)
+		f.Store(same, 31, f.Const(1), prog.Char()) // in bounds: fine
+		f.Store(same, 32, f.Const(1), prog.Char()) // overflow: must be caught
+		f.RetVoid()
+		res, err := cecsan.Run(pb.MustBuild(), cecsan.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   after round trip, overflow detected: %v (%v)\n\n", res.Violation != nil, res.Violation)
+	}
+
+	fmt.Println("2) foreign pointers (allocated by uninstrumented code) are usable as-is, unchecked")
+	{
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		foreign := f.CallExternal("ext_alloc", false, f.Const(16))
+		f.Store(foreign, 0, f.Const(42), prog.Int64T())
+		v := f.Load(foreign, 0, prog.Int64T())
+		f.Libc("print_int", v)
+		f.CallExternal("ext_free", false, foreign)
+		f.RetVoid()
+		m, err := cecsan.NewMachine(pb.MustBuild(), cecsan.Config{})
+		if err != nil {
+			return err
+		}
+		res := m.Run()
+		fmt.Printf("   program output: %v, violation: %v\n\n", m.Output(), res.Violation)
+	}
+
+	fmt.Println("3) dangling pointers are rejected BEFORE reaching external code")
+	{
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		buf := f.MallocBytes(32)
+		f.Free(buf)
+		f.CallExternal("ext_fill", false, buf, f.Const(32), f.Const(0)) // would corrupt foreign-side
+		f.RetVoid()
+		res, err := cecsan.Run(pb.MustBuild(), cecsan.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   dangling argument detected at the boundary: %v (%v)\n\n", res.Violation != nil, res.Violation)
+	}
+
+	fmt.Println("4) external code writing through a stripped pointer keeps working (no layout change)")
+	{
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		buf := f.MallocBytes(8)
+		f.CallExternal("ext_fill", false, buf, f.Const(8), f.Const(0x5A))
+		v := f.Load(buf, 0, prog.Char())
+		f.Libc("print_int", v)
+		f.Free(buf)
+		f.RetVoid()
+		m, err := cecsan.NewMachine(pb.MustBuild(), cecsan.Config{})
+		if err != nil {
+			return err
+		}
+		res := m.Run()
+		fmt.Printf("   foreign write visible to instrumented code: output=%v violation=%v\n", m.Output(), res.Violation)
+	}
+	return nil
+}

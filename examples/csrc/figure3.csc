@@ -1,0 +1,21 @@
+// Figure 3 from the paper, as cecsan source: a memcpy sized for the whole
+// struct overflows the charFirst member into voidSecond.
+//
+//   go run ./cmd/cecsan-run -src examples/csrc/figure3.csc
+//   go run ./cmd/cecsan-run -src examples/csrc/figure3.csc -sanitizer ASan
+
+struct CharVoid {
+    char charFirst[16];
+    ptr voidSecond;
+}
+
+global char SRC_STRING[] = "0123456789abcdefghijklmnopqrstu";
+
+func main() {
+    var s = new(CharVoid);
+    s->voidSecond = 0x401000;             // a "function pointer"
+    memcpy(s->charFirst, SRC_STRING, 24); // sizeof(struct), not sizeof(field)
+    print_int(s->voidSecond);             // corrupted if undetected
+    free(s);
+    return 0;
+}

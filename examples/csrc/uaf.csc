@@ -1,0 +1,13 @@
+// A use-after-free driven by dummy-server input:
+//
+//   go run ./cmd/cecsan-run -src examples/csrc/uaf.csc
+
+func main() {
+    var session = malloc(64);
+    var req = local char[16];
+    recv(req, 1);
+    if (req[0] == 'Q') { free(session); }
+    recv(req, 1);
+    if (req[0] == 'S') { session[8] = 1; }
+    return 0;
+}

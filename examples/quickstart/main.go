@@ -1,0 +1,58 @@
+// Quickstart: build a tiny C-like program with a heap overflow, run it
+// under CECSan, and print the report — the 60-second tour of the public
+// API.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cecsan"
+	"cecsan/prog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The C program this builds:
+	//
+	//	int main(void) {
+	//	    char *buf = malloc(16);
+	//	    for (int i = 0; i <= 16; i++)   // off by one
+	//	        buf[i] = 'A';
+	//	    free(buf);
+	//	}
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(16)
+	f.ForRange(prog.ConstOperand(0), prog.ConstOperand(17), 1, func(i prog.Reg) {
+		f.Store(f.ElemPtr(buf, prog.Char(), i), 0, f.Const('A'), prog.Char())
+	})
+	f.Free(buf)
+	f.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		return err
+	}
+
+	// Run it under every sanitizer and compare.
+	for _, name := range cecsan.SanitizerNames() {
+		res, err := cecsan.Run(p, cecsan.Config{Sanitizer: name})
+		if err != nil {
+			return err
+		}
+		switch {
+		case res.Violation != nil:
+			fmt.Printf("%-16s DETECTED: %s in %s segment (checks executed: %d)\n",
+				name, res.Violation.Kind, res.Violation.Seg, res.Stats.ChecksExecuted)
+		default:
+			fmt.Printf("%-16s silent (program completed)\n", name)
+		}
+	}
+	return nil
+}

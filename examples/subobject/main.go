@@ -1,0 +1,82 @@
+// Subobject reproduces the paper's Figure 3 end to end: a memcpy whose
+// size is sizeof(struct) instead of sizeof(field) silently corrupts the
+// adjacent function pointer under every comparator, while CECSan's
+// narrowed sub-object bounds (§II.D) report it.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cecsan"
+	"cecsan/prog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "subobject:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// typedef struct {
+	//     char charFirst[16];
+	//     void *voidSecond;     // imagine a function pointer here
+	// } charVoid;
+	charVoid := prog.StructOf("charVoid",
+		prog.FieldSpec{Name: "charFirst", Type: prog.ArrayOf(prog.Char(), 16)},
+		prog.FieldSpec{Name: "voidSecond", Type: prog.VoidPtr()},
+	)
+	fmt.Printf("struct %s: size=%d, field charFirst=%d bytes, field voidSecond at offset %d\n",
+		charVoid.Name(), charVoid.Size(), 16, 16)
+
+	build := func(copyLen int64) (*prog.Program, error) {
+		pb := prog.NewProgram()
+		pb.GlobalBytes("SRC_STRING", []byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"))
+		f := pb.Function("main", 0)
+		obj := f.MallocType(charVoid)
+		// structCharVoid->voidSecond = a "function pointer" we must protect.
+		f.Store(f.FieldPtr(obj, charVoid, "voidSecond"), 0, f.Const(0x401000), prog.VoidPtr())
+		// memcpy(structCharVoid->charFirst, SRC_STRING, copyLen);
+		f.Libc("memcpy", f.FieldPtr(obj, charVoid, "charFirst"), f.GlobalAddr("SRC_STRING"), f.Const(copyLen))
+		fp := f.Load(obj, 16, prog.VoidPtr())
+		f.Libc("print_int", fp) // "call" through the pointer
+		f.Free(obj)
+		f.RetVoid()
+		return pb.Build()
+	}
+
+	for _, scenario := range []struct {
+		label   string
+		copyLen int64
+	}{
+		{"GOOD: memcpy(field, src, sizeof(field))  = 16", 16},
+		{"BAD:  memcpy(field, src, sizeof(struct)) = 24", 24},
+	} {
+		fmt.Printf("\n--- %s ---\n", scenario.label)
+		p, err := build(scenario.copyLen)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{cecsan.CECSan, cecsan.ASan, cecsan.HWASan, cecsan.PACMem, cecsan.SoftBound} {
+			m, err := cecsan.NewMachine(p, cecsan.Config{Sanitizer: name})
+			if err != nil {
+				return err
+			}
+			res := m.Run()
+			if res.Violation != nil {
+				fmt.Printf("%-16s DETECTED %s\n", name, res.Violation.Kind)
+				continue
+			}
+			out := m.Output()
+			corrupted := len(out) > 0 && out[0] != fmt.Sprintf("%d", 0x401000)
+			if corrupted {
+				fmt.Printf("%-16s MISSED — function pointer silently corrupted to %s\n", name, out[0])
+			} else {
+				fmt.Printf("%-16s clean\n", name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Uafserver demonstrates the temporal-safety path and the automation
+// framework's dummy server (§IV): a simulated request handler keeps a
+// dangling pointer to a freed session object, and a crafted second request
+// makes it dereference the stale pointer. The request bytes arrive through
+// the machine's input feed, exactly how the harness drives the
+// external-input Juliet cases other evaluations excluded.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cecsan"
+	"cecsan/prog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uafserver:", err)
+		os.Exit(1)
+	}
+}
+
+// buildServer models:
+//
+//	session = malloc(64);
+//	recv(req1); session->id = req1[0];
+//	if (req1[0] == 'Q') { free(session); }   // logout path
+//	recv(req2);
+//	if (req2[0] == 'S') { session->data = ...; }  // stats path: UAF if logged out
+func buildServer() (*prog.Program, error) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	session := f.MallocBytes(64)
+	req := f.Alloca(prog.ArrayOf(prog.Char(), 16))
+
+	f.Libc("recv", req, f.Const(16))
+	c1 := f.Load(req, 0, prog.Char())
+	f.Store(session, 0, c1, prog.Char())
+	f.If(f.Cmp(prog.CmpEq, c1, f.Const('Q')), func() {
+		f.Free(session)
+	}, nil)
+
+	f.Libc("recv", req, f.Const(16))
+	c2 := f.Load(req, 0, prog.Char())
+	f.If(f.Cmp(prog.CmpEq, c2, f.Const('S')), func() {
+		f.Store(session, 8, f.Const(0xC0FFEE), prog.Int64T())
+	}, nil)
+	f.RetVoid()
+	return pb.Build()
+}
+
+func run() error {
+	p, err := buildServer()
+	if err != nil {
+		return err
+	}
+
+	scenarios := []struct {
+		label    string
+		requests [][]byte
+	}{
+		{"benign: LOGIN then STATS", [][]byte{[]byte("L"), []byte("S")}},
+		{"benign: QUIT then NOOP", [][]byte{[]byte("Q"), []byte("N")}},
+		{"attack: QUIT then STATS (use-after-free)", [][]byte{[]byte("Q"), []byte("S")}},
+	}
+	for _, sc := range scenarios {
+		fmt.Printf("\n--- %s ---\n", sc.label)
+		for _, name := range []string{cecsan.Native, cecsan.CECSan, cecsan.ASan} {
+			res, err := cecsan.Run(p, cecsan.Config{Sanitizer: name, Inputs: sc.requests})
+			if err != nil {
+				return err
+			}
+			if res.Violation != nil {
+				fmt.Printf("%-10s DETECTED %s: %s\n", name, res.Violation.Kind, res.Violation.Detail)
+			} else {
+				fmt.Printf("%-10s completed silently\n", name)
+			}
+		}
+	}
+	return nil
+}

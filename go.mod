@@ -1,0 +1,3 @@
+module cecsan
+
+go 1.22

@@ -1,0 +1,288 @@
+package alloc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentOf(t *testing.T) {
+	tests := []struct {
+		name string
+		addr uint64
+		want Segment
+	}{
+		{name: "below everything", addr: 0x1000, want: SegNone},
+		{name: "globals start", addr: GlobalsBase, want: SegGlobals},
+		{name: "globals interior", addr: GlobalsBase + 100, want: SegGlobals},
+		{name: "stack start", addr: StackBase, want: SegStack},
+		{name: "heap start", addr: HeapBase, want: SegHeap},
+		{name: "heap end is exclusive", addr: HeapLimit, want: SegNone},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SegmentOf(tt.addr); got != tt.want {
+				t.Fatalf("SegmentOf(%#x) = %v, want %v", tt.addr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	for seg, want := range map[Segment]string{
+		SegGlobals: "global", SegStack: "stack", SegHeap: "heap", SegNone: "unmapped",
+	} {
+		if got := seg.String(); got != want {
+			t.Errorf("Segment(%d).String() = %q, want %q", seg, got, want)
+		}
+	}
+}
+
+func TestHeapAllocAlignmentAndDisjointness(t *testing.T) {
+	h := NewHeap()
+	seen := make(map[uint64]int64)
+	for _, size := range []int64{1, 15, 16, 17, 100, 4096, 1 << 20} {
+		addr, err := h.Alloc(size)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", size, err)
+		}
+		if addr%Align != 0 {
+			t.Errorf("Alloc(%d) = %#x, not %d-byte aligned", size, addr, Align)
+		}
+		if SegmentOf(addr) != SegHeap {
+			t.Errorf("Alloc(%d) = %#x, outside heap segment", size, addr)
+		}
+		for base, sz := range seen {
+			if addr < base+uint64(sz) && base < addr+uint64(size) {
+				t.Errorf("chunk [%#x,+%d) overlaps live chunk [%#x,+%d)", addr, size, base, sz)
+			}
+		}
+		seen[addr] = size
+	}
+}
+
+func TestHeapFreeListReuseIsLIFO(t *testing.T) {
+	h := NewHeap()
+	a, _ := h.Alloc(64)
+	b, _ := h.Alloc(64)
+	h.Free(a)
+	h.Free(b)
+	// glibc-style immediate LIFO reuse: next same-size alloc returns b.
+	c, _ := h.Alloc(64)
+	if c != b {
+		t.Errorf("expected LIFO reuse of %#x, got %#x", b, c)
+	}
+	d, _ := h.Alloc(64)
+	if d != a {
+		t.Errorf("expected second reuse of %#x, got %#x", a, d)
+	}
+}
+
+func TestHeapFreeUndefinedBehaviourIsSilent(t *testing.T) {
+	h := NewHeap()
+	a, _ := h.Alloc(64)
+	if ok := h.Free(a + 16); ok {
+		t.Error("free of interior pointer reported success")
+	}
+	if ok := h.Free(a); !ok {
+		t.Error("free of valid base failed")
+	}
+	if ok := h.Free(a); ok {
+		t.Error("double free reported success")
+	}
+	if got := h.Stats().FreeErrors; got != 2 {
+		t.Errorf("FreeErrors = %d, want 2", got)
+	}
+}
+
+func TestHeapLookup(t *testing.T) {
+	h := NewHeap()
+	a, _ := h.Alloc(100)
+	size, ok := h.Lookup(a)
+	if !ok || size != 112 { // 100 rounded to 112
+		t.Errorf("Lookup(%#x) = (%d,%v), want (112,true)", a, size, ok)
+	}
+	if _, ok := h.Lookup(a + 8); ok {
+		t.Error("Lookup of interior pointer succeeded; want base addresses only")
+	}
+	h.Free(a)
+	if _, ok := h.Lookup(a); ok {
+		t.Error("Lookup of freed chunk succeeded")
+	}
+}
+
+func TestHeapStats(t *testing.T) {
+	h := NewHeap()
+	a, _ := h.Alloc(32)
+	b, _ := h.Alloc(32)
+	s := h.Stats()
+	if s.LiveCount != 2 || s.LiveBytes != 64 || s.AllocCount != 2 {
+		t.Fatalf("stats after 2 allocs: %+v", s)
+	}
+	h.Free(a)
+	h.Free(b)
+	s = h.Stats()
+	if s.LiveCount != 0 || s.LiveBytes != 0 {
+		t.Fatalf("stats after frees: %+v", s)
+	}
+	if s.PeakLive != 64 {
+		t.Fatalf("PeakLive = %d, want 64", s.PeakLive)
+	}
+}
+
+func TestHeapConcurrentAllocFree(t *testing.T) {
+	h := NewHeap()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []uint64
+			for i := 0; i < 500; i++ {
+				a, err := h.Alloc(int64(16 + i%256))
+				if err != nil {
+					t.Errorf("Alloc: %v", err)
+					return
+				}
+				mine = append(mine, a)
+				if len(mine) > 10 {
+					h.Free(mine[0])
+					mine = mine[1:]
+				}
+			}
+			for _, a := range mine {
+				h.Free(a)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Stats(); s.LiveCount != 0 || s.FreeErrors != 0 {
+		t.Fatalf("after concurrent churn: %+v", s)
+	}
+}
+
+// TestHeapLiveChunksNeverOverlap property-checks the central allocator
+// invariant under a random alloc/free interleaving.
+func TestHeapLiveChunksNeverOverlap(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		h := NewHeap()
+		type chunk struct {
+			base uint64
+			size int64
+		}
+		var livest []chunk
+		for _, op := range ops {
+			if op%3 != 0 || len(livest) == 0 {
+				size := int64(op%512) + 1
+				a, err := h.Alloc(size)
+				if err != nil {
+					return false
+				}
+				for _, c := range livest {
+					if a < c.base+uint64(roundUp(c.size)) && c.base < a+uint64(roundUp(size)) {
+						return false
+					}
+				}
+				livest = append(livest, chunk{a, size})
+			} else {
+				i := int(op) % len(livest)
+				h.Free(livest[i].base)
+				livest = append(livest[:i], livest[i+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackFrames(t *testing.T) {
+	s, err := NewStack(0)
+	if err != nil {
+		t.Fatalf("NewStack: %v", err)
+	}
+	outer := s.Mark()
+	a, err := s.Alloc(100)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if a%Align != 0 || SegmentOf(a) != SegStack {
+		t.Fatalf("stack alloc %#x misaligned or out of segment", a)
+	}
+	inner := s.Mark()
+	b, _ := s.Alloc(64)
+	if b < a+100 {
+		t.Fatalf("inner alloca %#x overlaps outer %#x", b, a)
+	}
+	s.Release(inner)
+	c, _ := s.Alloc(64)
+	if c != b {
+		t.Fatalf("frame release did not reuse stack space: got %#x want %#x", c, b)
+	}
+	s.Release(outer)
+	if got := s.Mark(); got != outer {
+		t.Fatalf("Mark after full release = %#x, want %#x", got, outer)
+	}
+	if s.PeakBytes() <= 0 {
+		t.Fatal("PeakBytes not tracked")
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	s, err := NewStack(0)
+	if err != nil {
+		t.Fatalf("NewStack: %v", err)
+	}
+	if _, err := s.Alloc(int64(ThreadStackSize) + 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestThreadStacksAreDisjoint(t *testing.T) {
+	s0, err := NewStack(0)
+	if err != nil {
+		t.Fatalf("NewStack(0): %v", err)
+	}
+	s1, err := NewStack(1)
+	if err != nil {
+		t.Fatalf("NewStack(1): %v", err)
+	}
+	a, _ := s0.Alloc(int64(ThreadStackSize) - Align)
+	b, _ := s1.Alloc(16)
+	if b < a+ThreadStackSize-Align && a < b+16 {
+		t.Fatal("thread stacks overlap")
+	}
+	if _, err := NewStack(int((StackLimit - StackBase) / ThreadStackSize)); err == nil {
+		t.Error("NewStack beyond region did not error")
+	}
+}
+
+func TestGlobalsLayout(t *testing.T) {
+	g := NewGlobals()
+	a, err := g.Define("alpha", 100)
+	if err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	b, err := g.Define("beta", 8)
+	if err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	if a == b || b < a+100 {
+		t.Fatalf("globals overlap: alpha=%#x beta=%#x", a, b)
+	}
+	if _, err := g.Define("alpha", 4); err == nil {
+		t.Error("duplicate Define did not error")
+	}
+	def, ok := g.Lookup("alpha")
+	if !ok || def.Addr != a || def.Size != 100 {
+		t.Fatalf("Lookup(alpha) = %+v, %v", def, ok)
+	}
+	if got := len(g.All()); got != 2 {
+		t.Fatalf("All() returned %d defs, want 2", got)
+	}
+	if g.TotalBytes() < 108 {
+		t.Fatalf("TotalBytes = %d, want >= 108", g.TotalBytes())
+	}
+}

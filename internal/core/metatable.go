@@ -1,0 +1,191 @@
+// Package core implements the CECSan runtime: the paper's primary
+// contribution. It combines the compact, reusable metadata table (§II.B,
+// Figure 2), pointer tagging (via internal/tagptr), the optimized combined
+// spatial+temporal dereference check (Algorithm 1), the deallocation check
+// (Algorithm 2), sub-object bounds narrowing (§II.D), protection for stack
+// and global objects (§II.C.3), and compatibility wrappers for external
+// uninstrumented code (§II.E).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cecsan/internal/tagptr"
+)
+
+// Invalid is the "very high value" (§II.B.4) written into a freed entry's
+// low bound. Any dereference through a dangling pointer then computes a
+// negative low-bound difference, failing Algorithm 1's combined check. It is
+// far above every mappable address.
+const Invalid uint64 = 1 << 62
+
+// reservedHigh is the upper bound of the reserved entry 0, "initialized as
+// very high address" (§III), so that untagged/foreign pointers pass every
+// check.
+const reservedHigh uint64 = 1 << 62
+
+// slotsPerEntry is the entry stride: (low bound, high bound, nextID), 24
+// bytes per entry (§III).
+const slotsPerEntry = 3
+
+// EntryBytes is the metadata footprint of one table entry.
+const EntryBytes = 8 * slotsPerEntry
+
+// Table is the compact metadata table: a linear array of
+// (low, high, nextID) entries indexed by a pointer's tag. Entry 0 is
+// reserved for pointers of unknown provenance (§II.E). A free list is
+// encoded inside the entries themselves via nextID offsets, with the global
+// metadata index GMI as its head (§II.B.2, Figure 2), so freed entries are
+// reused as early as possible.
+//
+// Writes (allocate/free) are serialized by a mutex, the paper's thread-safe
+// GMI arrangement (§III). Checks read entries lock-free via atomic loads,
+// which on x86-64 compile to the same plain loads the real runtime issues.
+type Table struct {
+	arch tagptr.Arch
+
+	mu          sync.Mutex
+	gmi         uint64 // current metadata table index (free-structure head)
+	reserveLast bool   // final index reserved as the CHAINED tag
+
+	slots []atomic.Uint64 // 3 * 2^TagBits: low, high, nextID(two's complement)
+	sub   []bool          // entry holds sub-object metadata (report classification only)
+
+	live      int64
+	highWater uint64 // largest index ever handed out + 1 (lazy-page RSS model)
+	allocs    int64
+	exhausted int64 // allocations that fell back to the reserved entry
+}
+
+// TableStats is a snapshot of table counters.
+type TableStats struct {
+	Live      int64
+	HighWater uint64
+	Allocs    int64
+	Exhausted int64
+	Capacity  uint64
+}
+
+// NewTable builds the table for an architecture: 2^TagBits entries
+// (2^17 on x86-64, the prototype configuration). The constructor initializes
+// every field to zero, sets the reserved entry's high bound to a very high
+// address, and starts GMI at 1 (§III).
+func NewTable(arch tagptr.Arch) (*Table, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	n := arch.TableEntries()
+	t := &Table{
+		arch:  arch,
+		gmi:   1,
+		slots: make([]atomic.Uint64, n*slotsPerEntry),
+		sub:   make([]bool, n),
+	}
+	// Reserved entry 0: minimum base address, maximum upper bound (§II.E).
+	t.slots[1].Store(reservedHigh)
+	t.highWater = 1
+	return t, nil
+}
+
+// Capacity returns the number of entries (including the reserved one).
+func (t *Table) Capacity() uint64 { return t.arch.TableEntries() }
+
+// Load returns the (low, high) bounds of entry idx, lock-free.
+func (t *Table) Load(idx uint64) (low, high uint64) {
+	base := idx * slotsPerEntry
+	return t.slots[base].Load(), t.slots[base+1].Load()
+}
+
+// IsSub reports whether entry idx currently holds sub-object metadata. It is
+// consulted only on the check's failure (reporting) path.
+func (t *Table) IsSub(idx uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sub[idx]
+}
+
+// Allocate creates a metadata entry for an object spanning [low, high) and
+// returns its index. Per Figure 2, the entry at the current GMI is used and
+// GMI advances by the entry's stored nextID + 1: 0 for virgin entries
+// (advance to the next virgin slot) and the encoded free-list offset for
+// recycled ones (jump back to the previous head).
+//
+// When the table is exhausted (2^TagBits simultaneously live objects, the
+// §V limitation), Allocate reports ok=false; the caller falls back to the
+// reserved entry, trading protection of this one object for progress.
+func (t *Table) Allocate(low, high uint64, sub bool) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := t.gmi
+	limit := t.Capacity()
+	if t.reserveLast {
+		limit--
+	}
+	if k >= limit {
+		t.exhausted++
+		return 0, false
+	}
+	base := k * slotsPerEntry
+	next := int64(t.slots[base+2].Load())
+	t.slots[base].Store(low)
+	t.slots[base+1].Store(high)
+	t.slots[base+2].Store(0)
+	t.sub[k] = sub
+	t.gmi = uint64(int64(k) + next + 1)
+	t.live++
+	t.allocs++
+	if k+1 > t.highWater {
+		t.highWater = k + 1
+	}
+	return k, true
+}
+
+// Free invalidates entry k and threads it onto the encoded free list
+// (§II.B.4, Figure 2): low := INVALID, high := 0, nextID := GMI - k - 1,
+// GMI := k. The next Allocate reuses k immediately and restores GMI.
+func (t *Table) Free(k uint64) {
+	if k == 0 || k >= t.Capacity() {
+		return // the reserved entry is never recycled
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := k * slotsPerEntry
+	t.slots[base].Store(Invalid)
+	t.slots[base+1].Store(0)
+	t.slots[base+2].Store(uint64(int64(t.gmi) - int64(k) - 1))
+	t.gmi = k
+	t.live--
+}
+
+// ReserveLast excludes the table's final entry from allocation, reserving
+// its index as the CHAINED tag of the §V overflow-chaining extension.
+func (t *Table) ReserveLast() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reserveLast = true
+}
+
+// Stats returns a snapshot of the table counters.
+func (t *Table) Stats() TableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TableStats{
+		Live:      t.live,
+		HighWater: t.highWater,
+		Allocs:    t.allocs,
+		Exhausted: t.exhausted,
+		Capacity:  t.Capacity(),
+	}
+}
+
+// TouchedBytes returns the table's resident footprint under the lazy-mmap
+// model: only pages up to the high-water entry have ever been written.
+func (t *Table) TouchedBytes() int64 {
+	t.mu.Lock()
+	hw := t.highWater
+	t.mu.Unlock()
+	const page = 4096
+	b := int64(hw) * EntryBytes
+	return (b + page - 1) / page * page
+}

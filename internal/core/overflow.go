@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// §V discusses the table-exhaustion limitation: with 2^T entries, a program
+// keeping more than 2^T objects live simultaneously cannot tag them all,
+// and the paper suggests "techniques like linked lists for storing
+// conflicted metadata" as future work, noting the expected performance
+// cost. spillIndex implements that extension.
+//
+// One tag value — the table's last index — is reserved as the CHAINED tag.
+// When the table is exhausted, new objects are tagged with it and their
+// bounds go into a disjoint ordered index. A check on a chained pointer
+// cannot find its entry directly (many objects share the tag), so it
+// searches the index by address — the O(log n) cost standing in for the
+// paper's linked-list walk. Entries are removed on free; double frees and
+// UAFs through chained pointers are caught by the entry's absence.
+type spillIndex struct {
+	mu sync.Mutex
+	// spans is kept sorted by base address.
+	spans []span
+
+	inserts int64
+	lookups int64
+}
+
+// span is one chained object's bounds.
+type span struct {
+	base uint64
+	end  uint64
+}
+
+// insert records a chained object. Overlapping spans cannot occur: the
+// allocator never hands out overlapping live chunks.
+func (s *spillIndex) insert(base, end uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].base >= base })
+	s.spans = append(s.spans, span{})
+	copy(s.spans[i+1:], s.spans[i:])
+	s.spans[i] = span{base: base, end: end}
+	s.inserts++
+}
+
+// lookup finds the span containing addr.
+func (s *spillIndex) lookup(addr uint64) (span, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lookups++
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].base > addr })
+	if i == 0 {
+		return span{}, false
+	}
+	sp := s.spans[i-1]
+	if addr >= sp.end {
+		return span{}, false
+	}
+	return sp, true
+}
+
+// remove deletes the span whose base is exactly base, reporting success.
+func (s *spillIndex) remove(base uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].base >= base })
+	if i >= len(s.spans) || s.spans[i].base != base {
+		return false
+	}
+	s.spans = append(s.spans[:i], s.spans[i+1:]...)
+	return true
+}
+
+// size returns the number of chained objects.
+func (s *spillIndex) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.spans)
+}
+
+// bytes returns the index's metadata footprint.
+func (s *spillIndex) bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.spans)) * 16
+}

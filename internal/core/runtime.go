@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cecsan/internal/alloc"
+	"cecsan/internal/rt"
+	"cecsan/internal/tagptr"
+)
+
+// Options configures the CECSan runtime and its instrumentation profile.
+// The zero value is not usable; use DefaultOptions as a base.
+type Options struct {
+	// Arch selects the pointer layout (x86-64 or ARM64).
+	Arch tagptr.Arch
+	// Name overrides the display name, letting object-granular tagged
+	// pointer comparators (the PACMem and CryptSan models) reuse this
+	// runtime with SubObject disabled.
+	Name string
+	// SubObject enables §II.D sub-object bounds narrowing.
+	SubObject bool
+	// OptRedundant, OptLoopInvariant, OptMonotonic and OptTypeBased toggle
+	// the §II.F optimization passes individually (for ablation).
+	OptRedundant     bool
+	OptLoopInvariant bool
+	OptMonotonic     bool
+	OptTypeBased     bool
+	// CheckStep is the monotonic grouping constant (default 5, §II.F.1).
+	CheckStep int64
+	// OverflowChaining enables the §V future-work extension: when the
+	// metadata table is exhausted, new heap objects are tagged with a
+	// reserved CHAINED tag and their bounds kept in a disjoint ordered
+	// index, preserving (object-granular) protection at O(log n) check
+	// cost instead of dropping it.
+	OverflowChaining bool
+}
+
+// DefaultOptions returns the paper's prototype configuration: x86-64,
+// 2^17-entry table, sub-object narrowing and all optimizations on.
+func DefaultOptions() Options {
+	return Options{
+		Arch:             tagptr.X8664,
+		Name:             "CECSan",
+		SubObject:        true,
+		OptRedundant:     true,
+		OptLoopInvariant: true,
+		OptMonotonic:     true,
+		OptTypeBased:     true,
+		CheckStep:        5,
+	}
+}
+
+// Sanitizer builds the full CECSan sanitizer bundle: the runtime library
+// plus the LTO instrumentation profile (§III).
+func Sanitizer(opts Options) (rt.Sanitizer, error) {
+	r, err := New(opts)
+	if err != nil {
+		return rt.Sanitizer{}, err
+	}
+	return rt.Sanitizer{
+		Runtime: r,
+		Profile: rt.Profile{
+			Name:             r.Name(),
+			CheckLoads:       true,
+			CheckStores:      true,
+			TagPointers:      true,
+			PtrMask:          (uint64(1) << opts.Arch.AddrBits) - 1,
+			SubObject:        opts.SubObject,
+			TrackStack:       true,
+			TrackGlobals:     true,
+			OptRedundant:     opts.OptRedundant,
+			OptLoopInvariant: opts.OptLoopInvariant,
+			OptMonotonic:     opts.OptMonotonic,
+			OptTypeBased:     opts.OptTypeBased,
+			CheckStep:        opts.CheckStep,
+		},
+	}, nil
+}
+
+// Runtime is the CECSan runtime library (rt.Runtime implementation).
+type Runtime struct {
+	name  string
+	arch  tagptr.Arch
+	table *Table
+	env   rt.Env
+
+	addrBits uint
+	signBit  uint64
+
+	// chainTag is the reserved CHAINED tag when overflow chaining is on
+	// (0 = chaining disabled).
+	chainTag uint64
+	spill    *spillIndex
+
+	trackedGlobals atomic.Int64
+	subCreated     atomic.Int64
+}
+
+var _ rt.Runtime = (*Runtime)(nil)
+
+// New constructs a CECSan runtime with the given options.
+func New(opts Options) (*Runtime, error) {
+	if opts.Name == "" {
+		opts.Name = "CECSan"
+	}
+	table, err := NewTable(opts.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	r := &Runtime{
+		name:     opts.Name,
+		arch:     opts.Arch,
+		table:    table,
+		addrBits: opts.Arch.AddrBits,
+		signBit:  1 << 63,
+	}
+	if opts.OverflowChaining {
+		r.chainTag = opts.Arch.MaxIndex()
+		r.spill = &spillIndex{}
+		table.ReserveLast()
+	}
+	return r, nil
+}
+
+// Name returns the sanitizer's display name.
+func (r *Runtime) Name() string { return r.name }
+
+// Attach implements rt.Runtime. It plays the role of the load-time
+// constructor that mmaps and initializes the metadata table (§III); here the
+// table was built in New, so Attach only binds the machine environment.
+func (r *Runtime) Attach(env *rt.Env) error {
+	r.env = *env
+	return nil
+}
+
+// Table exposes the metadata table for white-box tests and stats.
+func (r *Runtime) Table() *Table { return r.table }
+
+// Malloc implements rt.Runtime: allocate from the stock heap (CECSan keeps
+// the system allocator, §I), create a metadata entry, and return the tagged
+// pointer (§II.B.2).
+func (r *Runtime) Malloc(size int64) (uint64, rt.PtrMeta, error) {
+	raw, err := r.env.Heap.Alloc(size)
+	if err != nil {
+		return 0, rt.PtrMeta{}, err
+	}
+	idx, ok := r.table.Allocate(raw, raw+uint64(size), false)
+	if !ok {
+		if r.spill != nil {
+			// §V extension: chain the object's metadata in the ordered
+			// spill index under the reserved CHAINED tag.
+			r.spill.insert(raw, raw+uint64(size))
+			return r.arch.MustPack(raw, r.chainTag), rt.PtrMeta{}, nil
+		}
+		// Table exhausted (§V limitation): fall back to the reserved entry;
+		// the object is usable but unprotected.
+		return raw, rt.PtrMeta{}, nil
+	}
+	return r.arch.MustPack(raw, idx), rt.PtrMeta{}, nil
+}
+
+// Free implements rt.Runtime with Algorithm 2: the pointer must carry valid
+// metadata whose low bound equals its address — rejecting frees of interior
+// pointers (invalid free), dangling pointers (double free, because the low
+// bound was set to INVALID on the first free), and non-heap objects.
+func (r *Runtime) Free(ptr uint64, _ rt.PtrMeta) *rt.Violation {
+	idx := r.arch.Index(ptr)
+	raw := r.arch.Strip(ptr)
+	if r.spill != nil && idx == r.chainTag {
+		// Chained object: the spill entry must exist with this exact base.
+		if !r.spill.remove(raw) {
+			return &rt.Violation{
+				Kind: rt.KindInvalidFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
+				Detail: "no chained metadata at this base (freed already, or interior pointer)",
+			}
+		}
+		r.env.Heap.Free(raw)
+		return nil
+	}
+	if idx == 0 {
+		// Untagged pointer: from uninstrumented code or the exhaustion
+		// fallback. CECSan uses it as-is with the standard deallocation
+		// (§II.E), performing no check.
+		r.env.Heap.Free(raw)
+		return nil
+	}
+	low, _ := r.table.Load(idx)
+	if low != raw {
+		if low == Invalid {
+			return &rt.Violation{
+				Kind: rt.KindDoubleFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
+				Detail: "metadata entry already invalidated (Algorithm 2, line 4)",
+			}
+		}
+		return &rt.Violation{
+			Kind: rt.KindInvalidFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
+			Detail: fmt.Sprintf("pointer is not the object base (base=%#x; Algorithm 2, line 4)", low),
+		}
+	}
+	if seg := alloc.SegmentOf(raw); seg != alloc.SegHeap {
+		return &rt.Violation{
+			Kind: rt.KindInvalidFree, Ptr: ptr, Addr: raw, Seg: seg,
+			Detail: "deallocation of a non-heap object",
+		}
+	}
+	// Invalidate the metadata entry first (§II.B.4), then free through the
+	// standard deallocator.
+	r.table.Free(idx)
+	r.env.Heap.Free(raw)
+	return nil
+}
+
+// StackAlloc implements rt.Runtime: unsafe stack objects (§II.C.3) get a
+// metadata entry in the function prologue and a tagged pointer; safe ones
+// are returned untagged and unchecked.
+func (r *Runtime) StackAlloc(raw uint64, size int64, tracked bool) (uint64, rt.PtrMeta) {
+	if !tracked {
+		return raw, rt.PtrMeta{}
+	}
+	idx, ok := r.table.Allocate(raw, raw+uint64(size), false)
+	if !ok {
+		return raw, rt.PtrMeta{}
+	}
+	return r.arch.MustPack(raw, idx), rt.PtrMeta{}
+}
+
+// StackRelease implements rt.Runtime: the function epilogue clears the
+// metadata of tracked stack objects, so later uses of escaped pointers fail
+// the low-bound check (use-after-scope).
+func (r *Runtime) StackRelease(ptr uint64, _ int64) {
+	if idx := r.arch.Index(ptr); idx != 0 && !r.isChainTag(idx) {
+		r.table.Free(idx)
+	}
+}
+
+// isChainTag reports whether idx is the reserved CHAINED tag.
+func (r *Runtime) isChainTag(idx uint64) bool {
+	return r.spill != nil && idx == r.chainTag
+}
+
+// GlobalInit implements rt.Runtime: unsafe globals receive metadata and a
+// tagged pointer which the machine publishes in the Global Pointer Table;
+// accesses are rewritten by instrumentation to load from the GPT (§II.C.3).
+func (r *Runtime) GlobalInit(_ string, raw uint64, size int64, tracked bool) (uint64, rt.PtrMeta) {
+	if !tracked {
+		return raw, rt.PtrMeta{}
+	}
+	idx, ok := r.table.Allocate(raw, raw+uint64(size), false)
+	if !ok {
+		return raw, rt.PtrMeta{}
+	}
+	r.trackedGlobals.Add(1)
+	return r.arch.MustPack(raw, idx), rt.PtrMeta{}
+}
+
+// Check implements rt.Runtime with Algorithm 1, the optimized combined
+// spatial+temporal dereference check: both bound differences are computed,
+// OR-ed, and the sign bit tested once. A freed entry's INVALID low bound
+// makes the same single test fail, providing the temporal guarantee.
+func (r *Runtime) Check(ptr uint64, _ rt.PtrMeta, off, size int64, k rt.AccessKind) *rt.Violation {
+	idx := ptr >> r.addrBits
+	if r.spill != nil && idx == r.chainTag {
+		return r.checkChained(ptr, off, size, k)
+	}
+	low, high := r.table.Load(idx)
+	p := (ptr & ((1 << r.addrBits) - 1)) + uint64(off)
+	d1 := p - low                   // >= 0 iff p >= low
+	d2 := high - (p + uint64(size)) // >= 0 iff p+size <= high
+	if (d1|d2)&r.signBit == 0 {
+		return nil
+	}
+	return r.classify(ptr, p, idx, low, size, k)
+}
+
+// classify builds the violation report on the slow path.
+func (r *Runtime) classify(ptr, p, idx uint64, low uint64, size int64, k rt.AccessKind) *rt.Violation {
+	v := &rt.Violation{Ptr: ptr, Addr: p, Size: size, Seg: alloc.SegmentOf(p)}
+	switch {
+	case low == Invalid:
+		v.Kind = rt.KindUseAfterFree
+		v.Detail = "metadata low bound is INVALID: object lifetime ended"
+	case r.table.IsSub(idx):
+		v.Kind = rt.KindSubObjectOverflow
+		v.Detail = "access exceeds narrowed sub-object bounds (§II.D)"
+	case k == rt.Write:
+		v.Kind = rt.KindOOBWrite
+		v.Detail = "access outside object bounds (Algorithm 1)"
+	default:
+		v.Kind = rt.KindOOBRead
+		v.Detail = "access outside object bounds (Algorithm 1)"
+	}
+	if k == rt.Write && v.Kind == rt.KindOOBRead {
+		v.Kind = rt.KindOOBWrite
+	}
+	return v
+}
+
+// checkChained validates an access through a CHAINED-tagged pointer by
+// searching the spill index — the §V linked-metadata cost.
+func (r *Runtime) checkChained(ptr uint64, off, size int64, k rt.AccessKind) *rt.Violation {
+	p := r.arch.Strip(ptr) + uint64(off)
+	sp, ok := r.spill.lookup(p)
+	if ok && p+uint64(size) <= sp.end {
+		return nil
+	}
+	v := &rt.Violation{Ptr: ptr, Addr: p, Size: size, Seg: alloc.SegmentOf(p)}
+	if !ok {
+		v.Kind = rt.KindUseAfterFree
+		v.Detail = "no chained metadata covers the address (freed or out of bounds)"
+		if k == rt.Write {
+			v.Kind = rt.KindOOBWrite
+		}
+		return v
+	}
+	if k == rt.Write {
+		v.Kind = rt.KindOOBWrite
+	} else {
+		v.Kind = rt.KindOOBRead
+	}
+	v.Detail = "access exceeds chained object bounds"
+	return v
+}
+
+// Addr implements rt.Runtime: once a check succeeds the pointer is stripped
+// and dereferenced (§II.C.1).
+func (r *Runtime) Addr(ptr uint64) uint64 { return r.arch.Strip(ptr) }
+
+// UsableSize implements rt.Runtime: the object extent is the metadata
+// entry's bounds; untagged pointers fall back to the allocator's registry.
+func (r *Runtime) UsableSize(ptr uint64, _ rt.PtrMeta) int64 {
+	idx := r.arch.Index(ptr)
+	raw := r.arch.Strip(ptr)
+	if r.isChainTag(idx) {
+		if sp, ok := r.spill.lookup(raw); ok && sp.base == raw {
+			return int64(sp.end - sp.base)
+		}
+		return -1
+	}
+	if idx != 0 {
+		low, high := r.table.Load(idx)
+		if low == raw && high > low {
+			return int64(high - low)
+		}
+		return -1
+	}
+	if sz, ok := r.env.Heap.Lookup(raw); ok {
+		return sz
+	}
+	return -1
+}
+
+// SubPtr implements rt.Runtime: create the temporary narrowed sub-object
+// pointer of §II.D, with bounds derived from the member's type.
+func (r *Runtime) SubPtr(base uint64, off, size int64) (uint64, rt.PtrMeta) {
+	raw := r.arch.Strip(base) + uint64(off)
+	idx, ok := r.table.Allocate(raw, raw+uint64(size), true)
+	if !ok {
+		// Degraded mode under table exhaustion: keep the base pointer's
+		// object-granular protection.
+		return base + uint64(off), rt.PtrMeta{}
+	}
+	r.subCreated.Add(1)
+	return r.arch.MustPack(raw, idx), rt.PtrMeta{}
+}
+
+// SubRelease implements rt.Runtime: clear the narrowed pointer's metadata
+// when it goes out of scope (Figure 3, line 13).
+func (r *Runtime) SubRelease(ptr uint64) {
+	if idx := r.arch.Index(ptr); idx != 0 && !r.isChainTag(idx) {
+		r.table.Free(idx)
+	}
+}
+
+// PrepareExternArg implements rt.Runtime (§II.E): tagged pointers passed to
+// external functions are checked (the object must still be live and the
+// pointer within it) and stripped.
+func (r *Runtime) PrepareExternArg(ptr uint64) (uint64, *rt.Violation) {
+	idx := r.arch.Index(ptr)
+	raw := r.arch.Strip(ptr)
+	if idx == 0 {
+		return raw, nil
+	}
+	if r.isChainTag(idx) {
+		if _, ok := r.spill.lookup(raw); !ok {
+			return raw, &rt.Violation{
+				Kind: rt.KindUseAfterFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
+				Detail: "dangling chained pointer passed to external function",
+			}
+		}
+		return raw, nil
+	}
+	low, high := r.table.Load(idx)
+	d1 := raw - low
+	d2 := high - raw // one-past-end pointers remain legal to pass
+	if (d1|d2)&r.signBit != 0 {
+		if low == Invalid {
+			return raw, &rt.Violation{
+				Kind: rt.KindUseAfterFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
+				Detail: "dangling pointer passed to external function",
+			}
+		}
+		return raw, &rt.Violation{
+			Kind: rt.KindOOBRead, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
+			Detail: "out-of-bounds pointer passed to external function",
+		}
+	}
+	return raw, nil
+}
+
+// AdoptExternRet implements rt.Runtime: pointers returned from
+// uninstrumented code are used as-is under the reserved entry 0 — full
+// functionality, no checks (§II.E).
+func (r *Runtime) AdoptExternRet(raw uint64) uint64 { return raw }
+
+// LibcCheck implements rt.Runtime. CECSan instruments call sites during LTO
+// rather than relying on interceptors, so every libc function — including
+// the wide-character family most sanitizers overlook (§IV.B) — gets a full
+// range check against the pointer's metadata.
+func (r *Runtime) LibcCheck(_ string, ptr uint64, meta rt.PtrMeta, n int64, k rt.AccessKind) *rt.Violation {
+	if n <= 0 {
+		return nil
+	}
+	return r.Check(ptr, meta, 0, n, k)
+}
+
+// LoadPtrMeta implements rt.Runtime; CECSan keeps no per-pointer metadata.
+func (r *Runtime) LoadPtrMeta(uint64) rt.PtrMeta { return rt.PtrMeta{} }
+
+// StorePtrMeta implements rt.Runtime; CECSan keeps no per-pointer metadata.
+func (r *Runtime) StorePtrMeta(uint64, rt.PtrMeta) {}
+
+// OverheadBytes implements rt.Runtime: the table's touched pages plus one
+// GPT slot per protected global. No shadow memory, no redzones, no
+// quarantine — the source of the paper's Table IV/V memory advantage.
+func (r *Runtime) OverheadBytes() int64 {
+	b := r.table.TouchedBytes() + 8*r.trackedGlobals.Load()
+	if r.spill != nil {
+		b += r.spill.bytes()
+	}
+	return b
+}
+
+// ChainedObjects returns the number of objects currently protected by the
+// §V overflow-chaining extension.
+func (r *Runtime) ChainedObjects() int {
+	if r.spill == nil {
+		return 0
+	}
+	return r.spill.size()
+}
+
+// SubCreated returns the number of narrowed sub-object pointers created, for
+// the ablation benchmarks.
+func (r *Runtime) SubCreated() int64 { return r.subCreated.Load() }

@@ -1,0 +1,294 @@
+// Package flaws models the ten Linux Flaw Project CVEs the paper reproduces
+// in Table III. Each scenario is an IR program that re-creates the published
+// bug pattern — the parsing logic, allocation sizing mistake or lifetime
+// error — driven by a crafted input from the harness's feed, plus a patched
+// variant that performs the corrected logic on the same input.
+package flaws
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cecsan/prog"
+)
+
+// Flaw is one CVE scenario.
+type Flaw struct {
+	CVE  string
+	Type string // ASan-style report type from Table III
+	Desc string
+	// Build returns the vulnerable (patched=false) or fixed (patched=true)
+	// program plus its input feed.
+	Build func(patched bool) (*prog.Program, [][]byte)
+}
+
+// le32 encodes a 32-bit little-endian payload field.
+func le32(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+// All returns the Table III scenarios in order.
+func All() []Flaw {
+	return []Flaw{
+		{
+			CVE:  "CVE-2006-2362",
+			Type: "stack-buffer-overflow",
+			Desc: "binutils strings/bfd: tekhex record parser copies a length-prefixed field into a fixed stack buffer",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				f := pb.Function("main", 0)
+				// Record: [len u32][bytes...]; the parser trusts len.
+				hdr := f.Alloca(prog.ArrayOf(prog.Char(), 8))
+				f.Libc("recv", hdr, f.Const(4))
+				n := f.Load(hdr, 0, prog.Int())
+				if patched {
+					// Fixed: clamp the length to the buffer size.
+					over := f.Cmp(prog.CmpSGt, n, f.Const(16))
+					f.If(over, func() { f.AssignConst(n, 16) }, nil)
+				}
+				buf := f.Alloca(prog.ArrayOf(prog.Char(), 16))
+				payload := f.Alloca(prog.ArrayOf(prog.Char(), 64))
+				f.Libc("recv", payload, f.Const(64))
+				f.Libc("memcpy", buf, payload, n)
+				f.RetVoid()
+				field := make([]byte, 40)
+				return pb.MustBuild(), [][]byte{le32(40), field}
+			},
+		},
+		{
+			CVE:  "CVE-2007-6015",
+			Type: "heap-buffer-overflow",
+			Desc: "samba send_mailslot: GETDC mailslot name copied into an undersized heap buffer",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				long := make([]byte, 80)
+				for i := range long {
+					long[i] = 'D'
+				}
+				pb.GlobalBytes("dc_name", long)
+				f := pb.Function("main", 0)
+				size := int64(32)
+				if patched {
+					size = 128
+				}
+				buf := f.MallocBytes(size)
+				f.Libc("strcpy", buf, f.GlobalAddr("dc_name"))
+				f.Free(buf)
+				f.RetVoid()
+				return pb.MustBuild(), nil
+			},
+		},
+		{
+			CVE:  "CVE-2009-2285",
+			Type: "heap-buffer-overflow",
+			Desc: "libtiff LZWDecodeCompat: decoder writes one stride before the output buffer on a crafted code stream",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				f := pb.Function("main", 0)
+				out := f.MallocBytes(64)
+				// op = out + cursor; a crafted stream drives cursor to -4.
+				cur := f.Alloca(prog.ArrayOf(prog.Char(), 8))
+				f.Libc("recv", cur, f.Const(4))
+				off := f.Load(cur, 0, prog.Int())
+				op := f.OffsetPtrReg(out, off)
+				f.Store(op, 0, f.Const(0xAB), prog.Int())
+				f.Free(out)
+				f.RetVoid()
+				bad := le32(^uint32(3)) // -4
+				if patched {
+					bad = le32(0)
+				}
+				return pb.MustBuild(), [][]byte{bad}
+			},
+		},
+		{
+			CVE:  "CVE-2013-4243",
+			Type: "heap-buffer-overflow",
+			Desc: "libtiff gif2tiff: raster buffer sized from the header while the LZW stream emits more pixels",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				f := pb.Function("main", 0)
+				hdr := f.Alloca(prog.ArrayOf(prog.Char(), 8))
+				f.Libc("recv", hdr, f.Const(8))
+				w := f.Load(hdr, 0, prog.Int())
+				h := f.Load(hdr, 4, prog.Int())
+				raster := f.MallocReg(f.Mul(w, h))
+				// The decode loop emits width*height+stride pixels.
+				emitted := f.Mul(w, h)
+				if !patched {
+					emitted = f.Add(emitted, f.Const(13))
+				}
+				f.ForRange(prog.RegOperand(f.Const(0)), prog.RegOperand(emitted), 1, func(i prog.Reg) {
+					f.Store(f.OffsetPtrReg(raster, i), 0, i, prog.Char())
+				})
+				f.Free(raster)
+				f.RetVoid()
+				return pb.MustBuild(), [][]byte{append(le32(16), le32(16)...)}
+			},
+		},
+		{
+			CVE:  "CVE-2014-1912",
+			Type: "heap-buffer-overflow",
+			Desc: "python socket.recvfrom_into: received bytes written into a caller buffer without a length check",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				f := pb.Function("main", 0)
+				buf := f.MallocBytes(32)
+				limit := int64(1024)
+				if patched {
+					limit = 32
+				}
+				// recvfrom_into passed the caller's requested length, not
+				// the buffer's.
+				f.Libc("recv", buf, f.Const(limit))
+				f.Free(buf)
+				f.RetVoid()
+				payload := make([]byte, 64)
+				return pb.MustBuild(), [][]byte{payload}
+			},
+		},
+		{
+			CVE:  "CVE-2015-8668",
+			Type: "heap-buffer-overflow",
+			Desc: "libtiff bmp2tiff: RLE decompression writes past the buffer sized from the BMP header",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				f := pb.Function("main", 0)
+				hdr := f.Alloca(prog.ArrayOf(prog.Char(), 8))
+				f.Libc("recv", hdr, f.Const(8))
+				declared := f.Load(hdr, 0, prog.Int())
+				runs := f.Load(hdr, 4, prog.Int())
+				buf := f.MallocReg(declared)
+				// Each RLE run writes 8 bytes; a crafted run count exceeds
+				// the declared size. The patch validates runs*8 <= declared.
+				if patched {
+					tooMany := f.Cmp(prog.CmpSGt, f.Mul(runs, f.Const(8)), declared)
+					f.If(tooMany, func() { f.AssignConst(runs, 0) }, nil)
+				}
+				f.ForRange(prog.RegOperand(f.Const(0)), prog.RegOperand(runs), 1, func(i prog.Reg) {
+					p := f.ElemPtr(buf, prog.Int64T(), i)
+					f.Store(p, 0, i, prog.Int64T())
+				})
+				f.Free(buf)
+				f.RetVoid()
+				return pb.MustBuild(), [][]byte{append(le32(64), le32(10)...)} // 10 runs * 8 > 64
+			},
+		},
+		{
+			CVE:  "CVE-2015-9101",
+			Type: "heap-buffer-overflow",
+			Desc: "lame III_dequantize_sample: band index from the bitstream walks past the xr[] buffer",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				f := pb.Function("main", 0)
+				xr := f.MallocType(prog.ArrayOf(prog.Int(), 576))
+				idx := f.Alloca(prog.ArrayOf(prog.Char(), 8))
+				f.Libc("recv", idx, f.Const(4))
+				band := f.Load(idx, 0, prog.Int())
+				if patched {
+					over := f.Cmp(prog.CmpSGe, band, f.Const(576))
+					f.If(over, func() { f.AssignConst(band, 575) }, nil)
+				}
+				f.Store(f.ElemPtr(xr, prog.Int(), band), 0, f.Const(1), prog.Int())
+				f.Free(xr)
+				f.RetVoid()
+				return pb.MustBuild(), [][]byte{le32(580)}
+			},
+		},
+		{
+			CVE:  "CVE-2016-10095",
+			Type: "stack-buffer-overflow",
+			Desc: "libtiff _TIFFVGetField: tag value copied into a fixed stack buffer with strcpy",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				long := make([]byte, 100)
+				for i := range long {
+					long[i] = 'T'
+				}
+				pb.GlobalBytes("tag_value", long)
+				pb.GlobalBytes("tag_short", []byte("ShortTag"))
+				f := pb.Function("main", 0)
+				buf := f.Alloca(prog.ArrayOf(prog.Char(), 32))
+				src := "tag_value"
+				if patched {
+					src = "tag_short" // the fix bounds the copy
+				}
+				f.Libc("strcpy", buf, f.GlobalAddr(src))
+				f.RetVoid()
+				return pb.MustBuild(), nil
+			},
+		},
+		{
+			CVE:  "CVE-2017-12858",
+			Type: "heap-use-after-free",
+			Desc: "libzip _zip_dirent_read: the entry buffer is freed on the error path and then reused",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				f := pb.Function("main", 0)
+				entry := f.MallocBytes(48)
+				hdr := f.Alloca(prog.ArrayOf(prog.Char(), 8))
+				f.Libc("recv", hdr, f.Const(4))
+				status := f.Load(hdr, 0, prog.Int())
+				// Error path frees the entry...
+				isErr := f.Cmp(prog.CmpNe, status, f.Const(0))
+				f.If(isErr, func() { f.Free(entry) }, nil)
+				// ...but the caller keeps using it.
+				if patched {
+					f.If(f.Cmp(prog.CmpEq, status, f.Const(0)), func() {
+						f.Store(entry, 0, f.Const(7), prog.Int64T())
+						f.Free(entry)
+					}, nil)
+				} else {
+					f.Store(entry, 0, f.Const(7), prog.Int64T())
+				}
+				f.RetVoid()
+				return pb.MustBuild(), [][]byte{le32(1)} // take the error path
+			},
+		},
+		{
+			CVE:  "CVE-2018-9138",
+			Type: "stack-overflow",
+			Desc: "binutils libiberty demangler: unbounded mutual recursion on a crafted mangled symbol exhausts the stack",
+			Build: func(patched bool) (*prog.Program, [][]byte) {
+				pb := prog.NewProgram()
+				// demangle(depth): each frame holds a component buffer and
+				// recurses while the next input character is '<'.
+				d := pb.Function("demangle", 1)
+				depth := d.Arg(0)
+				comp := d.Alloca(prog.ArrayOf(prog.Char(), 512))
+				d.Libc("memset", comp, d.Const(0), d.Const(512))
+				limitReg := d.Const(1 << 30) // effectively unbounded
+				stop := d.Cmp(prog.CmpSGe, depth, limitReg)
+				d.If(stop, func() { d.Ret(depth) }, nil)
+				d.Ret(d.Call("demangle", d.AddImm(depth, 1)))
+
+				f := pb.Function("main", 0)
+				levels := int64(1 << 20)
+				if patched {
+					levels = 0 // the fix imposes a recursion limit up front
+				}
+				guard := f.Cmp(prog.CmpSGt, f.Const(levels), f.Const(0))
+				f.If(guard, func() { f.Call("demangle", f.Const(0)) }, nil)
+				f.RetVoid()
+				return pb.MustBuild(), nil
+			},
+		},
+	}
+}
+
+// Validate sanity-checks the scenario list.
+func Validate(fl []Flaw) error {
+	if len(fl) != 10 {
+		return fmt.Errorf("flaws: %d scenarios, want 10 (Table III)", len(fl))
+	}
+	seen := map[string]bool{}
+	for _, x := range fl {
+		if seen[x.CVE] {
+			return fmt.Errorf("flaws: duplicate %s", x.CVE)
+		}
+		seen[x.CVE] = true
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package flaws
+
+import (
+	"errors"
+	"testing"
+
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/sanitizers"
+)
+
+// runFlaw executes one scenario variant under the named sanitizer and
+// reports whether it was detected. Stack exhaustion (the machine's call
+// depth or stack limit) counts as an observable crash, which is how
+// sanitizers surface CVE-2018-9138-style stack overflows.
+func runFlaw(t *testing.T, fl Flaw, patched bool, name sanitizers.Name) bool {
+	t.Helper()
+	p, inputs := fl.Build(patched)
+	san, err := sanitizers.New(name)
+	if err != nil {
+		t.Fatalf("sanitizers.New: %v", err)
+	}
+	ip := instrument.Apply(p, san.Profile)
+	m, err := interp.New(ip, san, interp.DefaultOptions())
+	if err != nil {
+		t.Fatalf("interp.New: %v", err)
+	}
+	for _, in := range inputs {
+		m.Feed(in)
+	}
+	res := m.Run()
+	if res.Violation != nil || res.Fault != nil {
+		return true
+	}
+	if errors.Is(res.Err, interp.ErrCallDepth) {
+		return true // stack exhaustion crash
+	}
+	if res.Err != nil {
+		t.Fatalf("%s (patched=%v) under %s: unexpected error %v", fl.CVE, patched, name, res.Err)
+	}
+	return false
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(All()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTable3AllDetectedByCECSan reproduces Table III: CECSan detects all
+// ten CVEs.
+func TestTable3AllDetectedByCECSan(t *testing.T) {
+	for _, fl := range All() {
+		fl := fl
+		t.Run(fl.CVE, func(t *testing.T) {
+			if !runFlaw(t, fl, false, sanitizers.CECSan) {
+				t.Errorf("%s (%s) not detected by CECSan", fl.CVE, fl.Type)
+			}
+		})
+	}
+}
+
+// TestPatchedVariantsAreClean guards against scenarios that would trip any
+// sanitizer even when fixed.
+func TestPatchedVariantsAreClean(t *testing.T) {
+	for _, fl := range All() {
+		fl := fl
+		t.Run(fl.CVE, func(t *testing.T) {
+			if runFlaw(t, fl, true, sanitizers.CECSan) {
+				t.Errorf("%s: patched variant still reported by CECSan", fl.CVE)
+			}
+			if runFlaw(t, fl, true, sanitizers.ASan) {
+				t.Errorf("%s: patched variant reported by ASan", fl.CVE)
+			}
+		})
+	}
+}
+
+// TestVulnerableVariantsUnderNative documents that without a sanitizer the
+// bugs corrupt silently (or crash the machine), never reporting.
+func TestVulnerableVariantsUnderNative(t *testing.T) {
+	for _, fl := range All() {
+		p, inputs := fl.Build(false)
+		san, _ := sanitizers.New(sanitizers.Native)
+		ip := instrument.Apply(p, san.Profile)
+		m, err := interp.New(ip, san, interp.DefaultOptions())
+		if err != nil {
+			t.Fatalf("interp.New: %v", err)
+		}
+		for _, in := range inputs {
+			m.Feed(in)
+		}
+		res := m.Run()
+		if res.Violation != nil {
+			t.Errorf("%s: native run produced a sanitizer report", fl.CVE)
+		}
+	}
+}

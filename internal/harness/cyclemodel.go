@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/sanitizers"
+	"cecsan/internal/specsim"
+)
+
+// The interpreter charges every IR operation one dispatch, which flattens
+// the large per-operation cost differences between sanitizers on real
+// hardware (an ASan shadow probe is 3 instructions; CECSan's inlined
+// Algorithm 1 is ~7 instructions with a 16-byte metadata load on its
+// critical path). The cycle model re-weights the machine's precise event
+// counts with per-sanitizer operation costs taken from the published
+// instrumentation sequences, yielding the modelled runtime-overhead view
+// that corresponds to the paper's wall-clock measurements. The weights are
+// explicit, global (not fitted per benchmark), and documented here.
+//
+// Costs are in model cycles; an ordinary IR operation costs 1.
+
+// CostModel holds the per-event weights of one sanitizer.
+type CostModel struct {
+	// Check is the cost of one executed dereference check.
+	Check float64
+	// Malloc / Free are the costs ADDED to the stock allocator path by the
+	// sanitizer's allocation hooks.
+	Malloc float64
+	Free   float64
+	// SubPtr is the cost of one sub-object narrowing operation (metadata
+	// table insert or release under the GMI lock).
+	SubPtr float64
+	// MetaOp is the cost of one explicit per-pointer metadata propagation
+	// (SoftBound's register/shadow copies).
+	MetaOp float64
+}
+
+// mallocBase is the stock allocator's own cost, shared by every
+// configuration including native.
+const mallocBase = 60.0
+
+// CostModels returns the per-sanitizer weights:
+//
+//   - native: the stock allocator only.
+//   - ASan / ASAN--: 3-instruction shadow probe; allocation pays redzone
+//     selection + poisoning (~2 shadow stores per 16 redzone bytes) and
+//     chunk registration; free pays poisoning + quarantine bookkeeping.
+//   - CECSan: the inlined Algorithm 1 sequence (tag extract, 2 bound loads
+//     with a dependent 24-byte table access, 2 subs, OR, sign test, strip)
+//     is ~7 instructions but sits on the load's critical path and touches
+//     a disjoint 3 MiB table, modelled at 9 cycles; allocation/free pay
+//     one locked table update each (§III's global mutex).
+//   - HWASan: 4-instruction tag compare; allocation pays granule tagging.
+//   - SoftBound/CETS: bounds + lock-and-key compare (~9), metadata shadow
+//     traffic per propagated pointer.
+func CostModels() map[sanitizers.Name]CostModel {
+	return map[sanitizers.Name]CostModel{
+		sanitizers.Native:    {},
+		sanitizers.ASan:      {Check: 3, Malloc: 90, Free: 70},
+		sanitizers.ASanLite:  {Check: 3, Malloc: 90, Free: 70},
+		sanitizers.HWASan:    {Check: 4, Malloc: 40, Free: 30},
+		sanitizers.CECSan:    {Check: 9, Malloc: 45, Free: 40, SubPtr: 45},
+		sanitizers.PACMem:    {Check: 9, Malloc: 45, Free: 40},
+		sanitizers.CryptSan:  {Check: 11, Malloc: 55, Free: 45},
+		sanitizers.SoftBound: {Check: 9, Malloc: 50, Free: 40, MetaOp: 4},
+	}
+}
+
+// ModelCycles converts one run's event counts into model cycles.
+func ModelCycles(s interp.Stats, m CostModel) float64 {
+	base := float64(s.Instructions-s.ChecksExecuted) +
+		float64(s.Mallocs+s.Frees)*mallocBase
+	return base +
+		float64(s.ChecksExecuted)*(1+m.Check) +
+		float64(s.Mallocs)*m.Malloc +
+		float64(s.Frees)*m.Free +
+		float64(s.SubPtrOps)*m.SubPtr +
+		float64(s.MetaOps)*m.MetaOp
+}
+
+// CycleRow is one benchmark row of the modelled-overhead table.
+type CycleRow struct {
+	Benchmark    string
+	NativeCycles float64
+	OverheadPct  map[sanitizers.Name]float64
+}
+
+// CycleTable aggregates the modelled view.
+type CycleTable struct {
+	Suite string
+	Tools []sanitizers.Name
+	Rows  []CycleRow
+}
+
+// statsFor executes one workload under one tool and returns the machine's
+// event counts (deterministic: a single rep suffices).
+func statsFor(w specsim.Workload, tool sanitizers.Name) (interp.Stats, error) {
+	san, err := sanitizers.New(tool)
+	if err != nil {
+		return interp.Stats{}, err
+	}
+	ip := instrument.Apply(w.Build(), san.Profile)
+	m, err := interp.New(ip, san, interp.DefaultOptions())
+	if err != nil {
+		return interp.Stats{}, err
+	}
+	res := m.Run()
+	if !res.Ok() {
+		return interp.Stats{}, fmt.Errorf("harness: %s under %s: %v%v%v", w.Name, tool, res.Violation, res.Fault, res.Err)
+	}
+	return res.Stats, nil
+}
+
+// EvaluateCycles computes the modelled-overhead table for a workload set.
+func EvaluateCycles(ws []specsim.Workload, tools []sanitizers.Name) (*CycleTable, error) {
+	models := CostModels()
+	table := &CycleTable{Tools: tools}
+	if len(ws) > 0 {
+		table.Suite = ws[0].Suite
+	}
+	for _, w := range ws {
+		base, err := statsFor(w, sanitizers.Native)
+		if err != nil {
+			return nil, err
+		}
+		nativeCycles := ModelCycles(base, models[sanitizers.Native])
+		row := CycleRow{
+			Benchmark:    w.Name,
+			NativeCycles: nativeCycles,
+			OverheadPct:  make(map[sanitizers.Name]float64, len(tools)),
+		}
+		for _, tool := range tools {
+			st, err := statsFor(w, tool)
+			if err != nil {
+				return nil, err
+			}
+			row.OverheadPct[tool] = 100 * (ModelCycles(st, models[tool])/nativeCycles - 1)
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+// Average and Geomean aggregate one tool's modelled overheads.
+func (t *CycleTable) Average(tool sanitizers.Name) float64 {
+	var sum float64
+	for _, r := range t.Rows {
+		sum += r.OverheadPct[tool]
+	}
+	return sum / float64(len(t.Rows))
+}
+
+// Geomean returns the geometric mean of the modelled overhead percentages.
+func (t *CycleTable) Geomean(tool sanitizers.Name) float64 {
+	var logSum float64
+	for _, r := range t.Rows {
+		v := r.OverheadPct[tool]
+		if v < 0.1 {
+			v = 0.1
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(t.Rows)))
+}
+
+// FormatCycleTable renders the modelled-overhead table.
+func FormatCycleTable(t *CycleTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Modelled runtime overhead (cycle model) on SPEC%s-like workloads\n", t.Suite)
+	fmt.Fprintf(&b, "%-18s", "Benchmark")
+	for _, tool := range t.Tools {
+		fmt.Fprintf(&b, " %12s", tool)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s", r.Benchmark)
+		for _, tool := range t.Tools {
+			fmt.Fprintf(&b, " %11.1f%%", r.OverheadPct[tool])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-18s", "Average")
+	for _, tool := range t.Tools {
+		fmt.Fprintf(&b, " %11.1f%%", t.Average(tool))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-18s", "Geometric Mean")
+	for _, tool := range t.Tools {
+		fmt.Fprintf(&b, " %11.1f%%", t.Geomean(tool))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cecsan/internal/interp"
+	"cecsan/internal/sanitizers"
+	"cecsan/internal/specsim"
+)
+
+func TestModelCyclesArithmetic(t *testing.T) {
+	s := interp.Stats{Instructions: 1000, ChecksExecuted: 100, Mallocs: 10, Frees: 10}
+	native := ModelCycles(s, CostModel{})
+	// 900 plain ops + 100 checks at cost 1 + 20 allocator ops at 60.
+	if want := 900.0 + 100 + 20*60; native != want {
+		t.Fatalf("native cycles = %v, want %v", native, want)
+	}
+	asan := ModelCycles(s, CostModels()[sanitizers.ASan])
+	if asan <= native {
+		t.Fatal("ASan model not more expensive than native")
+	}
+}
+
+func TestCostModelsCoverAllSanitizers(t *testing.T) {
+	models := CostModels()
+	for _, name := range sanitizers.All() {
+		if _, ok := models[name]; !ok {
+			t.Errorf("no cost model for %s", name)
+		}
+	}
+}
+
+// TestCycleModelReproducesPaperOrdering is the quantitative heart of the
+// Table IV reproduction: under the documented cost model, CECSan's runtime
+// overhead exceeds ASan's overall (the paper's headline), while the
+// allocation-heavy workloads cross over in CECSan's favour — exactly the
+// two benchmarks (perlbench, omnetpp) the paper singles out.
+func TestCycleModelReproducesPaperOrdering(t *testing.T) {
+	ws := specsim.Smoke()
+	tools := []sanitizers.Name{sanitizers.ASan, sanitizers.CECSan}
+	table, err := EvaluateCycles(ws, tools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatCycleTable(table))
+
+	byName := map[string]CycleRow{}
+	for _, r := range table.Rows {
+		byName[r.Benchmark] = r
+	}
+	// Headline: CECSan slower than ASan on average (paper: 189.7% vs 109.4%).
+	if table.Average(sanitizers.CECSan) <= table.Average(sanitizers.ASan) {
+		t.Errorf("modelled CECSan average (%.1f%%) not above ASan (%.1f%%)",
+			table.Average(sanitizers.CECSan), table.Average(sanitizers.ASan))
+	}
+	// Deref-heavy rows: CECSan pays much more (paper mcf: 174.8%% vs 60.5%).
+	if r := byName["smoke.mcf"]; r.OverheadPct[sanitizers.CECSan] <= r.OverheadPct[sanitizers.ASan] {
+		t.Errorf("mcf: CECSan %.1f%% not above ASan %.1f%%",
+			r.OverheadPct[sanitizers.CECSan], r.OverheadPct[sanitizers.ASan])
+	}
+	// Alloc-heavy crossovers (paper: perlbench 277%% vs 307%, omnetpp 106.8%
+	// vs 144.9%).
+	for _, b := range []string{"smoke.perlbench", "smoke.omnetpp"} {
+		if r := byName[b]; r.OverheadPct[sanitizers.CECSan] >= r.OverheadPct[sanitizers.ASan] {
+			t.Errorf("%s: CECSan %.1f%% not below ASan %.1f%% (crossover lost)",
+				b, r.OverheadPct[sanitizers.CECSan], r.OverheadPct[sanitizers.ASan])
+		}
+	}
+}
+
+func TestFormatCycleTable(t *testing.T) {
+	table, err := EvaluateCycles(specsim.Smoke()[:2], []sanitizers.Name{sanitizers.CECSan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCycleTable(table)
+	for _, want := range []string{"cycle model", "CECSan", "Average", "Geometric Mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatCycleTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEvaluatePerfSmoke exercises the wall-clock perf path end to end.
+func TestEvaluatePerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	ws := specsim.Smoke()[:3]
+	table, err := EvaluatePerf(ws, []sanitizers.Name{sanitizers.CECSan}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(table.Rows))
+	}
+	out := FormatTable4(table)
+	if !strings.Contains(out, "Geometric Mean") {
+		t.Fatalf("FormatTable4 incomplete:\n%s", out)
+	}
+	out5 := FormatTable5(table)
+	if !strings.Contains(out5, "Runtime Overhead") {
+		t.Fatalf("FormatTable5 incomplete:\n%s", out5)
+	}
+}

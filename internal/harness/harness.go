@@ -1,0 +1,244 @@
+// Package harness implements the paper's "automation framework" (§IV):
+// it drives every generated test case through every sanitizer — including
+// the external-input cases previous evaluations excluded, whose payloads it
+// serves like the paper's dummy server — classifies detections, misses,
+// crashes and false positives, and renders Tables I and II. The
+// performance half (Tables IV and V) lives in perf.go.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/juliet"
+	"cecsan/internal/sanitizers"
+	"cecsan/prog"
+)
+
+// Outcome classifies one run of one program version.
+type Outcome int
+
+// Outcomes.
+const (
+	OutcomeClean Outcome = iota + 1
+	OutcomeDetected
+	OutcomeCrash
+	OutcomeError
+)
+
+// RunCase executes one program with its input feed under a fresh instance
+// of the named sanitizer.
+func RunCase(p *prog.Program, inputs [][]byte, name sanitizers.Name) (Outcome, error) {
+	san, err := sanitizers.New(name)
+	if err != nil {
+		return OutcomeError, err
+	}
+	ip := instrument.Apply(p, san.Profile)
+	m, err := interp.New(ip, san, interp.DefaultOptions())
+	if err != nil {
+		return OutcomeError, err
+	}
+	for _, in := range inputs {
+		m.Feed(in)
+	}
+	res := m.Run()
+	switch {
+	case res.Violation != nil:
+		return OutcomeDetected, nil
+	case res.Fault != nil:
+		return OutcomeCrash, nil
+	case res.Err != nil:
+		return OutcomeError, res.Err
+	default:
+		return OutcomeClean, nil
+	}
+}
+
+// CWEStats aggregates one tool's results on one CWE.
+type CWEStats struct {
+	Total          int
+	Detected       int // sanitizer report on the bad version
+	Crashed        int // machine fault on the bad version (observable crash)
+	FalsePositives int // report or crash on the good version
+}
+
+// Rate returns the detection rate in percent, counting crashes as
+// observable detections (Juliet methodology: any abnormal termination of
+// the bad version counts).
+func (s CWEStats) Rate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detected+s.Crashed) / float64(s.Total)
+}
+
+// ToolResult is one Table II column.
+type ToolResult struct {
+	Name   sanitizers.Name
+	Cases  int // size of the tool's evaluated subset
+	PerCWE map[juliet.CWE]CWEStats
+}
+
+// TotalFalsePositives sums FPs across CWEs.
+func (t *ToolResult) TotalFalsePositives() int {
+	n := 0
+	for _, s := range t.PerCWE {
+		n += s.FalsePositives
+	}
+	return n
+}
+
+// JulietEvaluation is the material of Table II.
+type JulietEvaluation struct {
+	Tools []*ToolResult
+}
+
+// subsetFor returns the case filter reproducing each tool's published
+// evaluation subset (§IV.B): PACMem and CryptSan excluded external-input
+// cases; SoftBound/CETS only compiles a fraction of the suite.
+func subsetFor(name sanitizers.Name) func(*juliet.Case) bool {
+	switch name {
+	case sanitizers.PACMem:
+		return juliet.SubsetPACMem
+	case sanitizers.CryptSan:
+		return juliet.SubsetCryptSan
+	case sanitizers.SoftBound:
+		return juliet.SubsetSoftBound
+	default:
+		return func(*juliet.Case) bool { return true }
+	}
+}
+
+// EvaluateJuliet runs the suite under every listed tool, in parallel across
+// cases. workers <= 0 selects GOMAXPROCS.
+func EvaluateJuliet(suite []*juliet.Case, tools []sanitizers.Name, workers int) (*JulietEvaluation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eval := &JulietEvaluation{}
+	for _, tool := range tools {
+		tr, err := evaluateTool(suite, tool, workers)
+		if err != nil {
+			return nil, err
+		}
+		eval.Tools = append(eval.Tools, tr)
+	}
+	return eval, nil
+}
+
+// evaluateTool runs one tool over its subset of the suite.
+func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*ToolResult, error) {
+	include := subsetFor(tool)
+	var cases []*juliet.Case
+	for _, cs := range suite {
+		if include(cs) {
+			cases = append(cases, cs)
+		}
+	}
+	tr := &ToolResult{Name: tool, Cases: len(cases), PerCWE: make(map[juliet.CWE]CWEStats)}
+
+	type caseOut struct {
+		cwe        juliet.CWE
+		badOutcome Outcome
+		fp         bool
+		err        error
+	}
+	outs := make([]caseOut, len(cases))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, cs := range cases {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cs *juliet.Case) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			bad, err := RunCase(cs.Bad, cs.BadInputs, tool)
+			if err != nil {
+				outs[i] = caseOut{err: fmt.Errorf("%s bad: %w", cs.ID, err)}
+				return
+			}
+			good, err := RunCase(cs.Good, cs.GoodInputs, tool)
+			if err != nil {
+				outs[i] = caseOut{err: fmt.Errorf("%s good: %w", cs.ID, err)}
+				return
+			}
+			outs[i] = caseOut{
+				cwe:        cs.CWE,
+				badOutcome: bad,
+				fp:         good == OutcomeDetected || good == OutcomeCrash,
+			}
+		}(i, cs)
+	}
+	wg.Wait()
+
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		s := tr.PerCWE[o.cwe]
+		s.Total++
+		switch o.badOutcome {
+		case OutcomeDetected:
+			s.Detected++
+		case OutcomeCrash:
+			s.Crashed++
+		}
+		if o.fp {
+			s.FalsePositives++
+		}
+		tr.PerCWE[o.cwe] = s
+	}
+	return tr, nil
+}
+
+// FormatTable1 renders Table I (suite composition).
+func FormatTable1(suite []*juliet.Case) string {
+	counts := map[juliet.CWE]int{}
+	for _, cs := range suite {
+		counts[cs.CWE]++
+	}
+	var b strings.Builder
+	b.WriteString("Table I: Description of the generated Juliet-style suite\n")
+	fmt.Fprintf(&b, "%-10s %-24s %s\n", "CWE Name", "Vulnerability Type", "Number of Samples")
+	total := 0
+	for _, cwe := range juliet.AllCWEs() {
+		fmt.Fprintf(&b, "%-10s %-24s %d\n", cwe, cwe.Description(), counts[cwe])
+		total += counts[cwe]
+	}
+	fmt.Fprintf(&b, "%-10s %-24s %d\n", "Total", "-", total)
+	return b.String()
+}
+
+// FormatTable2 renders Table II (per-CWE detection rates per tool).
+func FormatTable2(eval *JulietEvaluation) string {
+	var b strings.Builder
+	b.WriteString("Table II: Comparison of Memory Violation Detection\n")
+	b.WriteString(fmt.Sprintf("%-8s", "Name"))
+	for _, tr := range eval.Tools {
+		b.WriteString(fmt.Sprintf(" %16s", fmt.Sprintf("%s(%d)", tr.Name, tr.Cases)))
+	}
+	b.WriteString("\n")
+	for _, cwe := range juliet.AllCWEs() {
+		b.WriteString(fmt.Sprintf("%-8s", cwe))
+		for _, tr := range eval.Tools {
+			s := tr.PerCWE[cwe]
+			if s.Total == 0 {
+				b.WriteString(fmt.Sprintf(" %16s", "-"))
+				continue
+			}
+			b.WriteString(fmt.Sprintf(" %15.2f%%", s.Rate()))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(fmt.Sprintf("%-8s", "FPs"))
+	for _, tr := range eval.Tools {
+		b.WriteString(fmt.Sprintf(" %16d", tr.TotalFalsePositives()))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+

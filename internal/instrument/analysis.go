@@ -1,0 +1,269 @@
+// Package instrument implements the compile-time half of every sanitizer in
+// this repository: the analogue of CECSan's LTO instrumentation pass (§III).
+//
+// Apply clones a program and rewrites it according to a sanitizer's
+// rt.Profile: it classifies stack and global objects as safe or unsafe
+// (§II.C.3), inserts dereference checks, sub-object narrowing (§II.D) and
+// per-pointer metadata propagation (SoftBound), and then runs the §II.F
+// optimization passes (redundant-check elimination, loop-invariant check
+// relocation, monotonic check grouping, and type-based check removal).
+package instrument
+
+import (
+	"cecsan/prog"
+)
+
+// objInfo is the pass's knowledge about what a register points at, the
+// input to §II.F.2's type-based check removal: "use type information to
+// ascertain the memory range of a pointer during compilation".
+type objInfo struct {
+	// known is true when the register provably points at the start of a
+	// region of exactly size bytes.
+	known bool
+	size  int64
+	// heap marks heap-rooted regions. Static in-bounds proofs never remove
+	// checks on them: a heap object can be freed between the allocation and
+	// the access, so dropping the check would silently drop use-after-free
+	// detection. Stack objects are alive for their whole defining function
+	// and globals are immortal, so spatial proofs suffice there.
+	heap bool
+}
+
+// funcAnalysis holds per-function static facts shared by the passes.
+type funcAnalysis struct {
+	fn *prog.Func
+
+	// defCount[r] is the number of instructions assigning r. Only
+	// single-assignment registers carry object info (a cheap SSA check).
+	defCount []int
+
+	// info[r] is the pointed-at region for single-assignment registers.
+	info []objInfo
+
+	// aliases[r] reports that r is derived from some alloca or global
+	// address (directly or through Mov/GEP chains); root[r] is the alloca
+	// instruction index (or -1 for globals) it derives from.
+	aliasRootAlloca []int    // -1: none/unknown; else index into fn.Code
+	aliasRootGlobal []string // "" when not derived from a global
+
+	// leader[i] is true when instruction i starts a basic block.
+	leader []bool
+}
+
+// analyze computes the static facts for one function.
+func analyze(f *prog.Func, globalSize map[string]int64) *funcAnalysis {
+	a := &funcAnalysis{
+		fn:              f,
+		defCount:        make([]int, f.NumRegs),
+		info:            make([]objInfo, f.NumRegs),
+		aliasRootAlloca: make([]int, f.NumRegs),
+		aliasRootGlobal: make([]string, f.NumRegs),
+		leader:          make([]bool, len(f.Code)+1),
+	}
+	for r := range a.aliasRootAlloca {
+		a.aliasRootAlloca[r] = -1
+	}
+	// Parameters count as definitions (values arrive from the caller).
+	for r := 0; r < f.NumParams; r++ {
+		a.defCount[r]++
+	}
+
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.Dst != prog.NoReg {
+			a.defCount[in.Dst]++
+		}
+		switch in.Op {
+		case prog.OpBr:
+			a.leader[in.Imm] = true
+			if i+1 <= len(f.Code) {
+				a.leader[i+1] = true
+			}
+		case prog.OpCondBr:
+			a.leader[in.Imm] = true
+			a.leader[i+1] = true
+		}
+	}
+	a.leader[0] = true
+
+	// Object info, forward pass; only single-assignment registers keep it.
+	set := func(r prog.Reg, oi objInfo) {
+		if r != prog.NoReg && a.defCount[r] == 1 {
+			a.info[r] = oi
+		}
+	}
+	root := func(r prog.Reg) (int, string) {
+		if r == prog.NoReg {
+			return -1, ""
+		}
+		return a.aliasRootAlloca[r], a.aliasRootGlobal[r]
+	}
+	setRoot := func(r prog.Reg, ai int, g string) {
+		if r != prog.NoReg && a.defCount[r] == 1 {
+			a.aliasRootAlloca[r] = ai
+			a.aliasRootGlobal[r] = g
+		}
+	}
+
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case prog.OpAlloca:
+			set(in.Dst, objInfo{known: true, size: in.Size})
+			setRoot(in.Dst, i, "")
+		case prog.OpMalloc:
+			// Only constant-size allocations have a compile-time range, and
+			// heap provenance disqualifies the region from check removal.
+			if in.A == prog.NoReg {
+				set(in.Dst, objInfo{known: true, size: in.Size, heap: true})
+			}
+		case prog.OpGlobalAddr:
+			if sz, ok := globalSize[in.Sym]; ok {
+				set(in.Dst, objInfo{known: true, size: sz})
+			}
+			setRoot(in.Dst, -1, in.Sym)
+		case prog.OpMov:
+			if in.A != prog.NoReg && a.defCount[in.A] == 1 {
+				set(in.Dst, a.info[in.A])
+			}
+			ai, g := root(in.A)
+			setRoot(in.Dst, ai, g)
+		case prog.OpGEP:
+			// A statically safe GEP (§II.F.2) yields a pointer to a region
+			// of in.Size bytes (field) or one element (const array index).
+			if in.Has(prog.FlagStaticSafe) {
+				sz := in.Size
+				if sz == 0 && in.Type != nil {
+					sz = in.Type.Size()
+				}
+				// Provenance: the derived region is heap-rooted unless the
+				// base is provably an alloca or global.
+				heapRooted := true
+				if a.aliasRootAlloca[in.A] >= 0 || a.aliasRootGlobal[in.A] != "" {
+					heapRooted = false
+				} else if in.A != prog.NoReg && a.defCount[in.A] == 1 && a.info[in.A].known {
+					heapRooted = a.info[in.A].heap
+				}
+				if sz > 0 {
+					set(in.Dst, objInfo{known: true, size: sz, heap: heapRooted})
+				}
+			}
+			ai, g := root(in.A)
+			setRoot(in.Dst, ai, g)
+		}
+	}
+	return a
+}
+
+// staticallySafeAccess reports whether the access [off, off+size) through
+// register r is provably in-bounds of r's region: the §II.F.2 condition for
+// removing the check.
+func (a *funcAnalysis) staticallySafeAccess(r prog.Reg, off, size int64) bool {
+	if r == prog.NoReg || a.defCount[r] != 1 {
+		return false
+	}
+	oi := a.info[r]
+	return oi.known && !oi.heap && off >= 0 && off+size <= oi.size
+}
+
+// classifyStackObjects decides, per §II.C.3, which allocas are "unsafe" and
+// need metadata: objects whose address escapes (passed to calls, stored to
+// memory, freed) or that are accessed through a pointer that cannot be
+// statically proven in-bounds. Safe scalars accessed directly through the
+// stack pointer stay untracked. It returns tracked[i] for each instruction
+// index in f.Allocas.
+func classifyStackObjects(f *prog.Func, a *funcAnalysis) map[int]bool {
+	tracked := make(map[int]bool, len(f.Allocas))
+	for _, ai := range f.Allocas {
+		tracked[ai] = false
+	}
+	unsafeRoot := func(r prog.Reg) {
+		if r == prog.NoReg {
+			return
+		}
+		if ai := a.aliasRootAlloca[r]; ai >= 0 {
+			tracked[ai] = true
+		}
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case prog.OpCall, prog.OpLibc, prog.OpCallExternal:
+			for _, arg := range in.Args {
+				unsafeRoot(arg)
+			}
+		case prog.OpParFor:
+			unsafeRoot(in.A)
+			unsafeRoot(in.B)
+		case prog.OpStore:
+			// Storing a derived pointer value: the address escapes.
+			unsafeRoot(in.B)
+			if !a.staticallySafeAccess(in.A, in.Off, in.Size) {
+				unsafeRoot(in.A)
+			}
+		case prog.OpLoad:
+			if !a.staticallySafeAccess(in.A, in.Off, in.Size) {
+				unsafeRoot(in.A)
+			}
+		case prog.OpFree:
+			unsafeRoot(in.A)
+		case prog.OpRet:
+			// Returning a pointer to a local: escapes (use-after-return).
+			unsafeRoot(in.A)
+		case prog.OpGEP:
+			if !in.Has(prog.FlagStaticSafe) {
+				unsafeRoot(in.A)
+			}
+		}
+	}
+	return tracked
+}
+
+// classifyGlobals marks globals whose address is used unsafely anywhere in
+// the program, augmenting the author-declared AddressTaken flags, so that
+// only unsafe globals pay for GPT indirection (§II.C.3).
+func classifyGlobals(p *prog.Program) map[string]bool {
+	unsafe := make(map[string]bool, len(p.Globals))
+	sizes := make(map[string]int64, len(p.Globals))
+	for _, g := range p.Globals {
+		unsafe[g.Name] = g.AddressTaken
+		sizes[g.Name] = g.Type.Size()
+	}
+	for _, name := range p.Order {
+		f := p.Funcs[name]
+		a := analyze(f, sizes)
+		mark := func(r prog.Reg) {
+			if r == prog.NoReg {
+				return
+			}
+			if g := a.aliasRootGlobal[r]; g != "" {
+				unsafe[g] = true
+			}
+		}
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Op {
+			case prog.OpCall, prog.OpLibc, prog.OpCallExternal:
+				for _, arg := range in.Args {
+					mark(arg)
+				}
+			case prog.OpStore:
+				mark(in.B)
+				if !a.staticallySafeAccess(in.A, in.Off, in.Size) {
+					mark(in.A)
+				}
+			case prog.OpLoad:
+				if !a.staticallySafeAccess(in.A, in.Off, in.Size) {
+					mark(in.A)
+				}
+			case prog.OpFree, prog.OpRet:
+				mark(in.A)
+			case prog.OpGEP:
+				if !in.Has(prog.FlagStaticSafe) {
+					mark(in.A)
+				}
+			}
+		}
+	}
+	return unsafe
+}

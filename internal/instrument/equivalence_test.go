@@ -1,0 +1,141 @@
+package instrument
+
+import (
+	"testing"
+
+	"cecsan/internal/core"
+	"cecsan/internal/interp"
+	"cecsan/internal/juliet"
+	"cecsan/internal/tagptr"
+	"cecsan/prog"
+)
+
+// runWithOpts instruments and runs under CECSan with given options,
+// returning (detected, ret).
+func runWithOpts(t *testing.T, p *prog.Program, inputs [][]byte, opts core.Options) (bool, uint64) {
+	t.Helper()
+	san, err := core.Sanitizer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := Apply(p, san.Profile)
+	m, err := interp.New(ip, san, interp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs {
+		m.Feed(in)
+	}
+	res := m.Run()
+	if res.Err != nil {
+		t.Fatalf("execution error: %v", res.Err)
+	}
+	return res.Violation != nil || res.Fault != nil, res.Ret
+}
+
+// TestOptimizationEquivalenceProperty: across a large sample of generated
+// Juliet cases, the fully optimized CECSan and the unoptimized CECSan must
+// agree on every verdict — §II.F's claim that the optimizations lose no
+// detection and add no false positives.
+func TestOptimizationEquivalenceProperty(t *testing.T) {
+	full := core.DefaultOptions()
+	bare := core.DefaultOptions()
+	bare.OptRedundant = false
+	bare.OptLoopInvariant = false
+	bare.OptMonotonic = false
+	bare.OptTypeBased = false
+
+	for _, cwe := range juliet.AllCWEs() {
+		cases, err := juliet.Generate(cwe, 70)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range cases {
+			for _, variant := range []struct {
+				label  string
+				p      *prog.Program
+				inputs [][]byte
+			}{
+				{"bad", cs.Bad, cs.BadInputs},
+				{"good", cs.Good, cs.GoodInputs},
+			} {
+				optDet, _ := runWithOpts(t, variant.p, variant.inputs, full)
+				bareDet, _ := runWithOpts(t, variant.p, variant.inputs, bare)
+				if optDet != bareDet {
+					t.Errorf("%s (%s): optimized=%v unoptimized=%v — optimizations changed the verdict",
+						cs.ID, variant.label, optDet, bareDet)
+				}
+			}
+		}
+	}
+}
+
+// TestARM64Configuration runs CECSan in its ARM64 configuration (48 address
+// bits, 16 tag bits, 2^16-entry table) end to end.
+func TestARM64Configuration(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Arch = tagptr.ARM64
+
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	b := f.MallocBytes(32)
+	f.Store(b, 31, f.Const(1), prog.Char())
+	f.Store(b, 32, f.Const(1), prog.Char()) // overflow
+	f.RetVoid()
+	p := pb.MustBuild()
+
+	det, _ := runWithOpts(t, p, nil, opts)
+	if !det {
+		t.Fatal("ARM64-configured CECSan missed a heap overflow")
+	}
+
+	san, err := core.Sanitizer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := san.Runtime.(*core.Runtime)
+	if !ok {
+		t.Fatal("not a core.Runtime")
+	}
+	if got := cr.Table().Capacity(); got != 1<<16 {
+		t.Fatalf("ARM64 table capacity = %d, want 2^16", got)
+	}
+}
+
+// TestDeterministicResultsAcrossOptimizations verifies that on clean
+// programs the optimizations do not change computed results either.
+func TestDeterministicResultsAcrossOptimizations(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	arr := f.MallocBytes(512 * 8)
+	sum := f.NewReg()
+	f.AssignConst(sum, 0)
+	f.ForRange(prog.ConstOperand(0), prog.ConstOperand(512), 1, func(i prog.Reg) {
+		f.Store(f.ElemPtr(arr, prog.Int64T(), i), 0, f.Mul(i, i), prog.Int64T())
+	})
+	f.ForRange(prog.ConstOperand(0), prog.ConstOperand(512), 1, func(i prog.Reg) {
+		f.Assign(sum, f.Add(sum, f.Load(f.ElemPtr(arr, prog.Int64T(), i), 0, prog.Int64T())))
+	})
+	f.Free(arr)
+	f.Ret(sum)
+	p := pb.MustBuild()
+
+	var want uint64
+	for i := uint64(0); i < 512; i++ {
+		want += i * i
+	}
+	for mask := 0; mask < 16; mask++ {
+		opts := core.DefaultOptions()
+		opts.OptRedundant = mask&1 != 0
+		opts.OptLoopInvariant = mask&2 != 0
+		opts.OptMonotonic = mask&4 != 0
+		opts.OptTypeBased = mask&8 != 0
+		det, ret := runWithOpts(t, p, nil, opts)
+		if det {
+			t.Fatalf("mask %04b: false positive", mask)
+		}
+		if ret != want {
+			t.Fatalf("mask %04b: result %d, want %d", mask, ret, want)
+		}
+	}
+}

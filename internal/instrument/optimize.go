@@ -1,0 +1,282 @@
+package instrument
+
+import (
+	"cecsan/prog"
+)
+
+// checkKey identifies a check for redundancy comparison.
+type checkKey struct {
+	ptr  prog.Reg
+	off  int64
+	size int64
+}
+
+// eliminateRedundantChecks removes checks that are dominated by an identical
+// (or stronger) check earlier in the same basic block with no intervening
+// instruction that could change the answer — the recurring-check
+// elimination CECSan shares with ASAN--'s debloating (§II.F).
+//
+// Invalidation rules: redefining the checked register kills its entries;
+// frees, calls (which may free), sub-pointer operations and parallel regions
+// kill everything.
+func eliminateRedundantChecks(f *prog.Func) {
+	leaders := blockLeaders(f)
+	seen := make(map[checkKey]bool) // value: a Write check was seen
+	rw := newRewriter(f)
+	for i := range f.Code {
+		in := f.Code[i]
+		rw.beginGroup(i)
+		if leaders[i] {
+			clear(seen)
+		}
+		switch in.Op {
+		case prog.OpCheckAccess:
+			if in.B == prog.NoReg { // only static-size checks participate
+				k := checkKey{ptr: in.A, off: in.Off, size: in.Size}
+				isWrite := in.Has(prog.FlagWrite)
+				if wasWrite, ok := seen[k]; ok && (wasWrite || !isWrite) {
+					continue // dominated: drop the check
+				}
+				seen[k] = isWrite || seen[k]
+			}
+			rw.emitOld(in)
+		case prog.OpFree, prog.OpCall, prog.OpCallExternal, prog.OpLibc,
+			prog.OpParFor, prog.OpSubPtr, prog.OpSubRelease:
+			clear(seen)
+			rw.emitOld(in)
+		default:
+			if in.Dst != prog.NoReg {
+				for k := range seen {
+					if k.ptr == in.Dst {
+						delete(seen, k)
+					}
+				}
+			}
+			rw.emitOld(in)
+		}
+	}
+	rw.finish()
+}
+
+// blockLeaders marks the instructions that begin a basic block.
+func blockLeaders(f *prog.Func) []bool {
+	leaders := make([]bool, len(f.Code)+1)
+	leaders[0] = true
+	for i := range f.Code {
+		switch f.Code[i].Op {
+		case prog.OpBr:
+			leaders[f.Code[i].Imm] = true
+			leaders[i+1] = true
+		case prog.OpCondBr:
+			leaders[f.Code[i].Imm] = true
+			leaders[i+1] = true
+		}
+	}
+	return leaders
+}
+
+// hoistInvariantChecks relocates checks on loop-invariant pointers out of
+// loop bodies: "a single deduplicated check relocated after the loop, is
+// sufficient" (§II.F.1). Redzone-based profiles may only relocate loads,
+// because a hoisted store check could observe a redzone already overwritten;
+// CECSan, not relying on redzones, handles both.
+//
+// A check is hoisted only from the body's first basic block (it provably
+// executes every iteration) and only from loops containing no frees or
+// calls (which could end the object's lifetime mid-loop).
+func hoistInvariantChecks(f *prog.Func, redzoneBased bool) {
+	if len(f.Loops) == 0 {
+		return
+	}
+	leaders := blockLeaders(f)
+
+	// hoisted[exitIdx] collects checks to emit right before old index
+	// exitIdx (the loop exit target).
+	hoisted := make(map[int][]prog.Instr)
+	drop := make(map[int]bool)
+
+	for _, l := range f.Loops {
+		if loopHasLifetimeEvents(f, l) {
+			continue
+		}
+		seenKeys := make(map[checkKey]bool)
+		for i := l.BodyStart; i < l.BodyEnd; i++ {
+			in := &f.Code[i]
+			if in.Op != prog.OpCheckAccess || in.B != prog.NoReg {
+				continue
+			}
+			if redzoneBased && in.Has(prog.FlagWrite) {
+				continue
+			}
+			// Must be in the body's first block.
+			inFirstBlock := true
+			for j := l.BodyStart + 1; j <= i; j++ {
+				if leaders[j] {
+					inFirstBlock = false
+					break
+				}
+			}
+			if !inFirstBlock {
+				continue
+			}
+			if regRedefinedIn(f, in.A, l.HeadStart, l.LatchEnd) {
+				continue
+			}
+			k := checkKey{ptr: in.A, off: in.Off, size: in.Size}
+			drop[i] = true
+			if seenKeys[k] {
+				continue // deduplicated
+			}
+			seenKeys[k] = true
+			hoisted[l.LatchEnd] = append(hoisted[l.LatchEnd], *in)
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+
+	rw := newRewriter(f)
+	for i := range f.Code {
+		rw.beginGroup(i)
+		for _, h := range hoisted[i] {
+			rw.emitNew(h)
+		}
+		if drop[i] {
+			continue
+		}
+		rw.emitOld(f.Code[i])
+	}
+	// Checks hoisted to the very end of the function body.
+	rw.beginGroup(len(f.Code))
+	for _, h := range hoisted[len(f.Code)] {
+		rw.emitNew(h)
+	}
+	rw.finish()
+}
+
+// loopHasLifetimeEvents reports whether the loop contains an operation that
+// could end an object's lifetime (free, any call) between iterations.
+func loopHasLifetimeEvents(f *prog.Func, l prog.Loop) bool {
+	for i := l.HeadStart; i < l.LatchEnd && i < len(f.Code); i++ {
+		switch f.Code[i].Op {
+		case prog.OpFree, prog.OpCall, prog.OpCallExternal, prog.OpParFor, prog.OpSubRelease:
+			return true
+		}
+	}
+	return false
+}
+
+// regRedefinedIn reports whether r is assigned anywhere in [lo, hi).
+func regRedefinedIn(f *prog.Func, r prog.Reg, lo, hi int) bool {
+	for i := lo; i < hi && i < len(f.Code); i++ {
+		if f.Code[i].Dst == r {
+			return true
+		}
+	}
+	return false
+}
+
+// groupMonotonicChecks rewrites per-element checks on linear induction
+// accesses into OpCheckPeriodic grouped checks (§II.F.1, Figure 4a): the
+// scalar-evolution facts recorded by the builder identify checks whose
+// pointer is base + indvar*scale with constant start and step; those fire
+// only every checkStep-th iteration with a widened range.
+func groupMonotonicChecks(f *prog.Func, checkStep int64) {
+	if len(f.Loops) == 0 {
+		return
+	}
+	leaders := blockLeaders(f)
+	type replacement struct {
+		loop prog.Loop
+		gep  prog.Instr
+	}
+	replace := make(map[int]replacement)
+
+	for _, l := range f.Loops {
+		if !l.Start.IsConst || l.Step <= 0 || l.Step > 255 {
+			continue
+		}
+		// Locate the limit register: ForRange always materializes it in the
+		// header's compare.
+		limReg := loopLimitReg(f, l)
+		if limReg == prog.NoReg {
+			continue
+		}
+		// Map GEP dst -> GEP for linear induction pointers in the body.
+		linear := make(map[prog.Reg]prog.Instr)
+		for i := l.BodyStart; i < l.BodyEnd; i++ {
+			in := &f.Code[i]
+			if in.Op == prog.OpGEP && in.B == l.IndVar && in.Imm > 0 && in.Off == 0 &&
+				!regRedefinedIn(f, in.A, l.HeadStart, l.LatchEnd) {
+				linear[in.Dst] = *in
+			}
+		}
+		for i := l.BodyStart; i < l.BodyEnd; i++ {
+			in := &f.Code[i]
+			if in.Op != prog.OpCheckAccess || in.B != prog.NoReg || in.Off != 0 {
+				continue
+			}
+			gep, ok := linear[in.A]
+			if !ok || in.Size != gep.Imm {
+				continue // not a contiguous element access
+			}
+			// Must execute every iteration: body's first block only.
+			inFirstBlock := true
+			for j := l.BodyStart + 1; j <= i; j++ {
+				if leaders[j] {
+					inFirstBlock = false
+					break
+				}
+			}
+			if !inFirstBlock {
+				continue
+			}
+			lcopy := l
+			lcopy.Limit = prog.RegOperand(limReg)
+			replace[i] = replacement{loop: lcopy, gep: gep}
+		}
+	}
+	if len(replace) == 0 {
+		return
+	}
+
+	rw := newRewriter(f)
+	for i := range f.Code {
+		in := f.Code[i]
+		rw.beginGroup(i)
+		rep, ok := replace[i]
+		if !ok {
+			rw.emitOld(in)
+			continue
+		}
+		l := rep.loop
+		pc := prog.Instr{
+			Op:   prog.OpCheckPeriodic,
+			X:    uint8(l.Step),
+			Dst:  prog.NoReg,
+			A:    prog.NoReg,
+			B:    prog.NoReg,
+			Imm:  l.Start.Const,
+			Off:  l.Step * checkStep,
+			Size: in.Size,
+			Args: []prog.Reg{in.A, l.IndVar, l.Limit.Reg},
+		}
+		if in.Has(prog.FlagWrite) {
+			pc.Flags |= prog.FlagWrite
+		}
+		rw.emitNew(pc)
+	}
+	rw.finish()
+}
+
+// loopLimitReg finds the register the loop header compares the induction
+// variable against.
+func loopLimitReg(f *prog.Func, l prog.Loop) prog.Reg {
+	for i := l.HeadStart; i < l.HeadEnd && i < len(f.Code); i++ {
+		in := &f.Code[i]
+		if in.Op == prog.OpCmp && in.A == l.IndVar {
+			return in.B
+		}
+	}
+	return prog.NoReg
+}

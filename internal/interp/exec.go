@@ -1,0 +1,497 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"cecsan/internal/alloc"
+	"cecsan/internal/mem"
+	"cecsan/internal/rt"
+	"cecsan/prog"
+)
+
+// abort carries the reason execution stopped up the simulated call stack.
+// Exactly one field is set.
+type abort struct {
+	violation *rt.Violation
+	fault     *mem.Fault
+	err       error
+}
+
+// thread is one simulated thread of execution: its own stack and local
+// counters, sharing the machine's memory, heap and runtime.
+type thread struct {
+	m      *Machine
+	stack  *alloc.Stack
+	budget int64
+
+	local Stats
+}
+
+// flushStats merges the thread's counters into the machine.
+func (th *thread) flushStats() {
+	th.m.mergeStats(&th.local)
+	th.local = Stats{}
+}
+
+// trackedObj records a metadata-carrying stack object for epilogue release.
+type trackedObj struct {
+	ptr  uint64
+	size int64
+}
+
+// call executes fn with the given argument values (and their per-pointer
+// metadata when tracking is enabled), returning the result value/meta or an
+// abort.
+func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth int) (uint64, rt.PtrMeta, *abort) {
+	if depth > th.m.opts.MaxCallDepth {
+		return 0, rt.PtrMeta{}, &abort{err: ErrCallDepth}
+	}
+	m := th.m
+	run := m.san.Runtime
+	mask := m.addrMask
+
+	regs := make([]uint64, fn.NumRegs)
+	copy(regs, args)
+	var metas []rt.PtrMeta
+	if m.trackMeta {
+		metas = make([]rt.PtrMeta, fn.NumRegs)
+		copy(metas, argMeta)
+	}
+
+	frameMark := th.stack.Mark()
+	var tracked []trackedObj
+	// epilogue releases tracked stack objects' metadata and pops the frame.
+	epilogue := func() {
+		for _, ob := range tracked {
+			run.StackRelease(ob.ptr, ob.size)
+		}
+		th.stack.Release(frameMark)
+	}
+
+	code := fn.Code
+	pc := 0
+	steps := int64(0)
+
+	for pc < len(code) {
+		in := &code[pc]
+		steps++
+		switch in.Op {
+		case prog.OpConst:
+			regs[in.Dst] = uint64(in.Imm)
+		case prog.OpMov:
+			regs[in.Dst] = regs[in.A]
+			if metas != nil {
+				metas[in.Dst] = metas[in.A]
+			}
+		case prog.OpBin:
+			a, b := regs[in.A], regs[in.B]
+			var v uint64
+			switch prog.BinOp(in.X) {
+			case prog.BinAdd:
+				v = a + b
+			case prog.BinSub:
+				v = a - b
+			case prog.BinMul:
+				v = a * b
+			case prog.BinDiv:
+				if b == 0 {
+					epilogue()
+					return 0, rt.PtrMeta{}, &abort{err: fmt.Errorf("interp: SIGFPE: division by zero in %s@%d", fn.Name, pc)}
+				}
+				v = uint64(int64(a) / int64(b))
+			case prog.BinRem:
+				if b == 0 {
+					epilogue()
+					return 0, rt.PtrMeta{}, &abort{err: fmt.Errorf("interp: SIGFPE: remainder by zero in %s@%d", fn.Name, pc)}
+				}
+				v = uint64(int64(a) % int64(b))
+			case prog.BinAnd:
+				v = a & b
+			case prog.BinOr:
+				v = a | b
+			case prog.BinXor:
+				v = a ^ b
+			case prog.BinShl:
+				v = a << (b & 63)
+			case prog.BinShr:
+				v = a >> (b & 63)
+			}
+			regs[in.Dst] = v
+		case prog.OpCmp:
+			a, b := regs[in.A], regs[in.B]
+			var t bool
+			switch prog.CmpPred(in.X) {
+			case prog.CmpEq:
+				t = a == b
+			case prog.CmpNe:
+				t = a != b
+			case prog.CmpSLt:
+				t = int64(a) < int64(b)
+			case prog.CmpSLe:
+				t = int64(a) <= int64(b)
+			case prog.CmpSGt:
+				t = int64(a) > int64(b)
+			case prog.CmpSGe:
+				t = int64(a) >= int64(b)
+			case prog.CmpULt:
+				t = a < b
+			case prog.CmpULe:
+				t = a <= b
+			case prog.CmpUGt:
+				t = a > b
+			case prog.CmpUGe:
+				t = a >= b
+			}
+			if t {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+		case prog.OpBr:
+			tgt := int(in.Imm)
+			if tgt <= pc { // backedge: budget and abort checks
+				th.budget -= steps
+				th.local.Instructions += steps
+				steps = 0
+				if th.budget <= 0 {
+					epilogue()
+					return 0, rt.PtrMeta{}, &abort{err: ErrInstructionBudget}
+				}
+				if m.aborted.Load() {
+					epilogue()
+					return 0, rt.PtrMeta{}, &abort{err: errAbortedElsewhere}
+				}
+			}
+			pc = tgt
+			continue
+		case prog.OpCondBr:
+			if regs[in.A] != 0 {
+				tgt := int(in.Imm)
+				if tgt <= pc {
+					th.budget -= steps
+					th.local.Instructions += steps
+					steps = 0
+					if th.budget <= 0 {
+						epilogue()
+						return 0, rt.PtrMeta{}, &abort{err: ErrInstructionBudget}
+					}
+					if m.aborted.Load() {
+						epilogue()
+						return 0, rt.PtrMeta{}, &abort{err: errAbortedElsewhere}
+					}
+				}
+				pc = tgt
+				continue
+			}
+		case prog.OpAlloca:
+			isTracked := in.Has(prog.FlagTracked)
+			allocSize := in.Size
+			rz := m.san.Profile.StackRedzone
+			if isTracked && rz > 0 {
+				allocSize += 2 * rz // redzone-based layout change
+			}
+			raw, err := th.stack.Alloc(allocSize)
+			if err != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, &abort{err: err}
+			}
+			if isTracked && rz > 0 {
+				raw += uint64(rz)
+			}
+			ptr, meta := run.StackAlloc(raw, in.Size, isTracked)
+			regs[in.Dst] = ptr
+			if metas != nil {
+				metas[in.Dst] = meta
+			}
+			if isTracked {
+				tracked = append(tracked, trackedObj{ptr: ptr, size: in.Size})
+			}
+			m.sampleRSS()
+		case prog.OpMalloc:
+			size := in.Size
+			if in.A != prog.NoReg {
+				size = int64(regs[in.A])
+			}
+			ptr, meta, err := run.Malloc(size)
+			if err != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, &abort{err: err}
+			}
+			regs[in.Dst] = ptr
+			if metas != nil {
+				metas[in.Dst] = meta
+			}
+			th.local.Mallocs++
+			m.sampleRSS()
+		case prog.OpFree:
+			var meta rt.PtrMeta
+			if metas != nil {
+				meta = metas[in.A]
+			}
+			if v := run.Free(regs[in.A], meta); v != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, th.report(v, fn.Name, pc)
+			}
+			th.local.Frees++
+			m.sampleRSS()
+		case prog.OpLoad:
+			addr := (regs[in.A] & mask) + uint64(in.Off)
+			v, f := m.space.Load(addr, in.Size)
+			if f != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, &abort{fault: f}
+			}
+			regs[in.Dst] = v
+		case prog.OpStore:
+			addr := (regs[in.A] & mask) + uint64(in.Off)
+			if f := m.space.Store(addr, in.Size, regs[in.B]); f != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, &abort{fault: f}
+			}
+		case prog.OpGEP:
+			v := regs[in.A] + uint64(in.Off)
+			if in.B != prog.NoReg {
+				v += regs[in.B] * uint64(in.Imm)
+			}
+			regs[in.Dst] = v
+			if metas != nil {
+				metas[in.Dst] = metas[in.A]
+			}
+		case prog.OpGlobalAddr:
+			regs[in.Dst] = m.globalPtr[in.Sym]
+			if metas != nil {
+				metas[in.Dst] = m.globalMeta[in.Sym]
+			}
+		case prog.OpCall:
+			callee, ok := m.program.Funcs[in.Sym]
+			if !ok {
+				epilogue()
+				return 0, rt.PtrMeta{}, &abort{err: fmt.Errorf("interp: undefined function %q", in.Sym)}
+			}
+			cargs := make([]uint64, len(in.Args))
+			var cmetas []rt.PtrMeta
+			if metas != nil {
+				cmetas = make([]rt.PtrMeta, len(in.Args))
+			}
+			for i, a := range in.Args {
+				cargs[i] = regs[a]
+				if cmetas != nil {
+					cmetas[i] = metas[a]
+				}
+			}
+			ret, rmeta, ab := th.call(callee, cargs, cmetas, depth+1)
+			if ab != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, ab
+			}
+			regs[in.Dst] = ret
+			if metas != nil {
+				metas[in.Dst] = rmeta
+			}
+		case prog.OpCallExternal:
+			ret, ab := th.callExternal(in, regs, metas, fn.Name, pc)
+			if ab != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, ab
+			}
+			regs[in.Dst] = ret
+			th.local.ExternCalls++
+		case prog.OpLibc:
+			ret, ab := th.libcCall(in, regs, metas, fn.Name, pc)
+			if ab != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, ab
+			}
+			regs[in.Dst] = ret
+			th.local.LibcCalls++
+		case prog.OpParFor:
+			if ab := th.parFor(in, regs, depth); ab != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, ab
+			}
+		case prog.OpRet:
+			var v uint64
+			var rmeta rt.PtrMeta
+			if in.A != prog.NoReg {
+				v = regs[in.A]
+				if metas != nil {
+					rmeta = metas[in.A]
+				}
+			}
+			th.local.Instructions += steps
+			epilogue()
+			return v, rmeta, nil
+		case prog.OpCheckAccess:
+			kind := rt.Read
+			if in.Has(prog.FlagWrite) {
+				kind = rt.Write
+			}
+			var meta rt.PtrMeta
+			if metas != nil {
+				meta = metas[in.A]
+			}
+			size := in.Size
+			if in.B != prog.NoReg {
+				size = int64(regs[in.B])
+			}
+			th.local.ChecksExecuted++
+			if v := run.Check(regs[in.A], meta, in.Off, size, kind); v != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, th.report(v, fn.Name, pc)
+			}
+		case prog.OpCheckPeriodic:
+			// Grouped monotonic check (§II.F.1, Figure 4a): fire every
+			// check_step-th iteration, widened to cover the elements until
+			// the next firing, clamped at the loop limit.
+			iv := int64(regs[in.Args[1]])
+			modulus := in.Off
+			if (iv-in.Imm)%modulus == 0 {
+				step := int64(in.X)
+				limit := int64(regs[in.Args[2]])
+				elems := (limit - iv + step - 1) / step
+				if ceiling := modulus / step; elems > ceiling {
+					elems = ceiling
+				}
+				if elems > 0 {
+					kind := rt.Read
+					if in.Has(prog.FlagWrite) {
+						kind = rt.Write
+					}
+					var meta rt.PtrMeta
+					if metas != nil {
+						meta = metas[in.Args[0]]
+					}
+					th.local.ChecksExecuted++
+					if v := run.Check(regs[in.Args[0]], meta, 0, elems*in.Size, kind); v != nil {
+						epilogue()
+						return 0, rt.PtrMeta{}, th.report(v, fn.Name, pc)
+					}
+				}
+			}
+		case prog.OpSubPtr:
+			ptr, meta := run.SubPtr(regs[in.A], in.Off, in.Size)
+			regs[in.Dst] = ptr
+			if metas != nil {
+				metas[in.Dst] = meta
+			}
+			th.local.SubPtrOps++
+		case prog.OpSubRelease:
+			run.SubRelease(regs[in.A])
+			th.local.SubPtrOps++
+		case prog.OpStripPtr:
+			raw, v := run.PrepareExternArg(regs[in.A])
+			if v != nil {
+				epilogue()
+				return 0, rt.PtrMeta{}, th.report(v, fn.Name, pc)
+			}
+			regs[in.Dst] = raw
+		case prog.OpRetagPtr:
+			regs[in.Dst] = (regs[in.A] & mask) | (regs[in.B] &^ mask)
+		case prog.OpPtrMetaCopy:
+			if metas != nil {
+				metas[in.Dst] = metas[in.A]
+				th.local.MetaOps++
+			}
+		case prog.OpPtrMetaLoad:
+			if metas != nil {
+				addr := (regs[in.A] & mask) + uint64(in.Off)
+				metas[in.Dst] = run.LoadPtrMeta(addr)
+				th.local.MetaOps++
+			}
+		case prog.OpPtrMetaStore:
+			if metas != nil {
+				addr := (regs[in.A] & mask) + uint64(in.Off)
+				run.StorePtrMeta(addr, metas[in.B])
+				th.local.MetaOps++
+			}
+		default:
+			epilogue()
+			return 0, rt.PtrMeta{}, &abort{err: fmt.Errorf("interp: invalid opcode %v at %s@%d", in.Op, fn.Name, pc)}
+		}
+		pc++
+	}
+	// Fell off the end (validator prevents this for authored programs).
+	th.local.Instructions += steps
+	epilogue()
+	return 0, rt.PtrMeta{}, nil
+}
+
+// errAbortedElsewhere stops sibling threads after another thread reported.
+var errAbortedElsewhere = fmt.Errorf("interp: aborted by violation on another thread")
+
+// report finalizes a violation with its code location and flips the global
+// abort flag so parallel regions stop.
+func (th *thread) report(v *rt.Violation, fnName string, pc int) *abort {
+	v.Func = fnName
+	v.PC = pc
+	th.m.aborted.Store(true)
+	return &abort{violation: v}
+}
+
+// parFor runs in.Sym over [lo,hi) partitioned across in.Imm OS-level
+// workers — the OpenMP analogue used by the SPEC CPU2017 workloads.
+func (th *thread) parFor(in *prog.Instr, regs []uint64, depth int) *abort {
+	m := th.m
+	lo := int64(regs[in.A])
+	hi := int64(regs[in.B])
+	workers := int(in.Imm)
+	if hi <= lo {
+		return nil
+	}
+	fn, ok := m.program.Funcs[in.Sym]
+	if !ok {
+		return &abort{err: fmt.Errorf("interp: undefined parfor body %q", in.Sym)}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	span := hi - lo
+	if int64(workers) > span {
+		workers = int(span)
+	}
+	chunk := span / int64(workers)
+
+	aborts := make([]*abort, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := lo + int64(w)*chunk
+		end := start + chunk
+		if w == workers-1 {
+			end = hi
+		}
+		wg.Add(1)
+		go func(w int, start, end int64) {
+			defer wg.Done()
+			stack, err := alloc.NewStack(w + 1)
+			if err != nil {
+				aborts[w] = &abort{err: err}
+				return
+			}
+			wt := &thread{m: m, stack: stack, budget: th.budget}
+			defer wt.flushStats()
+			for i := start; i < end; i++ {
+				if m.aborted.Load() {
+					return
+				}
+				var am []rt.PtrMeta
+				if m.trackMeta {
+					am = []rt.PtrMeta{{}}
+				}
+				if _, _, ab := wt.call(fn, []uint64{uint64(i)}, am, depth+1); ab != nil {
+					if ab.err != errAbortedElsewhere {
+						aborts[w] = ab
+					}
+					return
+				}
+			}
+		}(w, start, end)
+	}
+	wg.Wait()
+	for _, ab := range aborts {
+		if ab != nil {
+			return ab
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+// Package interp implements the machine that executes (instrumented) IR
+// programs: the stand-in for a CPU running a compiled C binary.
+//
+// The machine owns the simulated address space, the stock allocators, and
+// the attached sanitizer runtime. Wall-clock time of Machine.Run is the
+// repository's runtime-overhead metric, and the peak of
+// (program resident bytes + sanitizer overhead bytes), sampled at
+// allocation events, is its memory-overhead metric.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cecsan/internal/alloc"
+	"cecsan/internal/mem"
+	"cecsan/internal/rt"
+	"cecsan/prog"
+)
+
+// DefaultMaxInstructions bounds a single Run to catch runaway programs.
+const DefaultMaxInstructions = int64(2_000_000_000)
+
+// DefaultMaxCallDepth bounds recursion so simulated stack overflows surface
+// as program errors instead of killing the host.
+const DefaultMaxCallDepth = 4096
+
+// ErrInstructionBudget is returned when a program exceeds the instruction
+// budget.
+var ErrInstructionBudget = errors.New("interp: instruction budget exhausted")
+
+// ErrCallDepth is returned when a program recurses past the depth limit.
+var ErrCallDepth = errors.New("interp: call depth limit exceeded")
+
+// Options configures a Machine.
+type Options struct {
+	// MaxInstructions bounds the total executed instructions (per run).
+	MaxInstructions int64
+	// MaxCallDepth bounds program recursion.
+	MaxCallDepth int
+	// AddrBits is the canonical pointer width (47 unless testing ARM64).
+	AddrBits uint
+	// Seed seeds the program-visible rand() stream.
+	Seed uint64
+}
+
+// DefaultOptions returns the standard machine configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxInstructions: DefaultMaxInstructions,
+		MaxCallDepth:    DefaultMaxCallDepth,
+		AddrBits:        47,
+		Seed:            1,
+	}
+}
+
+// Stats aggregates execution counters across all threads of a run.
+type Stats struct {
+	Instructions   int64
+	ChecksExecuted int64
+	SubPtrOps      int64
+	MetaOps        int64 // per-pointer metadata propagation ops (SoftBound)
+	Mallocs        int64
+	Frees          int64
+	LibcCalls      int64
+	ExternCalls    int64
+
+	// PeakProgramBytes is the high-water resident size of program memory.
+	PeakProgramBytes int64
+	// PeakOverheadBytes is the high-water sanitizer metadata size.
+	PeakOverheadBytes int64
+	// PeakRSS is the high-water sum, sampled at allocation events.
+	PeakRSS int64
+}
+
+// Result is the outcome of one program run.
+type Result struct {
+	// Violation is the sanitizer report that aborted the program, if any.
+	Violation *rt.Violation
+	// Fault is a machine-level crash (wild access), if any.
+	Fault *mem.Fault
+	// Err is an execution error: OOM, budget exhaustion, unknown symbol.
+	Err error
+	// Ret is main's return value when the program completed.
+	Ret uint64
+	// Stats are the merged execution counters.
+	Stats Stats
+}
+
+// Ok reports whether the program ran to completion with no report, crash or
+// error.
+func (r *Result) Ok() bool { return r.Violation == nil && r.Fault == nil && r.Err == nil }
+
+// Machine executes one instrumented program under one sanitizer runtime.
+// A Machine is single-run: create a new one for each execution.
+type Machine struct {
+	program *prog.Program
+	san     rt.Sanitizer
+
+	space   *mem.Space
+	heap    *alloc.Heap
+	globals *alloc.Globals
+
+	// addrMask clears tag bits when forming raw addresses; ^0 when the
+	// sanitizer does not tag pointers.
+	addrMask uint64
+	trackMeta bool // per-pointer metadata frames enabled (SoftBound)
+
+	// globalPtr is the program-visible pointer for each global: the Global
+	// Pointer Table (§II.C.3). For tracked globals the value is tagged.
+	globalPtr map[string]uint64
+	globalMeta map[string]rt.PtrMeta
+
+	opts Options
+
+	// Input feed for fgets/recv (the harness's dummy server).
+	inputMu sync.Mutex
+	inputs  [][]byte
+
+	outputMu sync.Mutex
+	output   []string
+
+	rngState atomic.Uint64
+
+	aborted  atomic.Bool
+	peakRSS  atomic.Int64
+	peakProg atomic.Int64
+	peakOver atomic.Int64
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// New builds a machine for an instrumented program and sanitizer pair,
+// attaching the runtime and loading globals (including the GPT
+// initialization the paper performs at the start of main).
+func New(p *prog.Program, san rt.Sanitizer, opts Options) (*Machine, error) {
+	if opts.MaxInstructions <= 0 {
+		opts.MaxInstructions = DefaultMaxInstructions
+	}
+	if opts.MaxCallDepth <= 0 {
+		opts.MaxCallDepth = DefaultMaxCallDepth
+	}
+	if opts.AddrBits == 0 {
+		opts.AddrBits = 47
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	space, err := mem.NewSpace(opts.AddrBits)
+	if err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	m := &Machine{
+		program:    p,
+		san:        san,
+		space:      space,
+		heap:       alloc.NewHeap(),
+		globals:    alloc.NewGlobals(),
+		globalPtr:  make(map[string]uint64, len(p.Globals)),
+		globalMeta: make(map[string]rt.PtrMeta, len(p.Globals)),
+		opts:       opts,
+	}
+	m.rngState.Store(opts.Seed)
+	m.addrMask = ^uint64(0)
+	if san.Profile.PtrMask != 0 {
+		m.addrMask = san.Profile.PtrMask
+	}
+	m.trackMeta = san.Profile.PtrMeta
+
+	env := rt.Env{Space: space, Heap: m.heap, Globals: m.globals}
+	if err := san.Runtime.Attach(&env); err != nil {
+		return nil, fmt.Errorf("interp: attach %s: %w", san.Runtime.Name(), err)
+	}
+
+	for _, g := range p.Globals {
+		defSize := g.Type.Size()
+		tracked := g.AddressTaken && san.Profile.TrackGlobals
+		if tracked && san.Profile.GlobalRedzone > 0 {
+			defSize += san.Profile.GlobalRedzone // redzone-based layout change
+		}
+		addr, err := m.globals.Define(g.Name, defSize)
+		if err != nil {
+			return nil, fmt.Errorf("interp: %w", err)
+		}
+		if g.InitBytes != nil {
+			if f := space.WriteBytes(addr, g.InitBytes); f != nil {
+				return nil, fmt.Errorf("interp: global init: %v", f)
+			}
+		} else if g.Init != 0 {
+			sz := g.Type.Size()
+			if sz > 8 {
+				sz = 8
+			}
+			if f := space.Store(addr, sz, uint64(g.Init)); f != nil {
+				return nil, fmt.Errorf("interp: global init: %v", f)
+			}
+		}
+		ptr, meta := san.Runtime.GlobalInit(g.Name, addr, g.Type.Size(), tracked)
+		m.globalPtr[g.Name] = ptr
+		m.globalMeta[g.Name] = meta
+	}
+	return m, nil
+}
+
+// Feed queues input payloads for the program's fgets/recv calls, in order —
+// the dummy-server side of the paper's automation framework.
+func (m *Machine) Feed(payloads ...[]byte) {
+	m.inputMu.Lock()
+	defer m.inputMu.Unlock()
+	for _, p := range payloads {
+		m.inputs = append(m.inputs, append([]byte(nil), p...))
+	}
+}
+
+// nextInput pops the next queued input payload.
+func (m *Machine) nextInput() ([]byte, bool) {
+	m.inputMu.Lock()
+	defer m.inputMu.Unlock()
+	if len(m.inputs) == 0 {
+		return nil, false
+	}
+	in := m.inputs[0]
+	m.inputs = m.inputs[1:]
+	return in, true
+}
+
+// Output returns the lines printed by the program.
+func (m *Machine) Output() []string {
+	m.outputMu.Lock()
+	defer m.outputMu.Unlock()
+	return append([]string(nil), m.output...)
+}
+
+func (m *Machine) printLine(s string) {
+	m.outputMu.Lock()
+	defer m.outputMu.Unlock()
+	m.output = append(m.output, s)
+}
+
+// rand returns the next value of the program-visible deterministic LCG.
+func (m *Machine) rand() uint64 {
+	for {
+		old := m.rngState.Load()
+		next := old*6364136223846793005 + 1442695040888963407
+		if m.rngState.CompareAndSwap(old, next) {
+			return next >> 17
+		}
+	}
+}
+
+// sampleRSS updates the peak footprint gauges. Called at allocation events,
+// where real RSS changes.
+func (m *Machine) sampleRSS() {
+	resident := m.space.TouchedBytes()
+	over := m.san.Runtime.OverheadBytes()
+	updateMax(&m.peakProg, resident)
+	updateMax(&m.peakOver, over)
+	updateMax(&m.peakRSS, resident+over)
+}
+
+func updateMax(g *atomic.Int64, v int64) {
+	for {
+		old := g.Load()
+		if v <= old || g.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Run executes the program's entry function to completion or abort.
+func (m *Machine) Run() *Result {
+	res := &Result{}
+	entry, ok := m.program.Funcs[m.program.Entry]
+	if !ok {
+		res.Err = fmt.Errorf("interp: entry %q not found", m.program.Entry)
+		return res
+	}
+	stack, err := alloc.NewStack(0)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	th := &thread{m: m, stack: stack, budget: m.opts.MaxInstructions}
+	ret, _, ab := th.call(entry, nil, nil, 0)
+	th.flushStats()
+	m.sampleRSS()
+
+	if ab != nil {
+		res.Violation = ab.violation
+		res.Fault = ab.fault
+		res.Err = ab.err
+	} else {
+		res.Ret = ret
+	}
+	m.statsMu.Lock()
+	res.Stats = m.stats
+	m.statsMu.Unlock()
+	res.Stats.PeakProgramBytes = m.peakProg.Load()
+	res.Stats.PeakOverheadBytes = m.peakOver.Load()
+	res.Stats.PeakRSS = m.peakRSS.Load()
+	return res
+}
+
+// mergeStats folds a thread's local counters into the machine totals.
+func (m *Machine) mergeStats(s *Stats) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	m.stats.Instructions += s.Instructions
+	m.stats.ChecksExecuted += s.ChecksExecuted
+	m.stats.SubPtrOps += s.SubPtrOps
+	m.stats.MetaOps += s.MetaOps
+	m.stats.Mallocs += s.Mallocs
+	m.stats.Frees += s.Frees
+	m.stats.LibcCalls += s.LibcCalls
+	m.stats.ExternCalls += s.ExternCalls
+}

@@ -1,0 +1,507 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cecsan/internal/sanitizers/nosan"
+	"cecsan/prog"
+)
+
+// runNative builds and runs a program under the uninstrumented baseline.
+func runNative(t *testing.T, pb *prog.ProgramBuilder) *Result {
+	t.Helper()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m, err := New(p, nosan.Sanitizer(), DefaultOptions())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m.Run()
+}
+
+func TestArithmeticAndReturn(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	a := f.Const(6)
+	b := f.Const(7)
+	f.Ret(f.Mul(a, b))
+	res := runNative(t, pb)
+	if !res.Ok() {
+		t.Fatalf("run failed: %+v", res)
+	}
+	if res.Ret != 42 {
+		t.Fatalf("Ret = %d, want 42", res.Ret)
+	}
+}
+
+func TestAllBinaryOps(t *testing.T) {
+	tests := []struct {
+		op   prog.BinOp
+		a, b int64
+		want uint64
+	}{
+		{prog.BinAdd, 5, 3, 8},
+		{prog.BinSub, 5, 3, 2},
+		{prog.BinMul, 5, 3, 15},
+		{prog.BinDiv, -15, 4, ^uint64(2)},
+		{prog.BinRem, -15, 4, ^uint64(2)},
+		{prog.BinAnd, 0b1100, 0b1010, 0b1000},
+		{prog.BinOr, 0b1100, 0b1010, 0b1110},
+		{prog.BinXor, 0b1100, 0b1010, 0b0110},
+		{prog.BinShl, 3, 4, 48},
+		{prog.BinShr, 48, 4, 3},
+	}
+	for _, tt := range tests {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		f.Ret(f.Bin(tt.op, f.Const(tt.a), f.Const(tt.b)))
+		res := runNative(t, pb)
+		if !res.Ok() || res.Ret != tt.want {
+			t.Errorf("op %d: Ret = %d (ok=%v), want %d", tt.op, res.Ret, res.Ok(), tt.want)
+		}
+	}
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	f.Ret(f.Bin(prog.BinDiv, f.Const(1), f.Const(0)))
+	res := runNative(t, pb)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "SIGFPE") {
+		t.Fatalf("expected SIGFPE, got %+v", res)
+	}
+}
+
+func TestComparisonPredicates(t *testing.T) {
+	tests := []struct {
+		pred prog.CmpPred
+		a, b int64
+		want uint64
+	}{
+		{prog.CmpEq, 3, 3, 1},
+		{prog.CmpNe, 3, 3, 0},
+		{prog.CmpSLt, -1, 1, 1},
+		{prog.CmpULt, -1, 1, 0}, // -1 is huge unsigned
+		{prog.CmpSGe, 5, 5, 1},
+		{prog.CmpUGt, -1, 1, 1},
+		{prog.CmpSLe, 4, 3, 0},
+		{prog.CmpUGe, 0, 0, 1},
+		{prog.CmpSGt, 1, 2, 0},
+		{prog.CmpULe, 2, 2, 1},
+	}
+	for _, tt := range tests {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		f.Ret(f.Cmp(tt.pred, f.Const(tt.a), f.Const(tt.b)))
+		res := runNative(t, pb)
+		if res.Ret != tt.want {
+			t.Errorf("pred %d (%d,%d): got %d, want %d", tt.pred, tt.a, tt.b, res.Ret, tt.want)
+		}
+	}
+}
+
+func TestIfBothBranches(t *testing.T) {
+	for _, cond := range []int64{0, 1} {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		out := f.NewReg()
+		f.If(f.Const(cond),
+			func() { f.AssignConst(out, 111) },
+			func() { f.AssignConst(out, 222) },
+		)
+		f.Ret(out)
+		res := runNative(t, pb)
+		want := uint64(222)
+		if cond != 0 {
+			want = 111
+		}
+		if res.Ret != want {
+			t.Errorf("cond=%d: Ret = %d, want %d", cond, res.Ret, want)
+		}
+	}
+}
+
+func TestForRangeSum(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	sum := f.NewReg()
+	f.AssignConst(sum, 0)
+	f.ForRange(prog.ConstOperand(0), prog.ConstOperand(101), 1, func(i prog.Reg) {
+		f.Assign(sum, f.Add(sum, i))
+	})
+	f.Ret(sum)
+	res := runNative(t, pb)
+	if res.Ret != 5050 {
+		t.Fatalf("sum 0..100 = %d, want 5050", res.Ret)
+	}
+}
+
+func TestDescendingLoop(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	count := f.NewReg()
+	f.AssignConst(count, 0)
+	f.ForRange(prog.ConstOperand(10), prog.ConstOperand(0), -2, func(i prog.Reg) {
+		f.Assign(count, f.AddImm(count, 1))
+	})
+	f.Ret(count)
+	res := runNative(t, pb)
+	if res.Ret != 5 { // 10,8,6,4,2
+		t.Fatalf("iterations = %d, want 5", res.Ret)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	n := f.NewReg()
+	f.AssignConst(n, 1)
+	f.While(
+		func() prog.Reg { return f.Cmp(prog.CmpSLt, n, f.Const(1000)) },
+		func() { f.Assign(n, f.Mul(n, f.Const(2))) },
+	)
+	f.Ret(n)
+	res := runNative(t, pb)
+	if res.Ret != 1024 {
+		t.Fatalf("Ret = %d, want 1024", res.Ret)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocType(prog.ArrayOf(prog.Int64T(), 4))
+	f.Store(buf, 24, f.Const(0xDEAD), prog.Int64T())
+	v := f.Load(buf, 24, prog.Int64T())
+	f.Free(buf)
+	f.Ret(v)
+	res := runNative(t, pb)
+	if !res.Ok() || res.Ret != 0xDEAD {
+		t.Fatalf("Ret = %#x (res=%+v), want 0xdead", res.Ret, res)
+	}
+	if res.Stats.Mallocs != 1 || res.Stats.Frees != 1 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+func TestAllocaAndFieldAccess(t *testing.T) {
+	st := prog.StructOf("S",
+		prog.FieldSpec{Name: "a", Type: prog.Int()},
+		prog.FieldSpec{Name: "b", Type: prog.Int64T()},
+	)
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	s := f.Alloca(st)
+	fb := f.FieldPtr(s, st, "b")
+	f.Store(fb, 0, f.Const(77), prog.Int64T())
+	f.Ret(f.Load(s, 8, prog.Int64T())) // field b is at offset 8
+	res := runNative(t, pb)
+	if res.Ret != 77 {
+		t.Fatalf("Ret = %d, want 77", res.Ret)
+	}
+}
+
+func TestFunctionCallsAndRecursion(t *testing.T) {
+	pb := prog.NewProgram()
+	fib := pb.Function("fib", 1)
+	n := fib.Arg(0)
+	fib.If(fib.Cmp(prog.CmpSLt, n, fib.Const(2)),
+		func() { fib.Ret(n) },
+		func() {
+			a := fib.Call("fib", fib.Sub(n, fib.Const(1)))
+			b := fib.Call("fib", fib.Sub(n, fib.Const(2)))
+			fib.Ret(fib.Add(a, b))
+		},
+	)
+	f := pb.Function("main", 0)
+	f.Ret(f.Call("fib", f.Const(15)))
+	res := runNative(t, pb)
+	if res.Ret != 610 {
+		t.Fatalf("fib(15) = %d, want 610", res.Ret)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	pb := prog.NewProgram()
+	loop := pb.Function("spin", 1)
+	loop.Ret(loop.Call("spin", loop.Arg(0)))
+	f := pb.Function("main", 0)
+	f.Ret(f.Call("spin", f.Const(0)))
+	res := runNative(t, pb)
+	if !errors.Is(res.Err, ErrCallDepth) {
+		t.Fatalf("err = %v, want ErrCallDepth", res.Err)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	f.While(func() prog.Reg { return f.Const(1) }, func() {})
+	p := pb.MustBuild()
+	opts := DefaultOptions()
+	opts.MaxInstructions = 10000
+	m, err := New(p, nosan.Sanitizer(), opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res := m.Run()
+	if !errors.Is(res.Err, ErrInstructionBudget) {
+		t.Fatalf("err = %v, want ErrInstructionBudget", res.Err)
+	}
+}
+
+func TestGlobalsInitAndAccess(t *testing.T) {
+	pb := prog.NewProgram()
+	pb.GlobalInit("flag", prog.Int(), 5)
+	pb.GlobalBytes("msg", []byte("hi"))
+	f := pb.Function("main", 0)
+	g := f.GlobalAddr("flag")
+	v := f.Load(g, 0, prog.Int())
+	s := f.GlobalAddr("msg")
+	c := f.Load(s, 1, prog.Char())
+	f.Ret(f.Add(v, c)) // 5 + 'i'
+	res := runNative(t, pb)
+	if res.Ret != 5+'i' {
+		t.Fatalf("Ret = %d, want %d", res.Ret, 5+'i')
+	}
+}
+
+func TestLibcMemcpyAndStrlen(t *testing.T) {
+	pb := prog.NewProgram()
+	pb.GlobalBytes("src", []byte("hello"))
+	f := pb.Function("main", 0)
+	dst := f.MallocBytes(16)
+	src := f.GlobalAddr("src")
+	f.Libc("memcpy", dst, src, f.Const(6))
+	f.Ret(f.Libc("strlen", dst))
+	res := runNative(t, pb)
+	if !res.Ok() || res.Ret != 5 {
+		t.Fatalf("strlen = %d (res=%+v), want 5", res.Ret, res)
+	}
+}
+
+func TestLibcStringFamily(t *testing.T) {
+	pb := prog.NewProgram()
+	pb.GlobalBytes("src", []byte("abc"))
+	f := pb.Function("main", 0)
+	src := f.GlobalAddr("src")
+	d1 := f.MallocBytes(16)
+	f.Libc("strcpy", d1, src)
+	d2 := f.MallocBytes(16)
+	f.Libc("strncpy", d2, d1, f.Const(8))
+	f.Libc("strcat", d2, src)
+	f.Ret(f.Libc("strlen", d2)) // "abcabc" -> 6
+	res := runNative(t, pb)
+	if !res.Ok() || res.Ret != 6 {
+		t.Fatalf("Ret = %d (res=%+v), want 6", res.Ret, res)
+	}
+}
+
+func TestLibcWideFamily(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	a := f.MallocType(prog.ArrayOf(prog.WChar(), 8))
+	b := f.MallocType(prog.ArrayOf(prog.WChar(), 8))
+	f.Libc("wmemset", a, f.Const('W'), f.Const(7)) // 7 wide chars + NUL terminator
+	f.Libc("wcsncpy", b, a, f.Const(8))
+	f.Ret(f.Libc("wcslen", b))
+	res := runNative(t, pb)
+	if !res.Ok() || res.Ret != 7 {
+		t.Fatalf("wcslen = %d (res=%+v), want 7", res.Ret, res)
+	}
+}
+
+func TestInputFeedFgets(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(32)
+	n := f.Libc("fgets", buf, f.Const(32))
+	f.Ret(n)
+	p := pb.MustBuild()
+	m, err := New(p, nosan.Sanitizer(), DefaultOptions())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Feed([]byte("external-input"))
+	res := m.Run()
+	if res.Ret != 14 {
+		t.Fatalf("fgets returned %d, want 14", res.Ret)
+	}
+	// Without input, fgets returns 0.
+	m2, _ := New(p, nosan.Sanitizer(), DefaultOptions())
+	if got := m2.Run().Ret; got != 0 {
+		t.Fatalf("fgets with empty feed = %d, want 0", got)
+	}
+}
+
+func TestFgetsTruncatesToBuffer(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(8)
+	f.Ret(f.Libc("fgets", buf, f.Const(8)))
+	p := pb.MustBuild()
+	m, _ := New(p, nosan.Sanitizer(), DefaultOptions())
+	m.Feed([]byte("0123456789ABCDEF"))
+	res := m.Run()
+	if res.Ret != 7 { // 8-byte buffer: 7 chars + NUL
+		t.Fatalf("fgets wrote %d, want 7", res.Ret)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	pb := prog.NewProgram()
+	pb.GlobalBytes("msg", []byte("hello world"))
+	f := pb.Function("main", 0)
+	f.Libc("print_int", f.Const(42))
+	f.Libc("print_str", f.GlobalAddr("msg"))
+	f.RetVoid()
+	p := pb.MustBuild()
+	m, _ := New(p, nosan.Sanitizer(), DefaultOptions())
+	if res := m.Run(); !res.Ok() {
+		t.Fatalf("run failed: %+v", res)
+	}
+	out := m.Output()
+	if len(out) != 2 || out[0] != "42" || out[1] != "hello world" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRandIsDeterministicPerSeed(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	f.Ret(f.Libc("rand"))
+	p := pb.MustBuild()
+	opts := DefaultOptions()
+	opts.Seed = 7
+	m1, _ := New(p, nosan.Sanitizer(), opts)
+	m2, _ := New(p, nosan.Sanitizer(), opts)
+	if a, b := m1.Run().Ret, m2.Run().Ret; a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	opts.Seed = 8
+	m3, _ := New(p, nosan.Sanitizer(), opts)
+	if a, c := m1.Run().Ret, m3.Run().Ret; a == c {
+		t.Fatalf("different seeds collided: %d", a)
+	}
+}
+
+func TestExternalCallIdentityAndFill(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(16)
+	same := f.CallExternal("ext_identity", true, buf)
+	f.CallExternal("ext_fill", false, same, f.Const(16), f.Const(0x5A))
+	f.Ret(f.Load(same, 15, prog.Char()))
+	res := runNative(t, pb)
+	if !res.Ok() || res.Ret != 0x5A {
+		t.Fatalf("Ret = %#x (res=%+v), want 0x5a", res.Ret, res)
+	}
+	if res.Stats.ExternCalls != 2 {
+		t.Fatalf("ExternCalls = %d, want 2", res.Stats.ExternCalls)
+	}
+}
+
+func TestExternalAllocFreeRoundTrip(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	p := f.CallExternal("ext_alloc", false, f.Const(64))
+	f.Store(p, 0, f.Const(9), prog.Int64T())
+	v := f.Load(p, 0, prog.Int64T())
+	f.CallExternal("ext_free", false, p)
+	f.Ret(v)
+	res := runNative(t, pb)
+	if !res.Ok() || res.Ret != 9 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestUnknownSymbolsError(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	f.Libc("no_such_libc")
+	f.RetVoid()
+	res := runNative(t, pb)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "unknown libc") {
+		t.Fatalf("err = %v", res.Err)
+	}
+
+	pb2 := prog.NewProgram()
+	f2 := pb2.Function("main", 0)
+	f2.CallExternal("no_such_ext", false)
+	f2.RetVoid()
+	res2 := runNative(t, pb2)
+	if res2.Err == nil || !strings.Contains(res2.Err.Error(), "unknown external") {
+		t.Fatalf("err = %v", res2.Err)
+	}
+}
+
+func TestParForComputesInParallel(t *testing.T) {
+	pb := prog.NewProgram()
+	pb.Global("results", prog.ArrayOf(prog.Int64T(), 64))
+	w := pb.Function("worker", 1)
+	i := w.Arg(0)
+	slot := w.ElemPtr(w.GlobalAddr("results"), prog.Int64T(), i)
+	w.Store(slot, 0, w.Mul(i, i), prog.Int64T())
+	w.RetVoid()
+	f := pb.Function("main", 0)
+	f.ParFor("worker", f.Const(0), f.Const(64), 4)
+	sum := f.NewReg()
+	f.AssignConst(sum, 0)
+	g := f.GlobalAddr("results")
+	f.ForRange(prog.ConstOperand(0), prog.ConstOperand(64), 1, func(i prog.Reg) {
+		f.Assign(sum, f.Add(sum, f.Load(f.ElemPtr(g, prog.Int64T(), i), 0, prog.Int64T())))
+	})
+	f.Ret(sum)
+	res := runNative(t, pb)
+	want := uint64(0)
+	for i := 0; i < 64; i++ {
+		want += uint64(i * i)
+	}
+	if !res.Ok() || res.Ret != want {
+		t.Fatalf("parallel sum = %d (res=%+v), want %d", res.Ret, res, want)
+	}
+}
+
+func TestStatsAndRSSAccounting(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	f.ForRange(prog.ConstOperand(0), prog.ConstOperand(100), 1, func(i prog.Reg) {
+		p := f.MallocBytes(1 << 16) // one chunk each
+		f.Store(p, 0, i, prog.Int64T())
+		f.Free(p)
+	})
+	f.RetVoid()
+	res := runNative(t, pb)
+	if !res.Ok() {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Stats.Mallocs != 100 || res.Stats.Frees != 100 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if res.Stats.Instructions == 0 {
+		t.Fatal("instruction count not recorded")
+	}
+	// Freed chunks are reused, so the footprint must stay near one chunk,
+	// not 100.
+	if res.Stats.PeakProgramBytes > 1<<20 {
+		t.Fatalf("PeakProgramBytes = %d, want < 1MiB (allocator reuse)", res.Stats.PeakProgramBytes)
+	}
+	if res.Stats.PeakRSS < res.Stats.PeakProgramBytes {
+		t.Fatal("PeakRSS < PeakProgramBytes")
+	}
+}
+
+func TestWildPointerDereferenceFaults(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	bad := f.Const(int64(uint64(3) << 47)) // tagged-looking wild pointer
+	f.Ret(f.Load(bad, 0, prog.Int64T()))
+	res := runNative(t, pb)
+	if res.Fault == nil {
+		t.Fatalf("expected machine fault, got %+v", res)
+	}
+}

@@ -1,0 +1,828 @@
+package juliet
+
+import (
+	"encoding/binary"
+
+	"cecsan/prog"
+)
+
+// shapesFor returns the functional variants of one CWE. The lists repeat
+// common shapes deliberately: the relative frequency of each bug shape is
+// what turns each comparator's blind spots into Table II's detection rates.
+func shapesFor(cwe CWE) []shape {
+	var base []shape
+	switch cwe {
+	case CWE121, CWE122:
+		base = overflowShapes
+	case CWE124:
+		base = underwriteShapes
+	case CWE126:
+		base = overreadShapes
+	case CWE127:
+		base = underreadShapes
+	case CWE415:
+		base = doubleFreeShapes
+	case CWE416:
+		base = uafShapes
+	case CWE761:
+		base = invalidFreeShapes
+	default:
+		return nil
+	}
+	return expandWeights(base)
+}
+
+// expandWeights repeats each shape per its weight, interleaved round-robin
+// so consecutive case indices cycle through distinct shapes.
+func expandWeights(base []shape) []shape {
+	maxW := 1
+	for _, sh := range base {
+		if sh.weight > maxW {
+			maxW = sh.weight
+		}
+	}
+	var out []shape
+	for round := 0; round < maxW; round++ {
+		for _, sh := range base {
+			w := sh.weight
+			if w <= 0 {
+				w = 1
+			}
+			if round < w {
+				out = append(out, sh)
+			}
+		}
+	}
+	return out
+}
+
+// le16 renders v as a 2-byte little-endian payload for the dummy server.
+func le16(v int64) []byte {
+	b := make([]byte, 2)
+	binary.LittleEndian.PutUint16(b, uint16(v))
+	return b
+}
+
+// recvU16 emits code reading a 2-byte little-endian value from the dummy
+// server into a fresh register.
+func recvU16(c *caseBuilder) prog.Reg {
+	f := c.f
+	ibuf := f.Alloca(prog.ArrayOf(prog.Char(), 8))
+	f.Libc("recv", ibuf, f.Const(2))
+	return f.Load(ibuf, 0, prog.Short())
+}
+
+// ---- CWE121 / CWE122: buffer overflow (write past the end) ----
+
+var overflowShapes = []shape{
+	{
+		// Write one element just past the end. Odd sizes make this an
+		// intra-granule overflow HWASan cannot see.
+		name:   "index_write",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			off := c.pick(sz-c.d.elem.Size(), sz)
+			c.f.Store(p, off, c.f.Const(0x41), c.d.elem)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Classic counted loop overrunning by two elements.
+		name:   "loop_write",
+		weight: 6,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			limit := c.pick(c.d.n, c.d.n+2)
+			c.f.ForRange(prog.ConstOperand(0), prog.ConstOperand(limit), 1, func(i prog.Reg) {
+				c.f.Store(c.f.ElemPtr(p, c.d.elem, i), 0, i, c.d.elem)
+			})
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// memcpy sized past the destination.
+		name:   "memcpy_over",
+		weight: 6,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.f.Libc("memcpy", p, c.f.GlobalAddr("g_src"), c.f.Const(c.pick(sz, 2*sz)))
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// memset sized past the destination.
+		name:   "memset_over",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.f.Libc("memset", p, c.f.Const(0x43), c.f.Const(c.pick(sz, 2*sz)))
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// strcpy of a string longer than the destination.
+		name:   "strcpy_long",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			src := "g_short"
+			if c.bad {
+				src = "g_long"
+			}
+			c.f.Libc("strcpy", p, c.f.GlobalAddr(src))
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// strncpy padding past the destination (bad), or exactly filling it
+		// (good) — the good path trips the SoftBound prototype's buggy
+		// off-by-one wrapper (modelled §IV.B false positives).
+		name:   "strncpy_over",
+		weight: 3,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.f.Libc("strncpy", p, c.f.GlobalAddr("g_short"), c.f.Const(c.pick(sz, 2*sz)))
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Wide-character copy overrunning the destination: the interceptor
+		// gap shared by ASan/HWASan and the missing SoftBound wrapper.
+		name:   "wcsncpy_over",
+		wide:   true,
+		weight: 3,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			src := c.f.MallocType(prog.ArrayOf(prog.WChar(), c.d.n+8))
+			c.f.Libc("wmemset", src, c.f.Const('W'), c.f.Const(c.d.n+7))
+			c.f.Libc("wcsncpy", p, src, c.f.Const(c.pick(c.d.n, c.d.n+4)))
+			c.f.Free(src)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Figure 3: memcpy sized for the whole struct into its first
+		// member. Only sub-object granularity sees it.
+		name:      "subobj_memcpy",
+		subObject: true,
+		weight:    1,
+		build: func(c *caseBuilder) {
+			st := prog.StructOf("CharContainer",
+				prog.FieldSpec{Name: "data", Type: prog.ArrayOf(c.d.elem, c.d.n)},
+				prog.FieldSpec{Name: "tail", Type: prog.Int64T()},
+			)
+			var obj prog.Reg
+			if c.d.heap {
+				obj = c.f.MallocType(st)
+			} else {
+				obj = c.f.Alloca(st)
+			}
+			dataSize := c.d.elem.Size() * c.d.n
+			fp := c.f.FieldPtr(obj, st, "data")
+			c.f.Libc("memcpy", fp, c.f.GlobalAddr("g_src"), c.f.Const(c.pick(dataSize, dataSize+8)))
+			if c.d.heap {
+				c.f.Free(obj)
+			}
+		},
+	},
+	{
+		// Far stride: skips every redzone and lands in unpoisoned memory —
+		// ASan's location-based blind spot.
+		name:   "stride_far",
+		weight: 3,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.f.Store(p, c.pick(0, sz+4096), c.f.Const(1), c.d.elem)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Index received from the dummy server (the cases prior
+		// evaluations excluded).
+		name:       "input_index",
+		needsInput: true,
+		weight:     4,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.input(le16(sz-c.d.elem.Size()), le16(sz))
+			k := recvU16(c)
+			c.f.Store(c.f.OffsetPtrReg(p, k), 0, c.f.Const(2), c.d.elem)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// memcpy length received from the dummy server.
+		name:       "input_size_memcpy",
+		needsInput: true,
+		weight:     3,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.input(le16(sz), le16(sz+16))
+			n := recvU16(c)
+			c.f.Libc("memcpy", p, c.f.GlobalAddr("g_src"), n)
+			c.releaseBuf(p)
+		},
+	},
+}
+
+// ---- CWE124: buffer underwrite ----
+
+var underwriteShapes = []shape{
+	{
+		name:   "index_neg_write",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.f.Store(p, c.pick(0, -c.d.elem.Size()), c.f.Const(9), c.d.elem)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Descending loop running one element below zero.
+		name:   "loop_desc_write",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			limit := c.pick(-1, -2)
+			c.f.ForRange(prog.ConstOperand(c.d.n-1), prog.ConstOperand(limit), -1, func(i prog.Reg) {
+				c.f.Store(c.f.ElemPtr(p, c.d.elem, i), 0, i, c.d.elem)
+			})
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "memcpy_under",
+		weight: 4,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			dst := c.f.OffsetPtr(p, c.pick(0, -8))
+			c.f.Libc("memcpy", dst, c.f.GlobalAddr("g_src"), c.f.Const(8))
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Far under-stride: lands before any redzone.
+		name:   "stride_under",
+		weight: 2,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.f.Store(p, c.pick(0, -4096), c.f.Const(3), c.d.elem)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "wmemset_under",
+		wide:   true,
+		weight: 2,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			dst := c.f.OffsetPtr(p, c.pick(0, -8))
+			c.f.Libc("wmemset", dst, c.f.Const('U'), c.f.Const(2))
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:       "input_offset_under",
+		needsInput: true,
+		weight:     3,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.input(le16(0), le16(uint16max(c.d.elem.Size())))
+			k := recvU16(c)
+			neg := c.f.Sub(c.f.Const(0), k)
+			c.f.Store(c.f.OffsetPtrReg(p, neg), 0, c.f.Const(4), c.d.elem)
+			c.releaseBuf(p)
+		},
+	},
+}
+
+// uint16max clamps an offset into the recv payload's 16-bit range.
+func uint16max(v int64) int64 {
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return v
+}
+
+// ---- CWE126: buffer overread ----
+
+var overreadShapes = []shape{
+	{
+		name:   "index_read",
+		weight: 4,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			v := c.f.Load(p, c.pick(sz-c.d.elem.Size(), sz), c.d.elem)
+			c.f.Libc("print_int", v)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "loop_read",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			f := c.f
+			acc := f.NewReg()
+			f.AssignConst(acc, 0)
+			limit := c.pick(c.d.n, c.d.n+2)
+			f.ForRange(prog.ConstOperand(0), prog.ConstOperand(limit), 1, func(i prog.Reg) {
+				f.Assign(acc, f.Add(acc, f.Load(f.ElemPtr(p, c.d.elem, i), 0, c.d.elem)))
+			})
+			f.Libc("print_int", acc)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "memcpy_from_over",
+		weight: 6,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			dst := c.f.MallocBytes(sz + 64)
+			c.f.Libc("memcpy", dst, p, c.f.Const(c.pick(sz, sz+8)))
+			c.f.Free(dst)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Unterminated string: strlen walks past the end.
+		name:   "strlen_unterminated",
+		weight: 4,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.f.Libc("memset", p, c.f.Const('A'), c.f.Const(c.pick(sz-1, sz)))
+			n := c.f.Libc("strlen", p)
+			c.f.Libc("print_int", n)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "wcslen_over",
+		wide:   true,
+		weight: 2,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.f.Libc("wmemset", p, c.f.Const('W'), c.f.Const(c.pick(c.d.n-1, c.d.n)))
+			n := c.f.Libc("wcslen", p)
+			c.f.Libc("print_int", n)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		// Far over-read: skips the redzone into unpoisoned memory.
+		name:   "stride_read_far",
+		weight: 2,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			v := c.f.Load(p, c.pick(0, sz+4096), c.d.elem)
+			c.f.Libc("print_int", v)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:       "input_len_read",
+		needsInput: true,
+		weight:     3,
+		build: func(c *caseBuilder) {
+			p, sz := c.buf()
+			c.input(le16(sz-c.d.elem.Size()), le16(sz))
+			k := recvU16(c)
+			v := c.f.Load(c.f.OffsetPtrReg(p, k), 0, c.d.elem)
+			c.f.Libc("print_int", v)
+			c.releaseBuf(p)
+		},
+	},
+}
+
+// ---- CWE127: buffer underread ----
+
+var underreadShapes = []shape{
+	{
+		name:   "index_neg_read",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			v := c.f.Load(p, c.pick(0, -c.d.elem.Size()), c.d.elem)
+			c.f.Libc("print_int", v)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "loop_desc_read",
+		weight: 5,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			f := c.f
+			acc := f.NewReg()
+			f.AssignConst(acc, 0)
+			limit := c.pick(-1, -2)
+			f.ForRange(prog.ConstOperand(c.d.n-1), prog.ConstOperand(limit), -1, func(i prog.Reg) {
+				f.Assign(acc, f.Add(acc, f.Load(f.ElemPtr(p, c.d.elem, i), 0, c.d.elem)))
+			})
+			f.Libc("print_int", acc)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "memcpy_from_under",
+		weight: 4,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			dst := c.f.MallocBytes(64)
+			src := c.f.OffsetPtr(p, c.pick(0, -8))
+			c.f.Libc("memcpy", dst, src, c.f.Const(8))
+			c.f.Free(dst)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "stride_under_read",
+		weight: 2,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			v := c.f.Load(p, c.pick(0, -4096), c.d.elem)
+			c.f.Libc("print_int", v)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:   "wmemcpy_under",
+		wide:   true,
+		weight: 2,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			dst := c.f.MallocType(prog.ArrayOf(prog.WChar(), 8))
+			src := c.f.OffsetPtr(p, c.pick(0, -16))
+			c.f.Libc("wmemcpy", dst, src, c.f.Const(4))
+			c.f.Free(dst)
+			c.releaseBuf(p)
+		},
+	},
+	{
+		name:       "input_offset_read",
+		needsInput: true,
+		weight:     3,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.input(le16(0), le16(uint16max(c.d.elem.Size())))
+			k := recvU16(c)
+			neg := c.f.Sub(c.f.Const(0), k)
+			v := c.f.Load(c.f.OffsetPtrReg(p, neg), 0, c.d.elem)
+			c.f.Libc("print_int", v)
+			c.releaseBuf(p)
+		},
+	},
+}
+
+// ---- CWE415: double free ----
+
+var doubleFreeShapes = []shape{
+	{
+		name:     "direct",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.f.Free(p)
+			if c.bad {
+				c.f.Free(p)
+			}
+		},
+	},
+	{
+		name:     "alias",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			q := c.f.Mov(p)
+			c.f.Free(p)
+			if c.bad {
+				c.f.Free(q)
+			}
+		},
+	},
+	{
+		name:     "two_blocks",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			q := c.f.MallocBytes(32)
+			c.f.Free(p)
+			if c.bad {
+				c.f.Free(p)
+			} else {
+				c.f.Free(q)
+			}
+		},
+	},
+	{
+		name:     "helper_free",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			h := c.pb.Function("free_helper", 1)
+			h.Free(h.Arg(0))
+			h.RetVoid()
+			p, _ := c.buf()
+			c.f.Call("free_helper", p)
+			if c.bad {
+				c.f.Call("free_helper", p)
+			}
+		},
+	},
+	{
+		name:     "loop_free",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			times := c.pick(1, 2)
+			c.f.ForRange(prog.ConstOperand(0), prog.ConstOperand(times), 1, func(prog.Reg) {
+				c.f.Free(p)
+			})
+		},
+	},
+	{
+		name:       "input_guard_free",
+		heapOnly:   true,
+		needsInput: true,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.input([]byte{0x00}, []byte{0x99})
+			f := c.f
+			ibuf := f.Alloca(prog.ArrayOf(prog.Char(), 4))
+			f.Libc("recv", ibuf, f.Const(1))
+			b := f.Load(ibuf, 0, prog.Char())
+			f.Free(p)
+			f.If(f.Cmp(prog.CmpEq, b, f.Const(0x99)), func() { f.Free(p) }, nil)
+		},
+	},
+}
+
+// ---- CWE416: use after free ----
+
+var uafShapes = []shape{
+	{
+		name:     "write_after_free",
+		heapOnly: true,
+		weight:   2,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			if c.bad {
+				c.f.Free(p)
+				c.f.Store(p, 0, c.f.Const(1), c.d.elem)
+			} else {
+				c.f.Store(p, 0, c.f.Const(1), c.d.elem)
+				c.f.Free(p)
+			}
+		},
+	},
+	{
+		name:     "read_after_free",
+		heapOnly: true,
+		weight:   2,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			if c.bad {
+				c.f.Free(p)
+				c.f.Libc("print_int", c.f.Load(p, 0, c.d.elem))
+			} else {
+				c.f.Libc("print_int", c.f.Load(p, 0, c.d.elem))
+				c.f.Free(p)
+			}
+		},
+	},
+	{
+		// Dangling pointer reloaded from memory: SoftBound's shadow loses
+		// the CETS key (modelled prototype flaw).
+		name:     "reloaded_write",
+		heapOnly: true,
+		weight:   2,
+		build: func(c *caseBuilder) {
+			f := c.f
+			cell := f.MallocType(prog.PtrTo(c.d.elem))
+			p, _ := c.buf()
+			f.Store(cell, 0, p, prog.PtrTo(c.d.elem))
+			if c.bad {
+				f.Free(p)
+				reloaded := f.Load(cell, 0, prog.PtrTo(c.d.elem))
+				f.Store(reloaded, 0, f.Const(5), c.d.elem)
+			} else {
+				reloaded := f.Load(cell, 0, prog.PtrTo(c.d.elem))
+				f.Store(reloaded, 0, f.Const(5), c.d.elem)
+				f.Free(p)
+			}
+			f.Free(cell)
+		},
+	},
+	{
+		name:     "reloaded_read",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			f := c.f
+			cell := f.MallocType(prog.PtrTo(c.d.elem))
+			p, _ := c.buf()
+			f.Store(cell, 0, p, prog.PtrTo(c.d.elem))
+			if c.bad {
+				f.Free(p)
+				reloaded := f.Load(cell, 0, prog.PtrTo(c.d.elem))
+				f.Libc("print_int", f.Load(reloaded, 0, c.d.elem))
+			} else {
+				reloaded := f.Load(cell, 0, prog.PtrTo(c.d.elem))
+				f.Libc("print_int", f.Load(reloaded, 0, c.d.elem))
+				f.Free(p)
+			}
+			f.Free(cell)
+		},
+	},
+	{
+		// Access to freed memory through a wide-character function: the
+		// interceptor gap turns this into an ASan/HWASan/SoftBound miss.
+		name:     "wide_uaf",
+		wide:     true,
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p, _ := c.buf()
+			src := f.MallocType(prog.ArrayOf(prog.WChar(), 4))
+			f.Libc("wmemset", src, f.Const('U'), f.Const(3))
+			if c.bad {
+				f.Free(p)
+				f.Libc("wcsncpy", p, src, f.Const(4))
+			} else {
+				f.Libc("wcsncpy", p, src, f.Const(4))
+				f.Free(p)
+			}
+			f.Free(src)
+		},
+	},
+	{
+		// Dangling string printed: printf-family interception is off for
+		// the comparators; CECSan instruments the call site.
+		name:     "print_after_free",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p, _ := c.buf()
+			f.Libc("memset", p, f.Const('S'), f.Const(4))
+			f.Store(p, 4, f.Const(0), prog.Char())
+			if c.bad {
+				f.Free(p)
+				f.Libc("print_str", p)
+			} else {
+				f.Libc("print_str", p)
+				f.Free(p)
+			}
+		},
+	},
+	{
+		// UAF after the quarantine was flushed and the chunk reused:
+		// ASan's design-level temporal limit.
+		name:     "quarantine_flush",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p := f.MallocBytes(128 << 10)
+			if c.bad {
+				f.Free(p)
+			}
+			// In the bad version this claims p's recycled metadata entry,
+			// so the stale tag resolves to foreign bounds.
+			small := f.MallocBytes(24)
+			f.ForRange(prog.ConstOperand(0), prog.ConstOperand(80), 1, func(i prog.Reg) {
+				t := f.MallocBytes(128<<10 + 16)
+				f.Store(t, 0, i, prog.Int64T())
+				f.Free(t)
+			})
+			keep := f.MallocBytes(128 << 10) // reuses p's chunk, unpoisoning it
+			f.Store(p, 8, f.Const(7), prog.Int64T())
+			if !c.bad {
+				f.Free(p)
+			}
+			f.Free(keep)
+			f.Free(small)
+		},
+	},
+	{
+		name:     "helper_uaf",
+		heapOnly: true,
+		weight:   2,
+		build: func(c *caseBuilder) {
+			h := c.pb.Function("uaf_free_helper", 1)
+			h.Free(h.Arg(0))
+			h.RetVoid()
+			f := c.f
+			p, _ := c.buf()
+			if c.bad {
+				f.Call("uaf_free_helper", p)
+				f.Store(p, 0, f.Const(1), c.d.elem)
+			} else {
+				f.Store(p, 0, f.Const(1), c.d.elem)
+				f.Call("uaf_free_helper", p)
+			}
+		},
+	},
+	{
+		name:       "input_guard_uaf",
+		heapOnly:   true,
+		needsInput: true,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p, _ := c.buf()
+			c.input([]byte{0x00}, []byte{0x77})
+			ibuf := f.Alloca(prog.ArrayOf(prog.Char(), 4))
+			f.Libc("recv", ibuf, f.Const(1))
+			b := f.Load(ibuf, 0, prog.Char())
+			f.Free(p)
+			f.If(f.Cmp(prog.CmpEq, b, f.Const(0x77)), func() {
+				f.Store(p, 0, f.Const(2), c.d.elem)
+			}, nil)
+		},
+	},
+}
+
+// ---- CWE761: free of pointer not at start of buffer ----
+
+var invalidFreeShapes = []shape{
+	{
+		name:     "interior_const",
+		heapOnly: true,
+		weight:   4,
+		build: func(c *caseBuilder) {
+			// The bad pointer stays INSIDE the buffer (one element in), as
+			// in Juliet's CWE761 cases — which is exactly why a pure tag
+			// comparison cannot reject it.
+			p, _ := c.buf()
+			c.f.Free(c.f.OffsetPtr(p, c.pick(0, c.d.elem.Size())))
+		},
+	},
+	{
+		// Pointer advanced in a loop (strchr-style scan), then freed.
+		name:     "interior_loop",
+		heapOnly: true,
+		weight:   3,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p, _ := c.buf()
+			q := f.NewReg()
+			f.Assign(q, p)
+			steps := c.pick(0, 4)
+			f.ForRange(prog.ConstOperand(0), prog.ConstOperand(steps), 1, func(prog.Reg) {
+				f.Assign(q, f.OffsetPtr(q, c.d.elem.Size()))
+			})
+			f.Free(q)
+		},
+	},
+	{
+		// Freeing a stack object: HWASan's tag check passes (the pointer's
+		// tag matches the stack memory), so it reaches the allocator
+		// silently — part of its 0% CWE761 row.
+		name:     "free_stack",
+		heapOnly: true,
+		weight:   2,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p, _ := c.buf() // heap buffer, freed legally on the good path
+			sbuf := f.Alloca(prog.ArrayOf(prog.Char(), 16))
+			f.Libc("memset", sbuf, f.Const(0), f.Const(16))
+			if c.bad {
+				f.Free(sbuf)
+			}
+			f.Free(p)
+		},
+	},
+	{
+		// Freeing an unsafe global.
+		name:     "free_global",
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p, _ := c.buf()
+			g := f.GlobalAddr("g_src")
+			f.Libc("memset", g, f.Const(0), f.Const(8))
+			if c.bad {
+				f.Free(g)
+			}
+			f.Free(p)
+		},
+	},
+	{
+		name:     "wide_interior",
+		wide:     true,
+		heapOnly: true,
+		build: func(c *caseBuilder) {
+			p, _ := c.buf()
+			c.f.Free(c.f.OffsetPtr(p, c.pick(0, 4)))
+		},
+	},
+	{
+		name:       "input_offset_free",
+		heapOnly:   true,
+		needsInput: true,
+		build: func(c *caseBuilder) {
+			f := c.f
+			p, _ := c.buf()
+			c.input(le16(0), le16(8))
+			k := recvU16(c)
+			f.Free(f.OffsetPtrReg(p, k))
+		},
+	},
+}

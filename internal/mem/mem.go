@@ -1,0 +1,243 @@
+// Package mem implements the simulated 64-bit virtual address space that all
+// sanitizers and workloads in this repository run against.
+//
+// The space is sparse and chunk-granular: addresses are 64-bit values, but
+// only chunks that have actually been touched are materialized. This mirrors
+// how a demand-paged OS backs user-space memory and gives the repository its
+// resident-set-size (RSS) model: the number of materialized chunks is the
+// simulated physical footprint of a program.
+//
+// Pointer tagging relies on the fact that user-space addresses occupy only
+// the low 47 (x86-64) or 48 (ARM64) bits of a pointer. The machine's linker
+// model additionally keeps every segment below 4 GiB, so a dereference of a
+// still-tagged pointer (tag bits in the high word) lands far outside the
+// mapped span and is reported as a fault, exactly like the non-canonical
+// fault such a dereference raises on real hardware.
+//
+// Chunk materialization uses atomic pointers so that parallel workload
+// regions (the OpenMP analogue of the SPEC CPU2017 runs) can fault chunks in
+// concurrently. Racing data accesses to the same bytes remain races of the
+// simulated program, as on real memory.
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ChunkBits is the log2 of the chunk size. Chunks are 64 KiB: small enough
+// that the RSS model tracks footprints at sub-megabyte granularity, large
+// enough that the chunk table stays small.
+const ChunkBits = 16
+
+// ChunkSize is the number of bytes in one materialized chunk.
+const ChunkSize = 1 << ChunkBits
+
+// SpanBits is the log2 of the mapped span. All segments live below 4 GiB.
+const SpanBits = 32
+
+// SpanSize is the size of the mappable span in bytes.
+const SpanSize = uint64(1) << SpanBits
+
+const (
+	chunkMask = ChunkSize - 1
+	numChunks = SpanSize >> ChunkBits
+)
+
+// Fault describes a raw-memory access error (address outside the mapped
+// span, e.g. a dereference of a pointer whose tag bits were never stripped).
+// It is a machine-level fault, not a sanitizer report; the harness treats a
+// fault in a "bad" test case as a crash rather than a detection.
+type Fault struct {
+	Addr uint64
+	Size int64
+	Wr   bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Wr {
+		op = "write"
+	}
+	return fmt.Sprintf("SIGSEGV: wild %s of %d bytes at unmapped address %#x", op, f.Size, f.Addr)
+}
+
+type chunk [ChunkSize]byte
+
+// Space is a sparse simulated address space.
+type Space struct {
+	addrBits uint // canonical pointer address width (47 or 48)
+
+	chunks  []atomic.Pointer[chunk]
+	touched atomic.Int64 // number of materialized chunks
+}
+
+// NewSpace returns an empty space with the given canonical pointer width in
+// bits. The width governs tagging semantics only; the mapped span is always
+// SpanSize. Widths below SpanBits or above 57 are rejected.
+func NewSpace(addrBits uint) (*Space, error) {
+	if addrBits < SpanBits || addrBits > 57 {
+		return nil, fmt.Errorf("mem: address width %d out of range [%d,57]", addrBits, SpanBits)
+	}
+	return &Space{
+		addrBits: addrBits,
+		chunks:   make([]atomic.Pointer[chunk], numChunks),
+	}, nil
+}
+
+// AddrBits returns the canonical pointer width of the space.
+func (s *Space) AddrBits() uint { return s.addrBits }
+
+// Canonical reports whether addr fits in the canonical user-space pointer
+// range (i.e. carries no tag bits).
+func (s *Space) Canonical(addr uint64) bool { return addr < uint64(1)<<s.addrBits }
+
+// TouchedBytes returns the simulated resident set size: the total bytes of
+// materialized chunks.
+func (s *Space) TouchedBytes() int64 { return s.touched.Load() * ChunkSize }
+
+// chunkFor returns the chunk containing addr, materializing it on first
+// touch. addr must be below SpanSize.
+func (s *Space) chunkFor(addr uint64) *chunk {
+	idx := addr >> ChunkBits
+	if c := s.chunks[idx].Load(); c != nil {
+		return c
+	}
+	c := new(chunk)
+	if s.chunks[idx].CompareAndSwap(nil, c) {
+		s.touched.Add(1)
+		return c
+	}
+	return s.chunks[idx].Load()
+}
+
+func (s *Space) inSpan(addr uint64, size int64) bool {
+	return addr < SpanSize && size >= 0 && addr+uint64(size) <= SpanSize
+}
+
+// Load reads size bytes (1, 2, 4 or 8) at addr, little-endian, zero-extended.
+func (s *Space) Load(addr uint64, size int64) (uint64, *Fault) {
+	if !s.inSpan(addr, size) {
+		return 0, &Fault{Addr: addr, Size: size}
+	}
+	off := addr & chunkMask
+	if off+uint64(size) <= ChunkSize {
+		c := s.chunkFor(addr)
+		switch size {
+		case 1:
+			return uint64(c[off]), nil
+		case 2:
+			return uint64(c[off]) | uint64(c[off+1])<<8, nil
+		case 4:
+			return uint64(c[off]) | uint64(c[off+1])<<8 | uint64(c[off+2])<<16 | uint64(c[off+3])<<24, nil
+		case 8:
+			return uint64(c[off]) | uint64(c[off+1])<<8 | uint64(c[off+2])<<16 | uint64(c[off+3])<<24 |
+				uint64(c[off+4])<<32 | uint64(c[off+5])<<40 | uint64(c[off+6])<<48 | uint64(c[off+7])<<56, nil
+		}
+	}
+	// Slow path: crosses a chunk boundary or odd size.
+	var v uint64
+	for i := int64(0); i < size; i++ {
+		c := s.chunkFor(addr + uint64(i))
+		v |= uint64(c[(addr+uint64(i))&chunkMask]) << (8 * uint(i))
+	}
+	return v, nil
+}
+
+// Store writes the low size bytes (1, 2, 4 or 8) of val at addr, little-endian.
+func (s *Space) Store(addr uint64, size int64, val uint64) *Fault {
+	if !s.inSpan(addr, size) {
+		return &Fault{Addr: addr, Size: size, Wr: true}
+	}
+	off := addr & chunkMask
+	if off+uint64(size) <= ChunkSize {
+		c := s.chunkFor(addr)
+		switch size {
+		case 1:
+			c[off] = byte(val)
+			return nil
+		case 2:
+			c[off], c[off+1] = byte(val), byte(val>>8)
+			return nil
+		case 4:
+			c[off], c[off+1], c[off+2], c[off+3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
+			return nil
+		case 8:
+			c[off], c[off+1], c[off+2], c[off+3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
+			c[off+4], c[off+5], c[off+6], c[off+7] = byte(val>>32), byte(val>>40), byte(val>>48), byte(val>>56)
+			return nil
+		}
+	}
+	for i := int64(0); i < size; i++ {
+		c := s.chunkFor(addr + uint64(i))
+		c[(addr+uint64(i))&chunkMask] = byte(val >> (8 * uint(i)))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (s *Space) ReadBytes(addr uint64, n int64) ([]byte, *Fault) {
+	if !s.inSpan(addr, n) {
+		return nil, &Fault{Addr: addr, Size: n}
+	}
+	out := make([]byte, n)
+	var done int64
+	for done < n {
+		a := addr + uint64(done)
+		c := s.chunkFor(a)
+		done += int64(copy(out[done:], c[a&chunkMask:]))
+	}
+	return out, nil
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (s *Space) WriteBytes(addr uint64, b []byte) *Fault {
+	n := int64(len(b))
+	if !s.inSpan(addr, n) {
+		return &Fault{Addr: addr, Size: n, Wr: true}
+	}
+	var done int64
+	for done < n {
+		a := addr + uint64(done)
+		c := s.chunkFor(a)
+		done += int64(copy(c[a&chunkMask:], b[done:]))
+	}
+	return nil
+}
+
+// Copy moves n bytes from src to dst within the space, handling overlap like
+// memmove does.
+func (s *Space) Copy(dst, src uint64, n int64) *Fault {
+	if n <= 0 {
+		return nil
+	}
+	b, f := s.ReadBytes(src, n)
+	if f != nil {
+		return f
+	}
+	return s.WriteBytes(dst, b)
+}
+
+// Set fills n bytes starting at addr with byte v.
+func (s *Space) Set(addr uint64, v byte, n int64) *Fault {
+	if !s.inSpan(addr, n) {
+		return &Fault{Addr: addr, Size: n, Wr: true}
+	}
+	var done int64
+	for done < n {
+		a := addr + uint64(done)
+		c := s.chunkFor(a)
+		off := a & chunkMask
+		end := int64(ChunkSize) - int64(off)
+		if end > n-done {
+			end = n - done
+		}
+		seg := c[off : int64(off)+end]
+		for i := range seg {
+			seg[i] = v
+		}
+		done += end
+	}
+	return nil
+}

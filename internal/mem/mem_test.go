@@ -1,0 +1,356 @@
+package mem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(47)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	return s
+}
+
+func TestNewSpaceWidthValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		bits    uint
+		wantErr bool
+	}{
+		{name: "x86-64 user width", bits: 47, wantErr: false},
+		{name: "arm64 user width", bits: 48, wantErr: false},
+		{name: "minimum width", bits: SpanBits, wantErr: false},
+		{name: "too narrow", bits: SpanBits - 1, wantErr: true},
+		{name: "too wide", bits: 58, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSpace(tt.bits)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("NewSpace(%d) error = %v, wantErr %v", tt.bits, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := newSpace(t)
+	tests := []struct {
+		name string
+		addr uint64
+		size int64
+		val  uint64
+		want uint64
+	}{
+		{name: "byte", addr: 0x1000, size: 1, val: 0xAB, want: 0xAB},
+		{name: "byte truncates", addr: 0x1001, size: 1, val: 0x1FF, want: 0xFF},
+		{name: "half word", addr: 0x2000, size: 2, val: 0xBEEF, want: 0xBEEF},
+		{name: "word", addr: 0x3000, size: 4, val: 0xDEADBEEF, want: 0xDEADBEEF},
+		{name: "double word", addr: 0x4000, size: 8, val: 0x0123456789ABCDEF, want: 0x0123456789ABCDEF},
+		{name: "word truncates high bits", addr: 0x5000, size: 4, val: 0xAA_DEADBEEF, want: 0xDEADBEEF},
+		{name: "chunk-straddling word", addr: ChunkSize - 2, size: 4, val: 0xCAFEBABE, want: 0xCAFEBABE},
+		{name: "chunk-straddling double", addr: 3*ChunkSize - 3, size: 8, val: 0x1122334455667788, want: 0x1122334455667788},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if f := s.Store(tt.addr, tt.size, tt.val); f != nil {
+				t.Fatalf("Store: %v", f)
+			}
+			got, f := s.Load(tt.addr, tt.size)
+			if f != nil {
+				t.Fatalf("Load: %v", f)
+			}
+			if got != tt.want {
+				t.Fatalf("Load = %#x, want %#x", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLoadIsLittleEndian(t *testing.T) {
+	s := newSpace(t)
+	if f := s.WriteBytes(0x100, []byte{0x01, 0x02, 0x03, 0x04}); f != nil {
+		t.Fatalf("WriteBytes: %v", f)
+	}
+	got, f := s.Load(0x100, 4)
+	if f != nil {
+		t.Fatalf("Load: %v", f)
+	}
+	if want := uint64(0x04030201); got != want {
+		t.Fatalf("Load = %#x, want %#x", got, want)
+	}
+}
+
+func TestUntouchedMemoryReadsZero(t *testing.T) {
+	s := newSpace(t)
+	got, f := s.Load(0x7FFF_0000, 8)
+	if f != nil {
+		t.Fatalf("Load: %v", f)
+	}
+	if got != 0 {
+		t.Fatalf("Load of untouched memory = %#x, want 0", got)
+	}
+}
+
+func TestOutOfSpanAccessesFault(t *testing.T) {
+	s := newSpace(t)
+	tests := []struct {
+		name string
+		addr uint64
+		size int64
+	}{
+		{name: "just past span", addr: SpanSize, size: 1},
+		{name: "straddles span end", addr: SpanSize - 4, size: 8},
+		{name: "tagged pointer dereference", addr: (uint64(3) << 47) | 0x1000, size: 8},
+		{name: "high canonical but unmapped", addr: uint64(1) << 46, size: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, f := s.Load(tt.addr, tt.size); f == nil {
+				t.Errorf("Load(%#x) did not fault", tt.addr)
+			}
+			if f := s.Store(tt.addr, tt.size, 1); f == nil {
+				t.Errorf("Store(%#x) did not fault", tt.addr)
+			}
+			if _, f := s.ReadBytes(tt.addr, tt.size); f == nil {
+				t.Errorf("ReadBytes(%#x) did not fault", tt.addr)
+			}
+			if f := s.WriteBytes(tt.addr, make([]byte, tt.size)); f == nil {
+				t.Errorf("WriteBytes(%#x) did not fault", tt.addr)
+			}
+			if f := s.Set(tt.addr, 0xFF, tt.size); f == nil {
+				t.Errorf("Set(%#x) did not fault", tt.addr)
+			}
+		})
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Addr: 0xABC, Size: 8, Wr: true}
+	if got := f.Error(); got == "" {
+		t.Fatal("Fault.Error() returned empty string")
+	}
+	r := &Fault{Addr: 0xABC, Size: 8}
+	if f.Error() == r.Error() {
+		t.Fatal("read and write faults render identically")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	s := newSpace(t)
+	if !s.Canonical(0x7FFF_FFFF_FFFF) {
+		t.Error("47-bit address should be canonical")
+	}
+	if s.Canonical(uint64(1) << 47) {
+		t.Error("bit 47 set should be non-canonical under 47-bit width")
+	}
+	s48, err := NewSpace(48)
+	if err != nil {
+		t.Fatalf("NewSpace(48): %v", err)
+	}
+	if !s48.Canonical(uint64(1) << 47) {
+		t.Error("bit 47 set should be canonical under 48-bit width")
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	s := newSpace(t)
+	payload := make([]byte, 3*ChunkSize+17) // force multiple chunk crossings
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	const base = ChunkSize - 9
+	if f := s.WriteBytes(base, payload); f != nil {
+		t.Fatalf("WriteBytes: %v", f)
+	}
+	got, f := s.ReadBytes(base, int64(len(payload)))
+	if f != nil {
+		t.Fatalf("ReadBytes: %v", f)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("ReadBytes payload mismatch after WriteBytes")
+	}
+}
+
+func TestCopyOverlapping(t *testing.T) {
+	s := newSpace(t)
+	src := []byte("abcdefghij")
+	if f := s.WriteBytes(0x100, src); f != nil {
+		t.Fatalf("WriteBytes: %v", f)
+	}
+	// Overlapping forward copy, memmove semantics.
+	if f := s.Copy(0x104, 0x100, 10); f != nil {
+		t.Fatalf("Copy: %v", f)
+	}
+	got, f := s.ReadBytes(0x100, 14)
+	if f != nil {
+		t.Fatalf("ReadBytes: %v", f)
+	}
+	if want := "abcdabcdefghij"; string(got) != want {
+		t.Fatalf("overlapping copy = %q, want %q", got, want)
+	}
+}
+
+func TestSetFill(t *testing.T) {
+	s := newSpace(t)
+	const base = 2*ChunkSize - 100
+	const n = 300 // straddles a chunk boundary
+	if f := s.Set(base, 0x5A, n); f != nil {
+		t.Fatalf("Set: %v", f)
+	}
+	got, f := s.ReadBytes(base, n)
+	if f != nil {
+		t.Fatalf("ReadBytes: %v", f)
+	}
+	for i, b := range got {
+		if b != 0x5A {
+			t.Fatalf("byte %d = %#x, want 0x5A", i, b)
+		}
+	}
+	// Bytes just outside the fill must be untouched.
+	before, _ := s.Load(base-1, 1)
+	after, _ := s.Load(base+n, 1)
+	if before != 0 || after != 0 {
+		t.Fatalf("Set leaked outside range: before=%#x after=%#x", before, after)
+	}
+}
+
+func TestTouchedBytesTracksChunks(t *testing.T) {
+	s := newSpace(t)
+	if got := s.TouchedBytes(); got != 0 {
+		t.Fatalf("fresh space TouchedBytes = %d, want 0", got)
+	}
+	s.Store(0, 1, 1)
+	if got := s.TouchedBytes(); got != ChunkSize {
+		t.Fatalf("TouchedBytes = %d, want %d", got, ChunkSize)
+	}
+	s.Store(10, 8, 1) // same chunk
+	if got := s.TouchedBytes(); got != ChunkSize {
+		t.Fatalf("TouchedBytes after same-chunk store = %d, want %d", got, ChunkSize)
+	}
+	s.Store(5*ChunkSize, 1, 1)
+	if got := s.TouchedBytes(); got != 2*ChunkSize {
+		t.Fatalf("TouchedBytes = %d, want %d", got, 2*ChunkSize)
+	}
+	// Loads also materialize (demand paging of zero pages).
+	s.Load(9*ChunkSize, 8)
+	if got := s.TouchedBytes(); got != 3*ChunkSize {
+		t.Fatalf("TouchedBytes after load = %d, want %d", got, 3*ChunkSize)
+	}
+}
+
+func TestConcurrentMaterialization(t *testing.T) {
+	s := newSpace(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 4 * ChunkSize
+			for i := 0; i < 1000; i++ {
+				addr := base + uint64(i%4)*ChunkSize + uint64((i/4)*8)%(ChunkSize-8)
+				if f := s.Store(addr, 8, uint64(w)); f != nil {
+					t.Errorf("worker %d Store: %v", w, f)
+					return
+				}
+				if _, f := s.Load(addr, 8); f != nil {
+					t.Errorf("worker %d Load: %v", w, f)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := s.TouchedBytes(), int64(workers*4*ChunkSize); got != want {
+		t.Fatalf("TouchedBytes = %d, want %d", got, want)
+	}
+}
+
+// TestLoadStoreProperty checks that for arbitrary (addr, size, value) the
+// store/load pair round-trips the value modulo truncation to size bytes.
+func TestLoadStoreProperty(t *testing.T) {
+	s := newSpace(t)
+	sizes := []int64{1, 2, 4, 8}
+	prop := func(addrSeed uint32, sizeIdx uint8, val uint64) bool {
+		addr := uint64(addrSeed) % (SpanSize - 8)
+		size := sizes[int(sizeIdx)%len(sizes)]
+		if f := s.Store(addr, size, val); f != nil {
+			return false
+		}
+		got, f := s.Load(addr, size)
+		if f != nil {
+			return false
+		}
+		want := val
+		if size < 8 {
+			want = val & ((uint64(1) << (8 * uint(size))) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCopyMatchesGoCopy cross-checks Space.Copy against Go's copy on a
+// reference buffer for arbitrary overlapping ranges.
+func TestCopyMatchesGoCopy(t *testing.T) {
+	prop := func(dstOff, srcOff uint16, n uint8, seed uint64) bool {
+		s, err := NewSpace(47)
+		if err != nil {
+			return false
+		}
+		const base = 0x1000
+		ref := make([]byte, 1<<17)
+		rnd := seed
+		for i := range ref {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			ref[i] = byte(rnd >> 56)
+		}
+		if f := s.WriteBytes(base, ref); f != nil {
+			return false
+		}
+		d, sr, ln := int(dstOff), int(srcOff), int(n)
+		if f := s.Copy(base+uint64(d), base+uint64(sr), int64(ln)); f != nil {
+			return false
+		}
+		tmp := make([]byte, ln)
+		copy(tmp, ref[sr:sr+ln])
+		copy(ref[d:d+ln], tmp)
+		got, f := s.ReadBytes(base, int64(len(ref)))
+		if f != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLoad8(b *testing.B) {
+	s, _ := NewSpace(47)
+	s.Store(0x1000, 8, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, f := s.Load(0x1000, 8); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+func BenchmarkStore8(b *testing.B) {
+	s, _ := NewSpace(47)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Store(0x1000, 8, uint64(i)); f != nil {
+			b.Fatal(f)
+		}
+	}
+}

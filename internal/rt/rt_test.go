@@ -1,0 +1,53 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"cecsan/internal/alloc"
+)
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatalf("AccessKind strings: %q/%q", Read, Write)
+	}
+}
+
+func TestViolationKindStrings(t *testing.T) {
+	tests := map[Kind]string{
+		KindOOBRead:           "buffer-overflow-read",
+		KindOOBWrite:          "buffer-overflow-write",
+		KindUseAfterFree:      "use-after-free",
+		KindDoubleFree:        "double-free",
+		KindInvalidFree:       "invalid-free",
+		KindSubObjectOverflow: "sub-object-overflow",
+		KindUnknown:           "unknown-violation",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{
+		Kind: KindOOBWrite, Ptr: 0x1000, Addr: 0x1040, Size: 8,
+		Seg: alloc.SegHeap, Detail: "past the end", Func: "main", PC: 7,
+	}
+	msg := v.Error()
+	for _, want := range []string{"buffer-overflow-write", "0x1040", "heap", "main@7", "past the end"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestPtrMetaValid(t *testing.T) {
+	if (PtrMeta{}).Valid() {
+		t.Error("zero PtrMeta reported valid")
+	}
+	if !(PtrMeta{Base: 0x1000, Bound: 0x1040}).Valid() {
+		t.Error("bounded PtrMeta reported invalid")
+	}
+}

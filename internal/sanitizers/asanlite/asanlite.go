@@ -1,0 +1,22 @@
+// Package asanlite models ASAN-- ("Debloating Address Sanitizer", USENIX
+// Security 2022): stock ASan's runtime with compiler passes that remove
+// redundant and recurring checks and hoist loop-invariant LOAD checks
+// (stores cannot be relocated past redzones, the §II.F.1 contrast).
+// Detection behaviour is ASan's; only the check count shrinks.
+package asanlite
+
+import (
+	"cecsan/internal/rt"
+	"cecsan/internal/sanitizers/asan"
+)
+
+// Sanitizer returns the ASAN-- bundle.
+func Sanitizer() rt.Sanitizer {
+	opts := asan.DefaultOptions()
+	opts.Name = "ASAN--"
+	san := asan.Sanitizer(opts)
+	san.Profile.Name = opts.Name
+	san.Profile.OptRedundant = true
+	san.Profile.OptLoopInvariant = true // loads only: RedzoneBased is set
+	return san
+}

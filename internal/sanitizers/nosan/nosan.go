@@ -1,0 +1,104 @@
+// Package nosan implements the uninstrumented baseline: a runtime that
+// allocates through the stock allocator and never checks anything. Its
+// execution time and footprint are the "native" reference every overhead
+// percentage in Tables IV and V is computed against.
+package nosan
+
+import (
+	"cecsan/internal/rt"
+)
+
+// Runtime is the pass-through runtime.
+type Runtime struct {
+	env rt.Env
+}
+
+var _ rt.Runtime = (*Runtime)(nil)
+
+// New returns the baseline runtime.
+func New() *Runtime { return &Runtime{} }
+
+// Sanitizer returns the bundled runtime + (empty) profile.
+func Sanitizer() rt.Sanitizer {
+	return rt.Sanitizer{Runtime: New(), Profile: rt.Profile{Name: "native"}}
+}
+
+// Name implements rt.Runtime.
+func (r *Runtime) Name() string { return "native" }
+
+// Attach implements rt.Runtime.
+func (r *Runtime) Attach(env *rt.Env) error {
+	r.env = *env
+	return nil
+}
+
+// Malloc implements rt.Runtime: plain heap allocation.
+func (r *Runtime) Malloc(size int64) (uint64, rt.PtrMeta, error) {
+	p, err := r.env.Heap.Alloc(size)
+	return p, rt.PtrMeta{}, err
+}
+
+// Free implements rt.Runtime: plain deallocation; invalid frees are the
+// allocator's silent undefined behaviour.
+func (r *Runtime) Free(ptr uint64, _ rt.PtrMeta) *rt.Violation {
+	r.env.Heap.Free(ptr)
+	return nil
+}
+
+// StackAlloc implements rt.Runtime.
+func (r *Runtime) StackAlloc(raw uint64, _ int64, _ bool) (uint64, rt.PtrMeta) {
+	return raw, rt.PtrMeta{}
+}
+
+// StackRelease implements rt.Runtime.
+func (r *Runtime) StackRelease(uint64, int64) {}
+
+// GlobalInit implements rt.Runtime.
+func (r *Runtime) GlobalInit(_ string, raw uint64, _ int64, _ bool) (uint64, rt.PtrMeta) {
+	return raw, rt.PtrMeta{}
+}
+
+// Check implements rt.Runtime: never called (no checks are instrumented),
+// and a no-op if it is.
+func (r *Runtime) Check(uint64, rt.PtrMeta, int64, int64, rt.AccessKind) *rt.Violation {
+	return nil
+}
+
+// Addr implements rt.Runtime.
+func (r *Runtime) Addr(ptr uint64) uint64 { return ptr }
+
+// UsableSize implements rt.Runtime via the allocator registry.
+func (r *Runtime) UsableSize(ptr uint64, _ rt.PtrMeta) int64 {
+	if sz, ok := r.env.Heap.Lookup(ptr); ok {
+		return sz
+	}
+	return -1
+}
+
+// SubPtr implements rt.Runtime.
+func (r *Runtime) SubPtr(base uint64, off, _ int64) (uint64, rt.PtrMeta) {
+	return base + uint64(off), rt.PtrMeta{}
+}
+
+// SubRelease implements rt.Runtime.
+func (r *Runtime) SubRelease(uint64) {}
+
+// PrepareExternArg implements rt.Runtime.
+func (r *Runtime) PrepareExternArg(ptr uint64) (uint64, *rt.Violation) { return ptr, nil }
+
+// AdoptExternRet implements rt.Runtime.
+func (r *Runtime) AdoptExternRet(raw uint64) uint64 { return raw }
+
+// LibcCheck implements rt.Runtime: no interceptors.
+func (r *Runtime) LibcCheck(string, uint64, rt.PtrMeta, int64, rt.AccessKind) *rt.Violation {
+	return nil
+}
+
+// LoadPtrMeta implements rt.Runtime.
+func (r *Runtime) LoadPtrMeta(uint64) rt.PtrMeta { return rt.PtrMeta{} }
+
+// StorePtrMeta implements rt.Runtime.
+func (r *Runtime) StorePtrMeta(uint64, rt.PtrMeta) {}
+
+// OverheadBytes implements rt.Runtime.
+func (r *Runtime) OverheadBytes() int64 { return 0 }

@@ -1,0 +1,25 @@
+// Package pacmem models PACMem (CCS 2022): spatial and temporal memory
+// safety enforced through ARM Pointer Authentication, with object metadata
+// reached through the authenticated pointer. Behaviourally this is an
+// object-granular tagged-pointer scheme: it detects everything CECSan does
+// EXCEPT sub-object overflows (Table II's §IV.B observation), so the model
+// reuses the core runtime with sub-object narrowing disabled.
+//
+// PACMem is closed-source and its evaluation excluded Juliet cases needing
+// external input (11,531 of 15,752); the harness applies the same subset.
+package pacmem
+
+import (
+	"cecsan/internal/core"
+	"cecsan/internal/rt"
+	"cecsan/internal/tagptr"
+)
+
+// Sanitizer returns the PACMem model bundle.
+func Sanitizer() (rt.Sanitizer, error) {
+	opts := core.DefaultOptions()
+	opts.Name = "PACMem"
+	opts.Arch = tagptr.ARM64 // PA is an ARM64 feature
+	opts.SubObject = false
+	return core.Sanitizer(opts)
+}

@@ -1,0 +1,64 @@
+// Package sanitizers is the registry of every sanitizer bundle in the
+// repository: CECSan itself plus the comparators of Table II and the
+// performance baselines of Tables IV and V.
+package sanitizers
+
+import (
+	"fmt"
+
+	"cecsan/internal/core"
+	"cecsan/internal/rt"
+	"cecsan/internal/sanitizers/asan"
+	"cecsan/internal/sanitizers/asanlite"
+	"cecsan/internal/sanitizers/cryptsan"
+	"cecsan/internal/sanitizers/hwasan"
+	"cecsan/internal/sanitizers/nosan"
+	"cecsan/internal/sanitizers/pacmem"
+	"cecsan/internal/sanitizers/softbound"
+)
+
+// Name identifies a sanitizer in the registry.
+type Name string
+
+// Registry names.
+const (
+	Native    Name = "native"
+	CECSan    Name = "CECSan"
+	ASan      Name = "ASan"
+	ASanLite  Name = "ASAN--"
+	HWASan    Name = "HWASan"
+	SoftBound Name = "SoftBound/CETS"
+	PACMem    Name = "PACMem"
+	CryptSan  Name = "CryptSan"
+)
+
+// All lists the registry names in Table II column order (native first).
+func All() []Name {
+	return []Name{Native, CECSan, PACMem, CryptSan, HWASan, ASan, ASanLite, SoftBound}
+}
+
+// New constructs a fresh sanitizer bundle. Every call returns an
+// independent runtime: bundles are single-machine, like a process's
+// sanitizer runtime.
+func New(name Name) (rt.Sanitizer, error) {
+	switch name {
+	case Native:
+		return nosan.Sanitizer(), nil
+	case CECSan:
+		return core.Sanitizer(core.DefaultOptions())
+	case ASan:
+		return asan.Sanitizer(asan.DefaultOptions()), nil
+	case ASanLite:
+		return asanlite.Sanitizer(), nil
+	case HWASan:
+		return hwasan.Sanitizer(1), nil
+	case SoftBound:
+		return softbound.Sanitizer(), nil
+	case PACMem:
+		return pacmem.Sanitizer()
+	case CryptSan:
+		return cryptsan.Sanitizer()
+	default:
+		return rt.Sanitizer{}, fmt.Errorf("sanitizers: unknown sanitizer %q", name)
+	}
+}

@@ -1,0 +1,617 @@
+// Package specsim provides the SPEC CPU-like workloads behind Tables IV
+// and V. Real SPEC binaries cannot run on the simulated machine, so each
+// workload reproduces the corresponding benchmark's characteristic
+// operation mix — allocation rate, dereference density, loop shape, call
+// depth, working-set size — which is what determines relative sanitizer
+// overhead. Absolute times are not comparable to the paper's testbed and
+// are not claimed; the harness reports overhead percentages against the
+// native baseline.
+package specsim
+
+import (
+	"cecsan/prog"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name matches the SPEC benchmark the operation mix imitates.
+	Name string
+	// Suite is "2006" or "2017".
+	Suite string
+	// Parallel marks OpenMP-analogue workloads (ParFor regions).
+	Parallel bool
+	// Build constructs the program.
+	Build func() *prog.Program
+}
+
+// node is the heap record type used by the pointer-structure workloads.
+var node = prog.StructOf("node",
+	prog.FieldSpec{Name: "key", Type: prog.Int64T()},
+	prog.FieldSpec{Name: "val", Type: prog.Int64T()},
+	prog.FieldSpec{Name: "left", Type: prog.VoidPtr()},
+	prog.FieldSpec{Name: "right", Type: prog.VoidPtr()},
+	prog.FieldSpec{Name: "payload", Type: prog.ArrayOf(prog.Char(), 16)},
+)
+
+// Spec2006 returns the Table IV workload set, in the paper's row order.
+func Spec2006() []Workload {
+	return []Workload{
+		{Name: "400.perlbench", Suite: "2006", Build: buildPerlbench(40000, 64)},
+		{Name: "403.gcc", Suite: "2006", Build: buildGCC(24, 11)},
+		{Name: "429.mcf", Suite: "2006", Build: buildMCF(1<<19, 800_000)},
+		{Name: "447.dealII", Suite: "2006", Build: buildDealII(220, 10)},
+		{Name: "458.sjeng", Suite: "2006", Build: buildSjeng(5, 12)},
+		{Name: "462.libquantum", Suite: "2006", Build: buildLibquantum(1<<17, 8)},
+		{Name: "470.lbm", Suite: "2006", Build: buildLBM(1<<18, 6)},
+		{Name: "471.omnetpp", Suite: "2006", Build: buildOmnetpp(60000)},
+	}
+}
+
+// Spec2017 returns the Table V workload set, including the OpenMP-analogue
+// parallel workloads the paper enables where available.
+func Spec2017() []Workload {
+	return []Workload{
+		{Name: "500.perlbench_r", Suite: "2017", Build: buildPerlbench(50000, 96)},
+		{Name: "502.gcc_r", Suite: "2017", Build: buildGCC(32, 11)},
+		{Name: "505.mcf_r", Suite: "2017", Build: buildMCF(1<<19, 1_000_000)},
+		{Name: "520.omnetpp_r", Suite: "2017", Build: buildOmnetpp(80000)},
+		{Name: "523.xalancbmk_r", Suite: "2017", Build: buildXalanc(2200, 24)},
+		{Name: "525.x264_r", Suite: "2017", Parallel: true, Build: buildX264(64, 48, 6)},
+		{Name: "531.deepsjeng_r", Suite: "2017", Build: buildSjeng(5, 14)},
+		{Name: "541.leela_r", Suite: "2017", Build: buildLeela(25000)},
+		{Name: "544.nab_r", Suite: "2017", Parallel: true, Build: buildNab(1<<15, 10)},
+		{Name: "557.xz_r", Suite: "2017", Build: buildXZ(1<<18, 5)},
+	}
+}
+
+// ByName finds a workload across both suites.
+func ByName(name string) (Workload, bool) {
+	for _, w := range append(Spec2006(), Spec2017()...) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// buildPerlbench imitates 400.perlbench: interpreter-style execution
+// dominated by small, short-lived allocations (scalars, hash entries,
+// strings) and string copies — the allocation-heavy profile on which the
+// paper observes CECSan outrunning ASan (its per-malloc work is one table
+// write, not redzone poisoning + quarantine bookkeeping).
+func buildPerlbench(iters, strLen int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		pb.Global("g_text", prog.ArrayOf(prog.Char(), 4096))
+		const ring = 4096 // live working set: ~4k scalars + ~4k strings
+		f := pb.Function("main", 0)
+		table := f.MallocType(prog.ArrayOf(prog.VoidPtr(), 256)) // hash buckets
+		ringBuf := f.MallocType(prog.ArrayOf(prog.VoidPtr(), ring))
+		ringStr := f.MallocType(prog.ArrayOf(prog.VoidPtr(), ring))
+		text := f.GlobalAddr("g_text")
+		sum := f.NewReg()
+		f.AssignConst(sum, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(iters), 1, func(i prog.Reg) {
+			// Evict the ring slot from `ring` iterations ago.
+			slot := f.Bin(prog.BinAnd, i, f.Const(ring-1))
+			oldNode := f.Load(f.ElemPtr(ringBuf, prog.VoidPtr(), slot), 0, prog.VoidPtr())
+			f.If(oldNode, func() {
+				oldStr := f.Load(f.ElemPtr(ringStr, prog.VoidPtr(), slot), 0, prog.VoidPtr())
+				f.Free(oldStr)
+				f.Free(oldNode)
+			}, nil)
+			// Fresh scalar node + string body.
+			n := f.MallocType(node)
+			s := f.MallocBytes(strLen)
+			f.Libc("memcpy", s, text, f.Const(strLen))
+			f.Store(n, 0, i, prog.Int64T())
+			f.Store(n, 16, s, prog.VoidPtr())
+			// Hash insert: chain through bucket heads.
+			b := f.Bin(prog.BinAnd, f.Libc("rand"), f.Const(255))
+			bp := f.ElemPtr(table, prog.VoidPtr(), b)
+			head := f.Load(bp, 0, prog.VoidPtr())
+			f.Store(n, 24, head, prog.VoidPtr())
+			f.Store(bp, 0, n, prog.VoidPtr())
+			f.Store(f.ElemPtr(ringBuf, prog.VoidPtr(), slot), 0, n, prog.VoidPtr())
+			f.Store(f.ElemPtr(ringStr, prog.VoidPtr(), slot), 0, s, prog.VoidPtr())
+			f.Assign(sum, f.Add(sum, f.Load(n, 0, prog.Int64T())))
+		})
+		f.Ret(sum)
+		return pb.MustBuild()
+	}
+}
+
+// buildGCC imitates 403.gcc: a forest of live IR trees with one tree torn
+// down and rebuilt per compilation cycle — allocation churn against a
+// multi-megabyte live pointer structure, plus irregular walks.
+func buildGCC(cycles, depth int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+
+		build := pb.Function("build_tree", 1)
+		{
+			d := build.Arg(0)
+			n := build.MallocType(node)
+			build.Store(n, 0, d, prog.Int64T())
+			// Leaves must NULL their children explicitly: recycled chunks
+			// contain the previous occupant's pointers.
+			zero := build.Const(0)
+			build.Store(n, 16, zero, prog.VoidPtr())
+			build.Store(n, 24, zero, prog.VoidPtr())
+			build.If(build.Cmp(prog.CmpSGt, d, build.Const(0)), func() {
+				l := build.Call("build_tree", build.Sub(d, build.Const(1)))
+				r := build.Call("build_tree", build.Sub(d, build.Const(1)))
+				build.Store(n, 16, l, prog.VoidPtr())
+				build.Store(n, 24, r, prog.VoidPtr())
+			}, nil)
+			build.Ret(n)
+		}
+
+		sum := pb.Function("sum_tree", 1)
+		{
+			n := sum.Arg(0)
+			sum.If(sum.Cmp(prog.CmpEq, n, sum.Const(0)), func() { sum.Ret(sum.Const(0)) }, nil)
+			k := sum.Load(n, 0, prog.Int64T())
+			l := sum.Load(n, 16, prog.VoidPtr())
+			r := sum.Load(n, 24, prog.VoidPtr())
+			a := sum.Call("sum_tree", l)
+			b := sum.Call("sum_tree", r)
+			sum.Ret(sum.Add(k, sum.Add(a, b)))
+		}
+
+		freeT := pb.Function("free_tree", 1)
+		{
+			n := freeT.Arg(0)
+			freeT.If(freeT.Cmp(prog.CmpEq, n, freeT.Const(0)), func() { freeT.RetVoid() }, nil)
+			l := freeT.Load(n, 16, prog.VoidPtr())
+			r := freeT.Load(n, 24, prog.VoidPtr())
+			freeT.Call("free_tree", l)
+			freeT.Call("free_tree", r)
+			freeT.Free(n)
+			freeT.RetVoid()
+		}
+
+		f := pb.Function("main", 0)
+		const forest = 8
+		slots := f.MallocType(prog.ArrayOf(prog.VoidPtr(), forest))
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(forest), 1, func(i prog.Reg) {
+			t := f.Call("build_tree", f.Const(depth))
+			f.Store(f.ElemPtr(slots, prog.VoidPtr(), i), 0, t, prog.VoidPtr())
+		})
+		acc := f.NewReg()
+		f.AssignConst(acc, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(cycles), 1, func(c prog.Reg) {
+			slot := f.Bin(prog.BinAnd, c, f.Const(forest-1))
+			sp := f.ElemPtr(slots, prog.VoidPtr(), slot)
+			old := f.Load(sp, 0, prog.VoidPtr())
+			f.Assign(acc, f.Add(acc, f.Call("sum_tree", old)))
+			f.Call("free_tree", old)
+			f.Store(sp, 0, f.Call("build_tree", f.Const(depth)), prog.VoidPtr())
+		})
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(forest), 1, func(i prog.Reg) {
+			f.Call("free_tree", f.Load(f.ElemPtr(slots, prog.VoidPtr(), i), 0, prog.VoidPtr()))
+		})
+		f.Free(slots)
+		f.Ret(acc)
+		return pb.MustBuild()
+	}
+}
+
+// buildMCF imitates 429.mcf: network-simplex pointer chasing over a large
+// arc array — dereference-dominated with an irregular access pattern,
+// where every load pays the sanitizer's check and nothing is hoistable.
+func buildMCF(nodes, steps int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		const stride = 32
+		arena := f.MallocBytes(nodes * stride)
+		// Link each slot to a pseudo-random successor.
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(nodes), 1, func(i prog.Reg) {
+			succ := f.Bin(prog.BinAnd, f.Libc("rand"), f.Const(nodes-1))
+			p := f.OffsetPtrReg(arena, f.Mul(i, f.Const(stride)))
+			f.Store(p, 0, f.OffsetPtrReg(arena, f.Mul(succ, f.Const(stride))), prog.VoidPtr())
+			f.Store(p, 8, i, prog.Int64T())
+		})
+		// Chase.
+		cur := f.NewReg()
+		f.Assign(cur, arena)
+		acc := f.NewReg()
+		f.AssignConst(acc, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(steps), 1, func(prog.Reg) {
+			f.Assign(acc, f.Add(acc, f.Load(cur, 8, prog.Int64T())))
+			f.Assign(cur, f.Load(cur, 0, prog.VoidPtr()))
+		})
+		f.Free(arena)
+		f.Ret(acc)
+		return pb.MustBuild()
+	}
+}
+
+// buildDealII imitates 447.dealII: dense linear algebra (matrix-vector
+// products) over heap arrays with regular inner loops.
+func buildDealII(n, passes int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		mat := f.MallocBytes(n * n * 8)
+		x := f.MallocBytes(n * 8)
+		y := f.MallocBytes(n * 8)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(n), 1, func(i prog.Reg) {
+			f.Store(f.ElemPtr(x, prog.Int64T(), i), 0, i, prog.Int64T())
+		})
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(passes), 1, func(prog.Reg) {
+			f.ForRange(prog.ConstOperand(0), prog.ConstOperand(n), 1, func(i prog.Reg) {
+				acc := f.NewReg()
+				f.AssignConst(acc, 0)
+				row := f.OffsetPtrReg(mat, f.Mul(i, f.Const(n*8)))
+				f.ForRange(prog.ConstOperand(0), prog.ConstOperand(n), 1, func(j prog.Reg) {
+					a := f.Load(f.ElemPtr(row, prog.Int64T(), j), 0, prog.Int64T())
+					b := f.Load(f.ElemPtr(x, prog.Int64T(), j), 0, prog.Int64T())
+					f.Assign(acc, f.Add(acc, f.Mul(a, b)))
+				})
+				f.Store(f.ElemPtr(y, prog.Int64T(), i), 0, acc, prog.Int64T())
+			})
+		})
+		v := f.Load(y, 8, prog.Int64T())
+		f.Free(mat)
+		f.Free(x)
+		f.Free(y)
+		f.Ret(v)
+		return pb.MustBuild()
+	}
+}
+
+// buildSjeng imitates 458.sjeng / 531.deepsjeng: recursive game-tree search
+// over global board state — call-heavy, working set dominated by static
+// arrays, very few allocations (the row where ASan's memory overhead is
+// tiny and so is CECSan's).
+func buildSjeng(depth, branch int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		pb.GlobalUnsafe("board", prog.ArrayOf(prog.Int64T(), 128))
+		pb.GlobalUnsafe("history", prog.ArrayOf(prog.Int64T(), 4096))
+		// Static evaluation tables dominate sjeng's (small) footprint.
+		pb.GlobalUnsafe("eval_table", prog.ArrayOf(prog.Int64T(), 1<<19))
+
+		search := pb.Function("search", 1)
+		{
+			d := search.Arg(0)
+			search.If(search.Cmp(prog.CmpSLe, d, search.Const(0)), func() {
+				b := search.GlobalAddr("board")
+				search.Ret(search.Load(b, 0, prog.Int64T()))
+			}, nil)
+			best := search.NewReg()
+			search.AssignConst(best, -1<<30)
+			search.ForRange(prog.ConstOperand(0), prog.ConstOperand(branch), 1, func(mv prog.Reg) {
+				b := search.GlobalAddr("board")
+				sq := search.Bin(prog.BinAnd, search.Add(mv, d), search.Const(127))
+				cell := search.ElemPtr(b, prog.Int64T(), sq)
+				old := search.Load(cell, 0, prog.Int64T())
+				search.Store(cell, 0, search.Add(old, mv), prog.Int64T())
+				score := search.Call("search", search.Sub(d, search.Const(1)))
+				search.Store(cell, 0, old, prog.Int64T())
+				h := search.GlobalAddr("history")
+				hidx := search.Bin(prog.BinAnd, score, search.Const(4095))
+				search.Store(search.ElemPtr(h, prog.Int64T(), hidx), 0, d, prog.Int64T())
+				search.If(search.Cmp(prog.CmpSGt, score, best), func() { search.Assign(best, score) }, nil)
+			})
+			search.Ret(best)
+		}
+
+		f := pb.Function("main", 0)
+		et := f.GlobalAddr("eval_table")
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(1<<19), 1, func(i prog.Reg) {
+			f.Store(f.ElemPtr(et, prog.Int64T(), i), 0, f.Mul(i, i), prog.Int64T())
+		})
+		f.Ret(f.Call("search", f.Const(depth)))
+		return pb.MustBuild()
+	}
+}
+
+// buildLibquantum imitates 462.libquantum: repeated full sweeps over a
+// large quantum register (perfectly monotonic loops — §II.F.1's best case)
+// combined with register snapshotting that churns large allocations through
+// the allocator, inflating ASan's quarantine and redzones.
+func buildLibquantum(qubits, gates int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		reg := f.MallocBytes(qubits * 8)
+		acc := f.NewReg()
+		f.AssignConst(acc, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(gates), 1, func(g prog.Reg) {
+			// Apply a "gate": full monotonic sweep.
+			f.ForRange(prog.ConstOperand(0), prog.ConstOperand(qubits), 1, func(i prog.Reg) {
+				p := f.ElemPtr(reg, prog.Int64T(), i)
+				v := f.Load(p, 0, prog.Int64T())
+				f.Store(p, 0, f.Add(v, g), prog.Int64T())
+			})
+			// Snapshot the register (decoherence bookkeeping).
+			snap := f.MallocBytes(qubits * 8)
+			f.Libc("memcpy", snap, reg, f.Const(qubits*8))
+			f.Assign(acc, f.Add(acc, f.Load(snap, 0, prog.Int64T())))
+			f.Free(snap)
+		})
+		f.Free(reg)
+		f.Ret(acc)
+		return pb.MustBuild()
+	}
+}
+
+// buildLBM imitates 470.lbm: a stencil sweep over two large grids —
+// dense, regular loads and stores where the per-access check dominates.
+func buildLBM(cells, iters int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		src := f.MallocBytes(cells * 8)
+		dst := f.MallocBytes(cells * 8)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(iters), 1, func(prog.Reg) {
+			f.ForRange(prog.ConstOperand(1), prog.ConstOperand(cells-1), 1, func(i prog.Reg) {
+				a := f.Load(f.ElemPtr(src, prog.Int64T(), f.Sub(i, f.Const(1))), 0, prog.Int64T())
+				b := f.Load(f.ElemPtr(src, prog.Int64T(), i), 0, prog.Int64T())
+				cc := f.Load(f.ElemPtr(src, prog.Int64T(), f.AddImm(i, 1)), 0, prog.Int64T())
+				f.Store(f.ElemPtr(dst, prog.Int64T(), i), 0, f.Add(a, f.Add(b, cc)), prog.Int64T())
+			})
+			// Swap grids.
+			t := f.Mov(src)
+			f.Assign(src, dst)
+			f.Assign(dst, t)
+		})
+		v := f.Load(src, 800, prog.Int64T())
+		f.Free(src)
+		f.Free(dst)
+		f.Ret(v)
+		return pb.MustBuild()
+	}
+}
+
+// buildOmnetpp imitates 471.omnetpp: a discrete-event simulator whose
+// future-event set churns small event objects through the allocator —
+// the second allocation-heavy row where CECSan beats ASan.
+func buildOmnetpp(events int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		const fesSize = 4096
+		f := pb.Function("main", 0)
+		fes := f.MallocType(prog.ArrayOf(prog.VoidPtr(), fesSize))
+		clock := f.NewReg()
+		f.AssignConst(clock, 0)
+		acc := f.NewReg()
+		f.AssignConst(acc, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(events), 1, func(i prog.Reg) {
+			slot := f.Bin(prog.BinAnd, i, f.Const(fesSize-1))
+			sp := f.ElemPtr(fes, prog.VoidPtr(), slot)
+			old := f.Load(sp, 0, prog.VoidPtr())
+			// Process and retire the event occupying this slot.
+			f.If(old, func() {
+				f.Assign(acc, f.Add(acc, f.Load(old, 8, prog.Int64T())))
+				f.Free(old)
+			}, nil)
+			// Schedule a new event.
+			ev := f.MallocType(node)
+			f.Store(ev, 0, f.Add(clock, i), prog.Int64T())
+			f.Store(ev, 8, f.Bin(prog.BinAnd, f.Libc("rand"), f.Const(1023)), prog.Int64T())
+			f.Store(sp, 0, ev, prog.VoidPtr())
+			f.Assign(clock, f.AddImm(clock, 1))
+		})
+		f.Ret(acc)
+		return pb.MustBuild()
+	}
+}
+
+// buildXalanc imitates 523.xalancbmk: XML document tree traversal with
+// string handling (strlen/memcpy) at every node.
+func buildXalanc(nodes, passes int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		pb.GlobalBytes("tag", []byte("element-name"))
+		f := pb.Function("main", 0)
+		// Flat array of tree nodes, child = 2i+1 walk.
+		arr := f.MallocType(prog.ArrayOf(prog.VoidPtr(), nodes))
+		tag := f.GlobalAddr("tag")
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(nodes), 1, func(i prog.Reg) {
+			n := f.MallocType(node)
+			s := f.MallocBytes(16)
+			f.Libc("memcpy", s, tag, f.Const(13))
+			f.Store(n, 16, s, prog.VoidPtr())
+			f.Store(n, 0, i, prog.Int64T())
+			f.Store(f.ElemPtr(arr, prog.VoidPtr(), i), 0, n, prog.VoidPtr())
+		})
+		acc := f.NewReg()
+		f.AssignConst(acc, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(passes), 1, func(prog.Reg) {
+			f.ForRange(prog.ConstOperand(0), prog.ConstOperand(nodes), 1, func(i prog.Reg) {
+				n := f.Load(f.ElemPtr(arr, prog.VoidPtr(), i), 0, prog.VoidPtr())
+				s := f.Load(n, 16, prog.VoidPtr())
+				f.Assign(acc, f.Add(acc, f.Libc("strlen", s)))
+			})
+		})
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(nodes), 1, func(i prog.Reg) {
+			n := f.Load(f.ElemPtr(arr, prog.VoidPtr(), i), 0, prog.VoidPtr())
+			f.Free(f.Load(n, 16, prog.VoidPtr()))
+			f.Free(n)
+		})
+		f.Free(arr)
+		f.Ret(acc)
+		return pb.MustBuild()
+	}
+}
+
+// buildX264 imitates 525.x264: motion estimation over frame buffers —
+// block copies and SAD loops — parallelized across macroblock rows (the
+// OpenMP-analogue region).
+func buildX264(rows, cols, frames int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		const blk = 16
+		pb.GlobalUnsafe("cur_frame", prog.ArrayOf(prog.Char(), 64*48*16*16))
+		pb.GlobalUnsafe("ref_frame", prog.ArrayOf(prog.Char(), 64*48*16*16))
+
+		// Worker: process one macroblock row.
+		wk := pb.Function("mb_row", 1)
+		{
+			r := wk.Arg(0)
+			cur := wk.GlobalAddr("cur_frame")
+			ref := wk.GlobalAddr("ref_frame")
+			wk.ForRange(prog.ConstOperand(0), prog.ConstOperand(cols), 1, func(cIdx prog.Reg) {
+				base := wk.Mul(wk.Add(wk.Mul(r, wk.Const(cols)), cIdx), wk.Const(blk*blk))
+				sad := wk.NewReg()
+				wk.AssignConst(sad, 0)
+				wk.ForRange(prog.ConstOperand(0), prog.ConstOperand(blk*blk/8), 1, func(px prog.Reg) {
+					off := wk.Add(base, wk.Mul(px, wk.Const(8)))
+					a := wk.Load(wk.OffsetPtrReg(cur, off), 0, prog.Int64T())
+					b := wk.Load(wk.OffsetPtrReg(ref, off), 0, prog.Int64T())
+					wk.Assign(sad, wk.Add(sad, wk.Bin(prog.BinXor, a, b)))
+				})
+				// Copy best block into the reference.
+				wk.Libc("memcpy", wk.OffsetPtrReg(ref, base), wk.OffsetPtrReg(cur, base), wk.Const(blk*blk))
+			})
+			wk.RetVoid()
+		}
+
+		f := pb.Function("main", 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(frames), 1, func(prog.Reg) {
+			f.ParFor("mb_row", f.Const(0), f.Const(rows), 4)
+		})
+		f.Ret(f.Const(0))
+		return pb.MustBuild()
+	}
+}
+
+// buildLeela imitates 541.leela: Monte-Carlo tree search — node expansion
+// (allocation), randomized descent (pointer chasing) and periodic subtree
+// release.
+func buildLeela(playouts int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		const poolSize = 4096
+		pool := f.MallocType(prog.ArrayOf(prog.VoidPtr(), poolSize))
+		acc := f.NewReg()
+		f.AssignConst(acc, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(playouts), 1, func(i prog.Reg) {
+			slot := f.Bin(prog.BinAnd, f.Libc("rand"), f.Const(poolSize-1))
+			sp := f.ElemPtr(pool, prog.VoidPtr(), slot)
+			n := f.Load(sp, 0, prog.VoidPtr())
+			f.If(n,
+				func() {
+					// Visit: update statistics, maybe release.
+					visits := f.Load(n, 0, prog.Int64T())
+					f.Store(n, 0, f.AddImm(visits, 1), prog.Int64T())
+					f.Assign(acc, f.Add(acc, visits))
+					f.If(f.Cmp(prog.CmpSGt, visits, f.Const(30)), func() {
+						f.Free(n)
+						f.Store(sp, 0, f.Const(0), prog.VoidPtr())
+					}, nil)
+				},
+				func() {
+					// Expand: allocate a node.
+					fresh := f.MallocType(node)
+					f.Store(fresh, 0, f.Const(0), prog.Int64T())
+					f.Store(fresh, 8, i, prog.Int64T())
+					f.Store(sp, 0, fresh, prog.VoidPtr())
+				})
+		})
+		f.Ret(acc)
+		return pb.MustBuild()
+	}
+}
+
+// buildNab imitates 544.nab: molecular dynamics force computation over a
+// particle array, parallelized with the OpenMP analogue.
+func buildNab(particles, iters int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		pb.GlobalUnsafe("pos", prog.ArrayOf(prog.Int64T(), 1<<15))
+		pb.GlobalUnsafe("force", prog.ArrayOf(prog.Int64T(), 1<<15))
+
+		wk := pb.Function("force_chunk", 1)
+		{
+			i := wk.Arg(0)
+			pos := wk.GlobalAddr("pos")
+			force := wk.GlobalAddr("force")
+			xi := wk.Load(wk.ElemPtr(pos, prog.Int64T(), i), 0, prog.Int64T())
+			acc := wk.NewReg()
+			wk.AssignConst(acc, 0)
+			// Interact with a window of 32 neighbours.
+			wk.ForRange(prog.ConstOperand(1), prog.ConstOperand(33), 1, func(d prog.Reg) {
+				j := wk.Bin(prog.BinAnd, wk.Add(i, d), wk.Const(particles-1))
+				xj := wk.Load(wk.ElemPtr(pos, prog.Int64T(), j), 0, prog.Int64T())
+				diff := wk.Sub(xi, xj)
+				wk.Assign(acc, wk.Add(acc, wk.Mul(diff, diff)))
+			})
+			wk.Store(wk.ElemPtr(force, prog.Int64T(), i), 0, acc, prog.Int64T())
+			wk.RetVoid()
+		}
+
+		f := pb.Function("main", 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(iters), 1, func(prog.Reg) {
+			f.ParFor("force_chunk", f.Const(0), f.Const(particles), 4)
+		})
+		f.Ret(f.Const(0))
+		return pb.MustBuild()
+	}
+}
+
+// buildXZ imitates 557.xz: LZMA-style match finding — hash-chain lookups
+// over a large input buffer plus match copies.
+func buildXZ(inputLen, passes int64) func() *prog.Program {
+	return func() *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		buf := f.MallocBytes(inputLen)
+		out := f.MallocBytes(inputLen)
+		hash := f.MallocBytes((1 << 16) * 8)
+		// Fill input pseudo-randomly.
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(inputLen/8), 1, func(i prog.Reg) {
+			f.Store(f.ElemPtr(buf, prog.Int64T(), i), 0, f.Libc("rand"), prog.Int64T())
+		})
+		acc := f.NewReg()
+		f.AssignConst(acc, 0)
+		f.ForRange(prog.ConstOperand(0), prog.ConstOperand(passes), 1, func(prog.Reg) {
+			f.ForRange(prog.ConstOperand(0), prog.ConstOperand(inputLen/64), 1, func(i prog.Reg) {
+				pos := f.Mul(i, f.Const(64))
+				v := f.Load(f.OffsetPtrReg(buf, pos), 0, prog.Int())
+				h := f.Bin(prog.BinAnd, v, f.Const(1<<16-1))
+				hp := f.ElemPtr(hash, prog.Int64T(), h)
+				prev := f.Load(hp, 0, prog.Int64T())
+				f.Store(hp, 0, pos, prog.Int64T())
+				// "Match": copy 32 bytes from the previous occurrence.
+				f.Libc("memcpy", f.OffsetPtrReg(out, pos), f.OffsetPtrReg(buf, prev), f.Const(32))
+				f.Assign(acc, f.Add(acc, prev))
+			})
+		})
+		f.Free(buf)
+		f.Free(out)
+		f.Free(hash)
+		f.Ret(acc)
+		return pb.MustBuild()
+	}
+}
+
+// Smoke returns scaled-down variants of every workload pattern, sized for
+// unit tests and quick CI runs rather than benchmarking.
+func Smoke() []Workload {
+	return []Workload{
+		{Name: "smoke.perlbench", Suite: "smoke", Build: buildPerlbench(800, 32)},
+		{Name: "smoke.gcc", Suite: "smoke", Build: buildGCC(6, 7)},
+		{Name: "smoke.mcf", Suite: "smoke", Build: buildMCF(1<<10, 20000)},
+		{Name: "smoke.dealII", Suite: "smoke", Build: buildDealII(48, 2)},
+		{Name: "smoke.sjeng", Suite: "smoke", Build: buildSjeng(3, 8)},
+		{Name: "smoke.libquantum", Suite: "smoke", Build: buildLibquantum(1<<12, 3)},
+		{Name: "smoke.lbm", Suite: "smoke", Build: buildLBM(1<<12, 2)},
+		{Name: "smoke.omnetpp", Suite: "smoke", Build: buildOmnetpp(2000)},
+		{Name: "smoke.x264", Suite: "smoke", Parallel: true, Build: buildX264(8, 8, 2)},
+		{Name: "smoke.nab", Suite: "smoke", Parallel: true, Build: buildNab(1<<10, 2)},
+		{Name: "smoke.xz", Suite: "smoke", Build: buildXZ(1<<14, 1)},
+		{Name: "smoke.xalancbmk", Suite: "smoke", Build: buildXalanc(200, 3)},
+		{Name: "smoke.leela", Suite: "smoke", Build: buildLeela(2000)},
+	}
+}
+
+// GccVariant exposes a parameterized gcc-like workload for scaling studies.
+func GccVariant(trees, depth int64) Workload {
+	return Workload{Name: "gcc-variant", Suite: "custom", Build: buildGCC(trees, depth)}
+}

@@ -1,0 +1,123 @@
+package specsim
+
+import (
+	"testing"
+
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/sanitizers"
+)
+
+func TestSuitesWellFormed(t *testing.T) {
+	if got := len(Spec2006()); got != 8 {
+		t.Errorf("Spec2006 has %d workloads, want 8 (Table IV rows)", got)
+	}
+	if got := len(Spec2017()); got != 10 {
+		t.Errorf("Spec2017 has %d workloads, want 10", got)
+	}
+	seen := map[string]bool{}
+	for _, w := range append(Spec2006(), append(Spec2017(), Smoke()...)...) {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Build == nil {
+			t.Errorf("%s: nil Build", w.Name)
+		}
+	}
+	if _, ok := ByName("429.mcf"); !ok {
+		t.Error("ByName(429.mcf) failed")
+	}
+	if _, ok := ByName("999.bogus"); ok {
+		t.Error("ByName(999.bogus) succeeded")
+	}
+}
+
+// TestSmokeWorkloadsCleanEverywhere runs every workload pattern (smoke
+// scale) under every sanitizer: they are benign programs and must complete
+// with identical results.
+func TestSmokeWorkloadsCleanEverywhere(t *testing.T) {
+	for _, w := range Smoke() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p := w.Build()
+			var nativeRet uint64
+			haveNative := false
+			for _, name := range sanitizers.All() {
+				san, err := sanitizers.New(name)
+				if err != nil {
+					t.Fatalf("New(%s): %v", name, err)
+				}
+				ip := instrument.Apply(p, san.Profile)
+				m, err := interp.New(ip, san, interp.DefaultOptions())
+				if err != nil {
+					t.Fatalf("interp.New(%s): %v", name, err)
+				}
+				res := m.Run()
+				if !res.Ok() {
+					t.Fatalf("%s under %s: %+v", w.Name, name, resErr(res))
+				}
+				if !haveNative && name == sanitizers.Native {
+					nativeRet = res.Ret
+					haveNative = true
+				} else if haveNative && res.Ret != nativeRet {
+					t.Errorf("%s under %s: result %d != native %d", w.Name, name, res.Ret, nativeRet)
+				}
+				if res.Stats.Instructions == 0 {
+					t.Errorf("%s under %s: no instructions recorded", w.Name, name)
+				}
+			}
+		})
+	}
+}
+
+func resErr(res *interp.Result) any {
+	switch {
+	case res.Violation != nil:
+		return res.Violation
+	case res.Fault != nil:
+		return res.Fault
+	default:
+		return res.Err
+	}
+}
+
+// TestWorkloadProfiles verifies each workload family has the operation mix
+// its SPEC counterpart is modelled on (the property Tables IV/V depend on).
+func TestWorkloadProfiles(t *testing.T) {
+	stats := map[string]interp.Stats{}
+	for _, w := range Smoke() {
+		p := w.Build()
+		san, _ := sanitizers.New(sanitizers.Native)
+		ip := instrument.Apply(p, san.Profile)
+		m, err := interp.New(ip, san, interp.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run()
+		if !res.Ok() {
+			t.Fatalf("%s: %+v", w.Name, resErr(res))
+		}
+		stats[w.Name] = res.Stats
+	}
+
+	allocRate := func(name string) float64 {
+		s := stats[name]
+		return float64(s.Mallocs) / float64(s.Instructions) * 1000
+	}
+	// Allocation-heavy workloads must allocate at least 10x more per
+	// instruction than the dense-loop workloads.
+	for _, hot := range []string{"smoke.perlbench", "smoke.omnetpp"} {
+		for _, cold := range []string{"smoke.lbm", "smoke.mcf", "smoke.sjeng"} {
+			if allocRate(hot) < 10*allocRate(cold) {
+				t.Errorf("%s alloc rate %.3f not >> %s alloc rate %.3f",
+					hot, allocRate(hot), cold, allocRate(cold))
+			}
+		}
+	}
+	// sjeng must have a tiny footprint (its Table IV memory rows are ~2.5%).
+	if s := stats["smoke.sjeng"]; s.PeakProgramBytes > 8<<20 {
+		t.Errorf("sjeng footprint %d too large", s.PeakProgramBytes)
+	}
+}

@@ -1,0 +1,94 @@
+// Package tagptr implements the tagged-pointer codec at the heart of CECSan
+// (§II.B of the paper).
+//
+// On 64-bit architectures only the low 47 (x86-64) or 48 (ARM64) bits of a
+// user-space pointer carry address information. CECSan repurposes the unused
+// high bits to store an index into its compact metadata table. Because the
+// index rides in the pointer value itself, it propagates implicitly through
+// pointer assignment, arithmetic and derivation — the property that lets
+// CECSan skip explicit metadata propagation entirely.
+package tagptr
+
+import "fmt"
+
+// Arch describes a target architecture's pointer layout.
+type Arch struct {
+	// Name is the architecture name, e.g. "x86-64".
+	Name string
+	// AddrBits is the number of usable virtual-address bits.
+	AddrBits uint
+	// TagBits is the number of high bits available for the metadata index.
+	TagBits uint
+}
+
+// X8664 is the x86-64 layout: 47 address bits, 17 tag bits, and therefore a
+// 2^17-entry metadata table (the paper's prototype configuration).
+var X8664 = Arch{Name: "x86-64", AddrBits: 47, TagBits: 17}
+
+// ARM64 is the AArch64 layout: 48 address bits, 16 tag bits.
+var ARM64 = Arch{Name: "arm64", AddrBits: 48, TagBits: 16}
+
+// Validate reports whether the layout is internally consistent: address and
+// tag bits must partition the 64-bit word.
+func (a Arch) Validate() error {
+	if a.AddrBits+a.TagBits != 64 {
+		return fmt.Errorf("tagptr: arch %q: AddrBits(%d) + TagBits(%d) != 64", a.Name, a.AddrBits, a.TagBits)
+	}
+	if a.AddrBits < 32 || a.AddrBits > 57 {
+		return fmt.Errorf("tagptr: arch %q: AddrBits %d out of range [32,57]", a.Name, a.AddrBits)
+	}
+	return nil
+}
+
+// TableEntries returns the number of metadata table entries addressable by
+// the tag (2^TagBits).
+func (a Arch) TableEntries() uint64 { return uint64(1) << a.TagBits }
+
+// MaxIndex returns the largest encodable metadata index.
+func (a Arch) MaxIndex() uint64 { return a.TableEntries() - 1 }
+
+// addrMask returns a mask covering the address bits.
+func (a Arch) addrMask() uint64 { return (uint64(1) << a.AddrBits) - 1 }
+
+// Pack embeds the metadata index idx into the high bits of addr, producing a
+// tagged pointer. addr must be canonical and idx must fit in TagBits; both
+// are programming errors of the sanitizer itself, so Pack reports them as
+// errors rather than silently corrupting the pointer.
+func (a Arch) Pack(addr, idx uint64) (uint64, error) {
+	if addr&^a.addrMask() != 0 {
+		return 0, fmt.Errorf("tagptr: address %#x has bits above %d set (already tagged?)", addr, a.AddrBits)
+	}
+	if idx > a.MaxIndex() {
+		return 0, fmt.Errorf("tagptr: index %d exceeds max %d", idx, a.MaxIndex())
+	}
+	return addr | idx<<a.AddrBits, nil
+}
+
+// MustPack is Pack for statically valid inputs; it panics on misuse. It is
+// intended for hot paths where the caller has already range-checked idx.
+func (a Arch) MustPack(addr, idx uint64) uint64 {
+	p, err := a.Pack(addr, idx)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Index extracts the metadata index from a (possibly tagged) pointer.
+// Untagged pointers yield index 0, the reserved entry for foreign pointers
+// returned by uninstrumented code (§II.E).
+func (a Arch) Index(ptr uint64) uint64 { return ptr >> a.AddrBits }
+
+// Strip removes the tag, recovering the raw canonical address.
+func (a Arch) Strip(ptr uint64) uint64 { return ptr & a.addrMask() }
+
+// Retag replaces ptr's tag with the tag of src, implementing the §II.E
+// wrapper for external functions that return one of their pointer arguments:
+// the callee saw a stripped pointer, and the original tag is reapplied to
+// the returned value.
+func (a Arch) Retag(ptr, src uint64) uint64 {
+	return a.Strip(ptr) | src&^a.addrMask()
+}
+
+// IsTagged reports whether ptr carries a nonzero metadata index.
+func (a Arch) IsTagged(ptr uint64) bool { return ptr>>a.AddrBits != 0 }

@@ -1,0 +1,131 @@
+package tagptr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArchValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		arch    Arch
+		wantErr bool
+	}{
+		{name: "x86-64", arch: X8664, wantErr: false},
+		{name: "arm64", arch: ARM64, wantErr: false},
+		{name: "bits do not partition word", arch: Arch{Name: "bad", AddrBits: 47, TagBits: 16}, wantErr: true},
+		{name: "address width too small", arch: Arch{Name: "bad", AddrBits: 16, TagBits: 48}, wantErr: true},
+		{name: "address width too large", arch: Arch{Name: "bad", AddrBits: 58, TagBits: 6}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.arch.Validate()
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTableEntries(t *testing.T) {
+	if got, want := X8664.TableEntries(), uint64(1<<17); got != want {
+		t.Errorf("x86-64 TableEntries = %d, want %d (paper prototype)", got, want)
+	}
+	if got, want := ARM64.TableEntries(), uint64(1<<16); got != want {
+		t.Errorf("arm64 TableEntries = %d, want %d", got, want)
+	}
+}
+
+func TestPackIndexStrip(t *testing.T) {
+	for _, arch := range []Arch{X8664, ARM64} {
+		t.Run(arch.Name, func(t *testing.T) {
+			const addr = uint64(0x7f12_3456_7890)
+			for _, idx := range []uint64{0, 1, 2, 1000, arch.MaxIndex()} {
+				p, err := arch.Pack(addr, idx)
+				if err != nil {
+					t.Fatalf("Pack(%#x, %d): %v", addr, idx, err)
+				}
+				if got := arch.Index(p); got != idx {
+					t.Errorf("Index = %d, want %d", got, idx)
+				}
+				if got := arch.Strip(p); got != addr {
+					t.Errorf("Strip = %#x, want %#x", got, addr)
+				}
+				if got, want := arch.IsTagged(p), idx != 0; got != want {
+					t.Errorf("IsTagged = %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPackRejectsBadInputs(t *testing.T) {
+	if _, err := X8664.Pack(uint64(1)<<47, 1); err == nil {
+		t.Error("Pack accepted a non-canonical address")
+	}
+	if _, err := X8664.Pack(0x1000, X8664.MaxIndex()+1); err == nil {
+		t.Error("Pack accepted an oversized index")
+	}
+}
+
+func TestMustPackPanicsOnMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPack did not panic on oversized index")
+		}
+	}()
+	X8664.MustPack(0x1000, X8664.MaxIndex()+1)
+}
+
+// TestTagSurvivesPointerArithmetic verifies the paper's core property: the
+// index propagates implicitly through in-object pointer arithmetic because
+// offsets never carry into the tag bits for realistically sized objects.
+func TestTagSurvivesPointerArithmetic(t *testing.T) {
+	p := X8664.MustPack(0x1000_0000, 0x1ABCD)
+	for _, off := range []uint64{0, 1, 8, 4096, 1 << 30} {
+		q := p + off
+		if got, want := X8664.Index(q), uint64(0x1ABCD); got != want {
+			t.Errorf("Index(p+%#x) = %#x, want %#x", off, got, want)
+		}
+		if got, want := X8664.Strip(q), uint64(0x1000_0000)+off; got != want {
+			t.Errorf("Strip(p+%#x) = %#x, want %#x", off, got, want)
+		}
+	}
+}
+
+func TestRetag(t *testing.T) {
+	orig := X8664.MustPack(0x2000, 42)
+	// External callee returned the stripped pointer, possibly advanced.
+	raw := X8664.Strip(orig) + 16
+	got := X8664.Retag(raw, orig)
+	if X8664.Index(got) != 42 {
+		t.Errorf("Retag lost the tag: index = %d, want 42", X8664.Index(got))
+	}
+	if X8664.Strip(got) != 0x2010 {
+		t.Errorf("Retag corrupted the address: %#x, want 0x2010", X8664.Strip(got))
+	}
+	// Retagging with an untagged source clears the tag.
+	if gotIdx := X8664.Index(X8664.Retag(orig, 0x3000)); gotIdx != 0 {
+		t.Errorf("Retag with untagged source: index = %d, want 0", gotIdx)
+	}
+}
+
+// TestPackStripProperty property-checks the round trip over random canonical
+// addresses and indices for both architectures.
+func TestPackStripProperty(t *testing.T) {
+	for _, arch := range []Arch{X8664, ARM64} {
+		arch := arch
+		prop := func(addrSeed, idxSeed uint64) bool {
+			addr := addrSeed & ((uint64(1) << arch.AddrBits) - 1)
+			idx := idxSeed & arch.MaxIndex()
+			p, err := arch.Pack(addr, idx)
+			if err != nil {
+				return false
+			}
+			return arch.Index(p) == idx && arch.Strip(p) == addr
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	tests := []struct {
+		ty        *Type
+		wantSize  int64
+		wantAlign int64
+	}{
+		{Char(), 1, 1},
+		{Short(), 2, 2},
+		{Int(), 4, 4},
+		{Int64T(), 8, 8},
+		{WChar(), 4, 4}, // Linux wchar_t
+		{VoidPtr(), 8, 8},
+		{PtrTo(Int()), 8, 8},
+	}
+	for _, tt := range tests {
+		if tt.ty.Size() != tt.wantSize || tt.ty.Align() != tt.wantAlign {
+			t.Errorf("%s: size=%d align=%d, want %d/%d", tt.ty, tt.ty.Size(), tt.ty.Align(), tt.wantSize, tt.wantAlign)
+		}
+	}
+}
+
+func TestArrayOf(t *testing.T) {
+	a := ArrayOf(Int(), 10)
+	if a.Size() != 40 || a.Align() != 4 || a.Len() != 10 || a.Elem() != Int() {
+		t.Fatalf("int[10]: %+v", a)
+	}
+	if a.Kind() != KindArray || !a.IsComposite() {
+		t.Fatal("array kind/composite misreported")
+	}
+	if a.String() != "int[10]" {
+		t.Fatalf("name = %q", a.String())
+	}
+}
+
+func TestArrayOfRejectsNonPositiveLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArrayOf(Char(), 0) did not panic")
+		}
+	}()
+	ArrayOf(Char(), 0)
+}
+
+// TestStructLayoutMatchesSysV checks natural-alignment layout against
+// hand-computed x86-64 SysV offsets, including the paper's Figure 3 struct.
+func TestStructLayoutMatchesSysV(t *testing.T) {
+	tests := []struct {
+		name        string
+		ty          *Type
+		wantSize    int64
+		wantOffsets []int64
+	}{
+		{
+			name: "figure 3 CharVoid",
+			ty: StructOf("CharVoid",
+				FieldSpec{"charFirst", ArrayOf(Char(), 16)},
+				FieldSpec{"voidSecond", VoidPtr()},
+			),
+			wantSize:    24,
+			wantOffsets: []int64{0, 16},
+		},
+		{
+			name: "padding between char and int",
+			ty: StructOf("S",
+				FieldSpec{"c", Char()},
+				FieldSpec{"i", Int()},
+				FieldSpec{"c2", Char()},
+			),
+			wantSize:    12, // 0,4..8,8; padded to align 4
+			wantOffsets: []int64{0, 4, 8},
+		},
+		{
+			name: "tail padding to 8",
+			ty: StructOf("T",
+				FieldSpec{"p", VoidPtr()},
+				FieldSpec{"c", Char()},
+			),
+			wantSize:    16,
+			wantOffsets: []int64{0, 8},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.ty.Size() != tt.wantSize {
+				t.Errorf("size = %d, want %d\n%s", tt.ty.Size(), tt.wantSize, tt.ty.layoutString())
+			}
+			for i, f := range tt.ty.Fields() {
+				if f.Offset != tt.wantOffsets[i] {
+					t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, tt.wantOffsets[i])
+				}
+			}
+		})
+	}
+}
+
+func TestStructOfRejectsDuplicateFields(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate field did not panic")
+		}
+	}()
+	StructOf("D", FieldSpec{"x", Int()}, FieldSpec{"x", Char()})
+}
+
+func TestFieldByName(t *testing.T) {
+	st := StructOf("S", FieldSpec{"a", Int()}, FieldSpec{"b", Char()})
+	f, ok := st.FieldByName("b")
+	if !ok || f.Offset != 4 || f.Type != Char() {
+		t.Fatalf("FieldByName(b) = %+v, %v", f, ok)
+	}
+	if _, ok := st.FieldByName("zzz"); ok {
+		t.Fatal("FieldByName found a nonexistent field")
+	}
+}
+
+func TestSubObjectsRecursion(t *testing.T) {
+	inner := StructOf("Inner", FieldSpec{"x", Int()}, FieldSpec{"buf", ArrayOf(Char(), 8)})
+	outer := StructOf("Outer",
+		FieldSpec{"hdr", inner},
+		FieldSpec{"tail", Int64T()},
+	)
+	subs := outer.SubObjects()
+	want := map[string]int64{
+		"hdr":     0,
+		"hdr.x":   0,
+		"hdr.buf": 4,
+		"tail":    16,
+	}
+	if len(subs) != len(want) {
+		t.Fatalf("got %d sub-objects, want %d: %+v", len(subs), len(want), subs)
+	}
+	for _, s := range subs {
+		if off, ok := want[s.Path]; !ok || off != s.Offset {
+			t.Errorf("sub-object %q offset %d, want %v", s.Path, s.Offset, want[s.Path])
+		}
+	}
+	if got := Int().SubObjects(); got != nil {
+		t.Fatalf("scalar SubObjects = %v, want nil", got)
+	}
+}
+
+// TestStructInvariantsProperty checks layout invariants over random structs:
+// fields are in-bounds, aligned, non-overlapping, and the size covers them.
+func TestStructInvariantsProperty(t *testing.T) {
+	scalars := []*Type{Char(), Short(), Int(), Int64T(), VoidPtr(), ArrayOf(Char(), 3), ArrayOf(Int(), 5)}
+	prop := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		specs := make([]FieldSpec, len(picks))
+		for i, p := range picks {
+			specs[i] = FieldSpec{Name: string(rune('a' + i)), Type: scalars[int(p)%len(scalars)]}
+		}
+		st := StructOf("R", specs...)
+		var prevEnd int64
+		for _, f := range st.Fields() {
+			if f.Offset < prevEnd {
+				return false // overlap
+			}
+			if f.Offset%f.Type.Align() != 0 {
+				return false // misaligned
+			}
+			prevEnd = f.Offset + f.Type.Size()
+		}
+		return st.Size() >= prevEnd && st.Size()%st.Align() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

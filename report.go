@@ -1,0 +1,81 @@
+package cecsan
+
+import (
+	"fmt"
+	"strings"
+
+	"cecsan/internal/tagptr"
+)
+
+// FormatReport renders a violation as a multi-line, ASan-flavoured report:
+// header, access facts, pointer-tag decomposition and a mechanism hint.
+// For reports produced by CECSan machines the metadata-table facts are
+// included.
+func FormatReport(v *Violation, m *Machine) string {
+	if v == nil {
+		return "no violation\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "==CECSAN== ERROR: %s\n", v.Kind)
+	fmt.Fprintf(&b, "  %s of %d byte(s) at address %#x\n", accessVerb(v), v.Size, v.Addr)
+	fmt.Fprintf(&b, "  in function %s, instruction %d\n", v.Func, v.PC)
+	fmt.Fprintf(&b, "  object segment: %s\n", v.Seg)
+
+	arch := tagptr.X8664
+	idx := arch.Index(v.Ptr)
+	fmt.Fprintf(&b, "  pointer %#x = tag %#x | address %#x\n", v.Ptr, idx, arch.Strip(v.Ptr))
+
+	if m != nil {
+		if cr := m.CoreRuntime(); cr != nil && idx != 0 && idx <= cr.Table().Capacity()-1 {
+			low, high := cr.Table().Load(idx)
+			fmt.Fprintf(&b, "  metadata entry %d: low=%#x high=%#x", idx, low, high)
+			if high > low {
+				fmt.Fprintf(&b, " (object of %d bytes)", high-low)
+			}
+			b.WriteString("\n")
+			if off := int64(v.Addr) - int64(low); high > low {
+				fmt.Fprintf(&b, "  faulting address is %+d bytes from the object base\n", off)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "  cause: %s\n", v.Detail)
+	if hint := hintFor(v); hint != "" {
+		fmt.Fprintf(&b, "  hint: %s\n", hint)
+	}
+	return b.String()
+}
+
+// accessVerb phrases the access like ASan's reports do.
+func accessVerb(v *Violation) string {
+	switch v.Kind {
+	case KindOOBRead:
+		return "READ"
+	case KindOOBWrite, KindSubObjectOverflow:
+		return "WRITE"
+	case KindUseAfterFree:
+		return "access"
+	case KindDoubleFree, KindInvalidFree:
+		return "free"
+	default:
+		return "access"
+	}
+}
+
+// hintFor adds the paper-mechanism explanation for each violation class.
+func hintFor(v *Violation) string {
+	switch v.Kind {
+	case KindSubObjectOverflow:
+		return "the access stayed inside the parent object but crossed a member boundary (§II.D narrowed bounds)"
+	case KindUseAfterFree:
+		return "the metadata entry was invalidated on free (low bound = INVALID, §II.B.4)"
+	case KindDoubleFree:
+		return "Algorithm 2: the entry's low bound no longer matches the pointer"
+	case KindInvalidFree:
+		return "Algorithm 2: deallocation requires the object's base address"
+	case KindOOBRead, KindOOBWrite:
+		return "Algorithm 1: one of the bound differences was negative"
+	default:
+		return ""
+	}
+}

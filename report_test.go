@@ -1,0 +1,90 @@
+package cecsan
+
+import (
+	"strings"
+	"testing"
+
+	"cecsan/prog"
+)
+
+func TestFormatReportHeapOverflow(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(24)
+	n := f.Libc("rand")
+	off := f.Add(f.Bin(prog.BinAnd, n, f.Const(0)), f.Const(24))
+	f.Store(f.OffsetPtrReg(buf, off), 0, f.Const(1), prog.Char())
+	f.RetVoid()
+	p := pb.MustBuild()
+
+	m, err := NewMachine(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Violation == nil {
+		t.Fatal("expected violation")
+	}
+	out := FormatReport(res.Violation, m)
+	for _, want := range []string{
+		"==CECSAN== ERROR: buffer-overflow-write",
+		"WRITE of 1 byte(s)",
+		"heap",
+		"metadata entry",
+		"object of 24 bytes",
+		"+24 bytes from the object base",
+		"Algorithm 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatReportSubObject(t *testing.T) {
+	st := prog.StructOf("S",
+		prog.FieldSpec{Name: "buf", Type: prog.ArrayOf(prog.Char(), 8)},
+		prog.FieldSpec{Name: "n", Type: prog.Int64T()},
+	)
+	pb := prog.NewProgram()
+	pb.GlobalBytes("src", make([]byte, 16))
+	f := pb.Function("main", 0)
+	obj := f.MallocType(st)
+	f.Libc("memcpy", f.FieldPtr(obj, st, "buf"), f.GlobalAddr("src"), f.Const(16))
+	f.RetVoid()
+	m, err := NewMachine(pb.MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Violation == nil {
+		t.Fatal("expected violation")
+	}
+	out := FormatReport(res.Violation, m)
+	if !strings.Contains(out, "sub-object-overflow") || !strings.Contains(out, "member boundary") {
+		t.Errorf("sub-object report incomplete:\n%s", out)
+	}
+}
+
+func TestFormatReportNilAndForeign(t *testing.T) {
+	if got := FormatReport(nil, nil); !strings.Contains(got, "no violation") {
+		t.Fatalf("nil report = %q", got)
+	}
+	// A violation without a machine (e.g. from another sanitizer).
+	res, err := Run(func() *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		b := f.MallocBytes(8)
+		f.Free(b)
+		f.Free(b)
+		f.RetVoid()
+		return pb.MustBuild()
+	}(), Config{Sanitizer: ASan})
+	if err != nil || res.Violation == nil {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	out := FormatReport(res.Violation, nil)
+	if !strings.Contains(out, "double-free") {
+		t.Errorf("foreign report incomplete:\n%s", out)
+	}
+}

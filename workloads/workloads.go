@@ -1,0 +1,60 @@
+// Package workloads is the public facade over the paper's experiment
+// suites: the Juliet-style security cases (Tables I/II), the Linux-Flaw CVE
+// scenarios (Table III) and the SPEC-like performance workloads (Tables
+// IV/V). It lets downstream users regenerate or extend the evaluation
+// without touching internal packages.
+package workloads
+
+import (
+	"cecsan/internal/flaws"
+	"cecsan/internal/juliet"
+	"cecsan/internal/specsim"
+)
+
+// JulietCase is one generated security test case (good/bad program pair).
+type JulietCase = juliet.Case
+
+// CWE identifies a Juliet weakness class.
+type CWE = juliet.CWE
+
+// The evaluated CWE classes.
+const (
+	CWE121 = juliet.CWE121
+	CWE122 = juliet.CWE122
+	CWE124 = juliet.CWE124
+	CWE126 = juliet.CWE126
+	CWE127 = juliet.CWE127
+	CWE415 = juliet.CWE415
+	CWE416 = juliet.CWE416
+	CWE761 = juliet.CWE761
+)
+
+// JulietCWEs lists the CWEs in Table I order.
+func JulietCWEs() []CWE { return juliet.AllCWEs() }
+
+// JulietTableI returns the paper's per-CWE case counts.
+func JulietTableI() map[CWE]int { return juliet.TableI() }
+
+// GenerateJuliet deterministically generates n cases of one CWE.
+func GenerateJuliet(cwe CWE, n int) ([]*JulietCase, error) { return juliet.Generate(cwe, n) }
+
+// JulietSuite generates the full 15,752-case Table I suite.
+func JulietSuite() ([]*JulietCase, error) { return juliet.Suite() }
+
+// Flaw is one Table III CVE scenario.
+type Flaw = flaws.Flaw
+
+// LinuxFlaws returns the ten Table III scenarios.
+func LinuxFlaws() []Flaw { return flaws.All() }
+
+// SpecWorkload is one SPEC-like performance workload.
+type SpecWorkload = specsim.Workload
+
+// Spec2006 returns the Table IV workload set.
+func Spec2006() []SpecWorkload { return specsim.Spec2006() }
+
+// Spec2017 returns the Table V workload set.
+func Spec2017() []SpecWorkload { return specsim.Spec2017() }
+
+// SpecSmoke returns scaled-down variants for quick runs.
+func SpecSmoke() []SpecWorkload { return specsim.Smoke() }

@@ -1,0 +1,56 @@
+package workloads
+
+import (
+	"testing"
+
+	"cecsan"
+)
+
+func TestJulietFacade(t *testing.T) {
+	if got := len(JulietCWEs()); got != 8 {
+		t.Fatalf("JulietCWEs = %d entries, want 8", got)
+	}
+	total := 0
+	for _, n := range JulietTableI() {
+		total += n
+	}
+	if total != 15752 {
+		t.Fatalf("Table I total = %d, want 15752", total)
+	}
+	cases, err := GenerateJuliet(CWE122, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 10 {
+		t.Fatalf("generated %d cases, want 10", len(cases))
+	}
+	// A generated case is directly runnable through the public API.
+	res, err := cecsan.Run(cases[0].Bad, cecsan.Config{Inputs: cases[0].BadInputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil && res.Fault == nil {
+		t.Error("CECSan missed a bad case run through the facade")
+	}
+}
+
+func TestFlawAndSpecFacades(t *testing.T) {
+	if got := len(LinuxFlaws()); got != 10 {
+		t.Fatalf("LinuxFlaws = %d, want 10", got)
+	}
+	if got := len(Spec2006()); got != 8 {
+		t.Fatalf("Spec2006 = %d, want 8", got)
+	}
+	if got := len(Spec2017()); got != 10 {
+		t.Fatalf("Spec2017 = %d, want 10", got)
+	}
+	if len(SpecSmoke()) == 0 {
+		t.Fatal("SpecSmoke empty")
+	}
+	// A spec workload runs through the public API.
+	p := SpecSmoke()[0].Build()
+	res, err := cecsan.Run(p, cecsan.Config{Sanitizer: cecsan.Native})
+	if err != nil || !res.Ok() {
+		t.Fatalf("smoke workload failed: err=%v res=%+v", err, res)
+	}
+}
