@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench-smoke bench-table2 bench-table4 clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/interp/... ./internal/engine/... ./internal/core/...
+
+# Quick end-to-end benchmark pass: ~5% of the Table II suite, with the
+# machine-readable record. Finishes in a few seconds; use it to sanity-check
+# detection rates and the engine's cache/pooling behaviour after a change.
+bench-smoke:
+	$(GO) run ./cmd/julietbench -table 2 -scale 0.05 -progress 0 -json BENCH_table2.json
+
+# Full-scale table regenerations.
+bench-table2:
+	$(GO) run ./cmd/julietbench -table 2 -json BENCH_table2.json
+
+bench-table4:
+	$(GO) run ./cmd/specbench -suite 2006 -json BENCH_table4.json
+
+clean:
+	rm -f BENCH_*.json

@@ -25,7 +25,7 @@ import (
 	"fmt"
 
 	"cecsan/internal/core"
-	"cecsan/internal/instrument"
+	"cecsan/internal/engine"
 	"cecsan/internal/interp"
 	"cecsan/internal/rt"
 	"cecsan/internal/sanitizers"
@@ -106,45 +106,44 @@ type Config struct {
 	Inputs [][]byte
 }
 
-// Machine is a prepared, single-use execution: an instrumented program
-// bound to a fresh sanitizer runtime and simulated address space.
-type Machine struct {
-	inner *interp.Machine
-	san   rt.Sanitizer
-}
-
-// NewMachine instruments the program per the configured sanitizer's profile
-// and prepares a machine. Each NewMachine call is an independent "process".
-func NewMachine(p *prog.Program, cfg Config) (*Machine, error) {
+// engineFor translates a Config into an execution engine.
+func engineFor(cfg Config) (*engine.Engine, error) {
 	if cfg.Sanitizer == "" {
 		cfg.Sanitizer = CECSan
 	}
-	var san rt.Sanitizer
-	var err error
-	if cfg.Sanitizer == CECSan && cfg.CECSan != nil {
-		san, err = core.Sanitizer(*cfg.CECSan)
-	} else {
-		san, err = sanitizers.New(sanitizers.Name(cfg.Sanitizer))
-	}
+	eng, err := engine.New(sanitizers.Name(cfg.Sanitizer), engine.Options{
+		CECSan:          cfg.CECSan,
+		MaxInstructions: cfg.MaxInstructions,
+		Seed:            cfg.Seed,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cecsan: %w", err)
 	}
-	instrumented := instrument.Apply(p, san.Profile)
-	opts := interp.DefaultOptions()
-	if cfg.MaxInstructions > 0 {
-		opts.MaxInstructions = cfg.MaxInstructions
+	return eng, nil
+}
+
+// Machine is a prepared, single-use execution: an instrumented program
+// bound to a fresh sanitizer runtime and simulated address space.
+type Machine struct {
+	inner *engine.Machine
+}
+
+// NewMachine instruments the program per the configured sanitizer's profile
+// and prepares a machine through the execution engine. Each NewMachine call
+// is an independent "process": the sanitizer runtime is fresh.
+func NewMachine(p *prog.Program, cfg Config) (*Machine, error) {
+	eng, err := engineFor(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Seed != 0 {
-		opts.Seed = cfg.Seed
-	}
-	m, err := interp.New(instrumented, san, opts)
+	m, err := eng.NewMachine(p)
 	if err != nil {
 		return nil, fmt.Errorf("cecsan: %w", err)
 	}
 	for _, in := range cfg.Inputs {
 		m.Feed(in)
 	}
-	return &Machine{inner: m, san: san}, nil
+	return &Machine{inner: m}, nil
 }
 
 // Feed queues additional input payloads for fgets/recv.
@@ -158,13 +157,13 @@ func (m *Machine) Run() *Result { return m.inner.Run() }
 func (m *Machine) Output() []string { return m.inner.Output() }
 
 // SanitizerName returns the attached sanitizer's name.
-func (m *Machine) SanitizerName() string { return m.san.Runtime.Name() }
+func (m *Machine) SanitizerName() string { return m.inner.Runtime().Name() }
 
 // CoreRuntime returns the underlying CECSan runtime for white-box
 // inspection (metadata table statistics), or nil when another sanitizer is
 // attached.
 func (m *Machine) CoreRuntime() *core.Runtime {
-	if r, ok := m.san.Runtime.(*core.Runtime); ok {
+	if r, ok := m.inner.Runtime().(*core.Runtime); ok {
 		return r
 	}
 	return nil
@@ -172,19 +171,24 @@ func (m *Machine) CoreRuntime() *core.Runtime {
 
 // Run is the one-shot convenience: instrument, execute, return the result.
 func Run(p *prog.Program, cfg Config) (*Result, error) {
-	m, err := NewMachine(p, cfg)
+	eng, err := engineFor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(), nil
-}
-
-// Instrument exposes the compiled (instrumented) form of a program under a
-// sanitizer's profile, for inspection and tooling.
-func Instrument(p *prog.Program, sanitizer string) (*prog.Program, error) {
-	san, err := sanitizers.New(sanitizers.Name(sanitizer))
+	res, err := eng.Run(p, cfg.Inputs...)
 	if err != nil {
 		return nil, fmt.Errorf("cecsan: %w", err)
 	}
-	return instrument.Apply(p, san.Profile), nil
+	return res, nil
+}
+
+// Instrument exposes the compiled (instrumented) form of a program under a
+// sanitizer's profile, for inspection and tooling. Only the profile is
+// consulted; no runtime is constructed.
+func Instrument(p *prog.Program, sanitizer string) (*prog.Program, error) {
+	eng, err := engine.New(sanitizers.Name(sanitizer), engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cecsan: %w", err)
+	}
+	return eng.Instrument(p), nil
 }

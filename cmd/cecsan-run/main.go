@@ -20,10 +20,9 @@ import (
 	"time"
 
 	"cecsan/csrc"
+	"cecsan/internal/cliutil"
 	"cecsan/internal/core"
-	"cecsan/internal/instrument"
-	"cecsan/internal/interp"
-	"cecsan/internal/rt"
+	"cecsan/internal/engine"
 	"cecsan/internal/sanitizers"
 	"cecsan/internal/specsim"
 	"cecsan/prog"
@@ -47,6 +46,7 @@ func run() error {
 	noInv := flag.Bool("no-loopinv", false, "disable loop-invariant check relocation")
 	noMono := flag.Bool("no-monotonic", false, "disable monotonic check grouping")
 	noType := flag.Bool("no-typebased", false, "disable type-based check removal")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
 	if *list {
@@ -90,8 +90,7 @@ func run() error {
 		build = w.Build
 	}
 
-	var san rt.Sanitizer
-	var err error
+	eopts := engine.Options{Workers: *workers}
 	if *tool == string(sanitizers.CECSan) {
 		opts := core.DefaultOptions()
 		opts.SubObject = !*noSub
@@ -99,17 +98,15 @@ func run() error {
 		opts.OptLoopInvariant = !*noInv
 		opts.OptMonotonic = !*noMono
 		opts.OptTypeBased = !*noType
-		san, err = core.Sanitizer(opts)
-	} else {
-		san, err = sanitizers.New(sanitizers.Name(*tool))
+		eopts.CECSan = &opts
 	}
+	eng, err := engine.New(sanitizers.Name(*tool), eopts)
 	if err != nil {
 		return err
 	}
 
 	p := build()
-	ip := instrument.Apply(p, san.Profile)
-	m, err := interp.New(ip, san, interp.DefaultOptions())
+	m, err := eng.NewMachine(p)
 	if err != nil {
 		return err
 	}
@@ -126,7 +123,7 @@ func run() error {
 	res := m.Run()
 	dur := time.Since(start)
 
-	fmt.Printf("workload   %s under %s\n", programName, san.Runtime.Name())
+	fmt.Printf("workload   %s under %s\n", programName, m.Runtime().Name())
 	fmt.Printf("wall time  %v\n", dur)
 	if res.Violation != nil {
 		fmt.Printf("VIOLATION  %v\n", res.Violation)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	flawbench [-tool CECSan] [-patched]
+//	flawbench [-tool CECSan] [-patched] [-workers N]
 package main
 
 import (
@@ -12,8 +12,9 @@ import (
 	"fmt"
 	"os"
 
+	"cecsan/internal/cliutil"
+	"cecsan/internal/engine"
 	"cecsan/internal/flaws"
-	"cecsan/internal/instrument"
 	"cecsan/internal/interp"
 	"cecsan/internal/sanitizers"
 )
@@ -28,6 +29,7 @@ func main() {
 func run() error {
 	tool := flag.String("tool", "CECSan", "sanitizer to evaluate")
 	patched := flag.Bool("patched", false, "run the fixed variants instead (expect no detections)")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
 	list := flaws.All()
@@ -35,10 +37,15 @@ func run() error {
 		return err
 	}
 
+	eng, err := engine.New(sanitizers.Name(*tool), engine.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("Table III: Vulnerability Detection on Linux-Flaw-style scenarios (%s)\n", *tool)
 	fmt.Printf("%-16s %-24s %s\n", "CVE", "Type", "Detected?")
 	for _, fl := range list {
-		detected, err := runFlaw(fl, *patched, sanitizers.Name(*tool))
+		detected, err := runFlaw(eng, fl, *patched)
 		if err != nil {
 			return fmt.Errorf("%s: %w", fl.CVE, err)
 		}
@@ -51,21 +58,12 @@ func run() error {
 	return nil
 }
 
-func runFlaw(fl flaws.Flaw, patched bool, tool sanitizers.Name) (bool, error) {
+func runFlaw(eng *engine.Engine, fl flaws.Flaw, patched bool) (bool, error) {
 	p, inputs := fl.Build(patched)
-	san, err := sanitizers.New(tool)
+	res, err := eng.Run(p, inputs...)
 	if err != nil {
 		return false, err
 	}
-	ip := instrument.Apply(p, san.Profile)
-	m, err := interp.New(ip, san, interp.DefaultOptions())
-	if err != nil {
-		return false, err
-	}
-	for _, in := range inputs {
-		m.Feed(in)
-	}
-	res := m.Run()
 	switch {
 	case res.Violation != nil, res.Fault != nil:
 		return true, nil

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	specbench -suite 2006|2017|smoke [-reps 3] [-tools ASan,ASAN--,CECSan]
+//	          [-workers N] [-json BENCH_table4.json]
+//
+// Timed measurement is intentionally serial — one workload at a time, so
+// wall-clock numbers are not polluted by sibling measurements. The shared
+// -workers flag is accepted for interface uniformity with the other tools
+// and recorded in the -json output.
 package main
 
 import (
@@ -13,7 +19,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"cecsan/internal/cliutil"
 	"cecsan/internal/harness"
 	"cecsan/internal/sanitizers"
 	"cecsan/internal/specsim"
@@ -26,11 +34,38 @@ func main() {
 	}
 }
 
+// toolJSON is one tool's entry in the -json record.
+type toolJSON struct {
+	Name              string  `json:"name"`
+	AvgRuntimePct     float64 `json:"avg_runtime_pct"`
+	GeoRuntimePct     float64 `json:"geomean_runtime_pct"`
+	AvgMemoryPct      float64 `json:"avg_memory_pct"`
+	GeoMemoryPct      float64 `json:"geomean_memory_pct"`
+	Runs              int64   `json:"runs"`
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	InstrumentSeconds float64 `json:"instrument_seconds"`
+	ExecuteSeconds    float64 `json:"execute_seconds"`
+}
+
+// benchJSON is the BENCH_table4/5.json schema.
+type benchJSON struct {
+	Suite       string     `json:"suite"`
+	Reps        int        `json:"reps"`
+	Workloads   int        `json:"workloads"`
+	Workers     int        `json:"workers"`
+	WallSeconds float64    `json:"wall_seconds"`
+	Tools       []toolJSON `json:"tools"`
+}
+
 func run() error {
 	suite := flag.String("suite", "2006", "workload suite: 2006, 2017 or smoke")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best-of)")
 	toolsFlag := flag.String("tools", "ASan,ASAN--,CECSan", "comma-separated sanitizer list")
 	model := flag.Bool("model", false, "also print the cycle-model overhead table (per-operation costs from the published instrumentation sequences)")
+	workers := cliutil.WorkersFlag()
+	jsonPath := flag.String("json", "", "also write a machine-readable benchmark record to this path")
 	flag.Parse()
 
 	var ws []specsim.Workload
@@ -52,10 +87,12 @@ func run() error {
 
 	harness.Verbose = true
 	fmt.Printf("measuring %d workloads x %d tools (reps=%d)...\n", len(ws), len(tools), *reps)
+	start := time.Now()
 	table, err := harness.EvaluatePerf(ws, tools, *reps)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start).Seconds()
 	if *suite == "2017" {
 		fmt.Println(harness.FormatTable5(table))
 	} else {
@@ -67,6 +104,38 @@ func run() error {
 			return err
 		}
 		fmt.Println(harness.FormatCycleTable(ct))
+	}
+
+	if *jsonPath != "" {
+		rec := benchJSON{
+			Suite:       *suite,
+			Reps:        *reps,
+			Workloads:   len(ws),
+			Workers:     cliutil.ResolveWorkers(*workers),
+			WallSeconds: wall,
+		}
+		for _, tool := range append([]sanitizers.Name{sanitizers.Native}, tools...) {
+			es := table.Engines[tool]
+			tj := toolJSON{
+				Name:              string(tool),
+				Runs:              es.Runs,
+				CacheHits:         es.CacheHits,
+				CacheMisses:       es.CacheMisses,
+				CacheHitRate:      es.CacheHitRate(),
+				InstrumentSeconds: es.InstrumentTime.Seconds(),
+				ExecuteSeconds:    es.ExecuteTime.Seconds(),
+			}
+			if tool != sanitizers.Native {
+				tj.AvgRuntimePct = table.Average(tool, false)
+				tj.GeoRuntimePct = table.Geomean(tool, false)
+				tj.AvgMemoryPct = table.Average(tool, true)
+				tj.GeoMemoryPct = table.Geomean(tool, true)
+			}
+			rec.Tools = append(rec.Tools, tj)
+		}
+		if err := cliutil.WriteJSON(*jsonPath, rec); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -147,6 +147,23 @@ func (h *Heap) Alloc(size int64) (uint64, error) {
 	return base, nil
 }
 
+// Reset returns the heap to its freshly-constructed state: the bump pointer
+// rewinds to the segment base and every free list, live chunk and counter is
+// dropped. The caller must guarantee no machine is still allocating from the
+// heap. A reset heap hands out byte-identical addresses to a new one.
+func (h *Heap) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.brk = HeapBase
+	clear(h.free)
+	clear(h.live)
+	h.liveBytes = 0
+	h.peakLive = 0
+	h.liveCount = 0
+	h.allocCount = 0
+	h.freeErrors = 0
+}
+
 // Free releases the chunk whose base address is addr. Freeing anything that
 // is not a live chunk base is undefined behaviour: it is silently ignored
 // and counted, just as glibc may silently corrupt its arena.
@@ -243,6 +260,12 @@ func (s *Stack) Alloc(size int64) (uint64, error) {
 // PeakBytes returns the high-water mark of this stack.
 func (s *Stack) PeakBytes() int64 { return int64(s.peak) }
 
+// Reset rewinds the stack to empty and clears its high-water mark.
+func (s *Stack) Reset() {
+	s.sp = s.base
+	s.peak = 0
+}
+
 // Globals lays out the static data segment at program load.
 type Globals struct {
 	mu     sync.Mutex
@@ -280,6 +303,16 @@ func (g *Globals) Define(name string, size int64) (uint64, error) {
 	g.order = append(g.order, name)
 	g.next += uint64(rs)
 	return def.Addr, nil
+}
+
+// Reset returns the layout to its freshly-constructed state, forgetting all
+// definitions. A reset layout lays out byte-identical addresses to a new one.
+func (g *Globals) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next = GlobalsBase
+	clear(g.byName)
+	g.order = g.order[:0]
 }
 
 // Lookup returns the definition of a named global.

@@ -286,3 +286,73 @@ func TestGlobalsLayout(t *testing.T) {
 		t.Fatalf("TotalBytes = %d, want >= 108", g.TotalBytes())
 	}
 }
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap()
+	first, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	h.Free(first)
+	h.Free(first) // double free: counted UB
+	h.Reset()
+	if st := h.Stats(); st != (Stats{}) {
+		t.Errorf("Stats after Reset = %+v, want zero", st)
+	}
+	// Addresses repeat exactly: a reset heap is indistinguishable from new.
+	again, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Errorf("first allocation after Reset = %#x, want %#x", again, first)
+	}
+}
+
+func TestGlobalsReset(t *testing.T) {
+	g := NewGlobals()
+	a1, err := g.Define("x", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Reset()
+	if _, ok := g.Lookup("x"); ok {
+		t.Error("Lookup succeeds after Reset")
+	}
+	if got := g.TotalBytes(); got != 0 {
+		t.Errorf("TotalBytes after Reset = %d, want 0", got)
+	}
+	// Redefining the same name is legal again and lands at the same address.
+	a2, err := g.Define("x", 24)
+	if err != nil {
+		t.Fatalf("redefine after Reset: %v", err)
+	}
+	if a1 != a2 {
+		t.Errorf("address after Reset = %#x, want %#x", a2, a1)
+	}
+}
+
+func TestStackReset(t *testing.T) {
+	s, err := NewStack(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if got := s.PeakBytes(); got != 0 {
+		t.Errorf("PeakBytes after Reset = %d, want 0", got)
+	}
+	again, err := s.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Errorf("allocation after Reset = %#x, want %#x", again, first)
+	}
+}

@@ -1,0 +1,39 @@
+// Package cliutil holds the flag conventions shared by every cmd/ tool:
+// the -workers flag that sizes the execution engine's scheduler, and the
+// BENCH_*.json emission used by the benchmark commands.
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// WorkersFlag registers the shared -workers flag: every tool exposes the
+// same knob with the same meaning, plumbed into the engine scheduler.
+func WorkersFlag() *int {
+	return flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+}
+
+// ResolveWorkers maps the flag value to a concrete worker count.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// WriteJSON writes v, pretty-printed, to path.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

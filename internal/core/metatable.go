@@ -158,6 +158,30 @@ func (t *Table) Free(k uint64) {
 	t.live--
 }
 
+// Reset restores the table to its freshly-constructed state (the real
+// runtime would munmap and lazily re-fault the region; here we zero it).
+// Only entries below the high-water mark were ever written, so the cost is
+// proportional to the table's peak occupancy, not its 2^TagBits capacity —
+// for short programs this is a few cache lines instead of a 3 MiB
+// allocation. The reserveLast flag is structural configuration, not run
+// state, and survives the reset.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.slots[:t.highWater*slotsPerEntry] {
+		t.slots[i].Store(0)
+	}
+	for i := range t.sub[:t.highWater] {
+		t.sub[i] = false
+	}
+	t.slots[1].Store(reservedHigh)
+	t.gmi = 1
+	t.highWater = 1
+	t.live = 0
+	t.allocs = 0
+	t.exhausted = 0
+}
+
 // ReserveLast excludes the table's final entry from allocation, reserving
 // its index as the CHAINED tag of the §V overflow-chaining extension.
 func (t *Table) ReserveLast() {

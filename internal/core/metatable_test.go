@@ -271,3 +271,73 @@ func TestTableConcurrentChurn(t *testing.T) {
 		t.Fatalf("Live = %d after balanced churn, want 0", got)
 	}
 }
+
+// TestResetRestoresFreshState drives a table through an allocate/free churn,
+// resets it, and asserts it is indistinguishable from a new table: same
+// reserved entry, same allocation index sequence, same counters, same
+// touched-page footprint. This is the invariant the execution engine's
+// runtime pooling depends on.
+func TestResetRestoresFreshState(t *testing.T) {
+	dirty := newTable(t)
+	for i := uint64(1); i <= 40; i++ {
+		if _, ok := dirty.Allocate(0x1000*i, 0x1000*i+64, i%3 == 0); !ok {
+			t.Fatalf("Allocate #%d failed", i)
+		}
+	}
+	for _, k := range []uint64{3, 7, 7, 12, 40, 1} {
+		dirty.Free(k)
+	}
+	dirty.Reset()
+
+	fresh := newTable(t)
+	if got, want := dirty.Stats(), fresh.Stats(); got != want {
+		t.Errorf("Stats after Reset = %+v, want %+v", got, want)
+	}
+	if got, want := dirty.TouchedBytes(), fresh.TouchedBytes(); got != want {
+		t.Errorf("TouchedBytes after Reset = %d, want %d", got, want)
+	}
+	low, high := dirty.Load(0)
+	if low != 0 || high != reservedHigh {
+		t.Errorf("reserved entry after Reset = [%#x,%#x), want [0,%#x)", low, high, reservedHigh)
+	}
+	// Replaying the same allocation sequence on both tables must produce
+	// identical indices, bounds and sub flags.
+	for i := uint64(1); i <= 20; i++ {
+		gi, gok := dirty.Allocate(0x2000*i, 0x2000*i+32, i%2 == 0)
+		wi, wok := fresh.Allocate(0x2000*i, 0x2000*i+32, i%2 == 0)
+		if gi != wi || gok != wok {
+			t.Fatalf("replay Allocate #%d: reset table gave (%d,%v), fresh gave (%d,%v)", i, gi, gok, wi, wok)
+		}
+		glow, ghigh := dirty.Load(gi)
+		wlow, whigh := fresh.Load(wi)
+		if glow != wlow || ghigh != whigh {
+			t.Fatalf("replay entry %d bounds differ: [%#x,%#x) vs [%#x,%#x)", gi, glow, ghigh, wlow, whigh)
+		}
+		if dirty.IsSub(gi) != fresh.IsSub(wi) {
+			t.Fatalf("replay entry %d sub flag differs", gi)
+		}
+	}
+	if got, want := dirty.Stats(), fresh.Stats(); got != want {
+		t.Errorf("Stats after replay = %+v, want %+v", got, want)
+	}
+}
+
+// TestResetPreservesReserveLast checks the CHAINED-tag reservation, which is
+// construction-time configuration, survives a Reset.
+func TestResetPreservesReserveLast(t *testing.T) {
+	tbl := newTable(t)
+	tbl.ReserveLast()
+	tbl.Reset()
+	limit := tbl.Capacity() - 1 // last index reserved
+	var last uint64
+	for {
+		idx, ok := tbl.Allocate(0x1000, 0x1040, false)
+		if !ok {
+			break
+		}
+		last = idx
+	}
+	if last != limit-1 {
+		t.Fatalf("last allocated index = %d, want %d (final entry stays reserved after Reset)", last, limit-1)
+	}
+}

@@ -51,6 +51,31 @@ func DefaultOptions() Options {
 	}
 }
 
+// ProfileFor derives the LTO instrumentation profile (§III) for the given
+// options without constructing a runtime. Building a runtime allocates the
+// full metadata table, so callers that only need to know *how to instrument*
+// — the execution engine's cache key among them — use this instead.
+func ProfileFor(opts Options) rt.Profile {
+	if opts.Name == "" {
+		opts.Name = "CECSan"
+	}
+	return rt.Profile{
+		Name:             opts.Name,
+		CheckLoads:       true,
+		CheckStores:      true,
+		TagPointers:      true,
+		PtrMask:          (uint64(1) << opts.Arch.AddrBits) - 1,
+		SubObject:        opts.SubObject,
+		TrackStack:       true,
+		TrackGlobals:     true,
+		OptRedundant:     opts.OptRedundant,
+		OptLoopInvariant: opts.OptLoopInvariant,
+		OptMonotonic:     opts.OptMonotonic,
+		OptTypeBased:     opts.OptTypeBased,
+		CheckStep:        opts.CheckStep,
+	}
+}
+
 // Sanitizer builds the full CECSan sanitizer bundle: the runtime library
 // plus the LTO instrumentation profile (§III).
 func Sanitizer(opts Options) (rt.Sanitizer, error) {
@@ -58,24 +83,7 @@ func Sanitizer(opts Options) (rt.Sanitizer, error) {
 	if err != nil {
 		return rt.Sanitizer{}, err
 	}
-	return rt.Sanitizer{
-		Runtime: r,
-		Profile: rt.Profile{
-			Name:             r.Name(),
-			CheckLoads:       true,
-			CheckStores:      true,
-			TagPointers:      true,
-			PtrMask:          (uint64(1) << opts.Arch.AddrBits) - 1,
-			SubObject:        opts.SubObject,
-			TrackStack:       true,
-			TrackGlobals:     true,
-			OptRedundant:     opts.OptRedundant,
-			OptLoopInvariant: opts.OptLoopInvariant,
-			OptMonotonic:     opts.OptMonotonic,
-			OptTypeBased:     opts.OptTypeBased,
-			CheckStep:        opts.CheckStep,
-		},
-	}, nil
+	return rt.Sanitizer{Runtime: r, Profile: ProfileFor(opts)}, nil
 }
 
 // Runtime is the CECSan runtime library (rt.Runtime implementation).
@@ -136,6 +144,24 @@ func (r *Runtime) Attach(env *rt.Env) error {
 
 // Table exposes the metadata table for white-box tests and stats.
 func (r *Runtime) Table() *Table { return r.table }
+
+// ResetRuntime implements rt.Resettable: it restores the runtime to its
+// freshly-constructed state so the execution engine can recycle it instead
+// of paying New's full metadata-table allocation per program. The next
+// Attach rebinds the machine environment.
+func (r *Runtime) ResetRuntime() {
+	r.table.Reset()
+	if r.spill != nil {
+		r.spill.mu.Lock()
+		r.spill.spans = r.spill.spans[:0]
+		r.spill.inserts = 0
+		r.spill.lookups = 0
+		r.spill.mu.Unlock()
+	}
+	r.trackedGlobals.Store(0)
+	r.subCreated.Store(0)
+	r.env = rt.Env{}
+}
 
 // Malloc implements rt.Runtime: allocate from the stock heap (CECSan keeps
 // the system allocator, §I), create a metadata entry, and return the tagged

@@ -1,0 +1,423 @@
+// Package engine is the unified execution engine: one object that owns the
+// whole compile → instrument → execute pipeline for a chosen sanitizer.
+//
+// Every consumer in the repository — the public cecsan API, the Juliet and
+// CVE harnesses, the performance suites and the cmd/ tools — goes through an
+// Engine instead of wiring instrument.Apply and interp.New together by hand.
+// Centralizing the pipeline buys three things:
+//
+//   - An instrumentation cache. Instrumentation is deterministic in
+//     (program, profile), and the interpreter never mutates instructions, so
+//     one instrumented program is shared by any number of concurrent
+//     machines. The cache is content-addressed by prog.Fingerprint (the
+//     profile is fixed per engine), which collapses the thousands of
+//     structurally identical Juliet flow variants to one instrumentation
+//     each.
+//
+//   - Pooled execution resources. Address spaces, heaps and globals layouts
+//     are recycled through a sync.Pool via interp.Resources.Reset, which is
+//     byte-identical to fresh construction (same addresses, zeroed pages,
+//     RSS gauge restarted) — detection results and stats cannot change, only
+//     allocation pressure drops. Perf measurement opts out with
+//     Options.FreshRuntime, preserving its fresh-process-per-rep semantics.
+//
+//   - A scheduler. ForEach fans work items across a bounded worker pool and
+//     the engine aggregates run counters (cache hits, instrument vs execute
+//     time split, cases/sec) into Stats.
+//
+// Sanitizer runtimes are per-process state (metadata tables, shadow,
+// quarantine) and are never shared between live machines. Runtimes that
+// implement rt.Resettable (the CECSan family, whose constructor is dominated
+// by the metadata-table allocation) are recycled through a pool after an
+// explicit reset back to post-constructor state; all others — notably HWASan,
+// whose constructor seeds the tag RNG — are built fresh for every machine.
+// FreshRuntime mode disables both pools.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cecsan/internal/core"
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/rt"
+	"cecsan/internal/sanitizers"
+	"cecsan/prog"
+)
+
+// Options configures an Engine. The zero value is usable: default worker
+// count, default interpreter limits, pooled resources.
+type Options struct {
+	// CECSan overrides CECSan's own options (ablations). Only consulted
+	// when the engine's tool is CECSan.
+	CECSan *core.Options
+	// Workers bounds ForEach concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxInstructions bounds each run (0 = interpreter default).
+	MaxInstructions int64
+	// Seed seeds each machine's program-visible rand() stream (0 = 1).
+	Seed uint64
+	// FreshRuntime disables resource pooling: every machine gets a fresh
+	// address space, heap and globals layout, like a new OS process. The
+	// perf harness uses this so each rep pays the same page-fault profile
+	// the paper's fresh-process measurements pay.
+	FreshRuntime bool
+	// Progress, when set, is called from ForEach with (done, total) every
+	// ProgressEvery completions and once at the end.
+	Progress func(done, total int)
+	// ProgressEvery is the progress callback stride (<= 0 = 100).
+	ProgressEvery int
+}
+
+// Engine runs programs under one sanitizer with cached instrumentation and
+// pooled execution resources. It is safe for concurrent use.
+type Engine struct {
+	tool       sanitizers.Name
+	opts       Options
+	profile    rt.Profile
+	interpOpts interp.Options
+
+	cacheMu sync.Mutex
+	cache   map[prog.Fingerprint]*cacheEntry
+
+	pool    sync.Pool // *interp.Resources, Reset between uses
+	sanPool sync.Pool // rt.Sanitizer bundles whose runtime is rt.Resettable
+
+	runs         atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	instrumentNS atomic.Int64
+	executeNS    atomic.Int64
+	firstStartNS atomic.Int64 // wall-clock span over all Run calls
+	lastEndNS    atomic.Int64
+}
+
+// cacheEntry is one instrumented program; the Once makes concurrent first
+// requests for the same fingerprint instrument exactly once.
+type cacheEntry struct {
+	once sync.Once
+	p    *prog.Program
+}
+
+// New builds an engine for the named sanitizer. Only the instrumentation
+// profile is resolved here; runtimes are constructed per machine.
+func New(tool sanitizers.Name, opts Options) (*Engine, error) {
+	var profile rt.Profile
+	var err error
+	if tool == sanitizers.CECSan && opts.CECSan != nil {
+		profile = core.ProfileFor(*opts.CECSan)
+	} else {
+		profile, err = sanitizers.ProfileFor(tool)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	iopts := interp.DefaultOptions()
+	if opts.MaxInstructions > 0 {
+		iopts.MaxInstructions = opts.MaxInstructions
+	}
+	if opts.Seed != 0 {
+		iopts.Seed = opts.Seed
+	}
+	return &Engine{
+		tool:       tool,
+		opts:       opts,
+		profile:    profile,
+		interpOpts: iopts,
+		cache:      make(map[prog.Fingerprint]*cacheEntry),
+	}, nil
+}
+
+// Tool returns the engine's sanitizer name.
+func (e *Engine) Tool() sanitizers.Name { return e.tool }
+
+// Profile returns the instrumentation profile the engine compiles with.
+func (e *Engine) Profile() rt.Profile { return e.profile }
+
+// newSanitizer constructs a fresh sanitizer bundle for one machine.
+func (e *Engine) newSanitizer() (rt.Sanitizer, error) {
+	if e.tool == sanitizers.CECSan && e.opts.CECSan != nil {
+		return core.Sanitizer(*e.opts.CECSan)
+	}
+	return sanitizers.New(e.tool)
+}
+
+// Instrument returns the instrumented form of p under the engine's profile,
+// from cache when a structurally identical program was seen before.
+func (e *Engine) Instrument(p *prog.Program) *prog.Program {
+	fp := p.Fingerprint()
+	e.cacheMu.Lock()
+	ent, ok := e.cache[fp]
+	if !ok {
+		ent = &cacheEntry{}
+		e.cache[fp] = ent
+	}
+	e.cacheMu.Unlock()
+	hit := true
+	ent.once.Do(func() {
+		hit = false
+		start := time.Now()
+		ent.p = instrument.Apply(p, e.profile)
+		e.instrumentNS.Add(time.Since(start).Nanoseconds())
+	})
+	if hit {
+		e.cacheHits.Add(1)
+	} else {
+		e.cacheMisses.Add(1)
+	}
+	return ent.p
+}
+
+// acquire hands out a resource bundle: a pooled one (already Reset) when
+// available, a fresh one otherwise.
+func (e *Engine) acquire() (*interp.Resources, error) {
+	if r, ok := e.pool.Get().(*interp.Resources); ok && r != nil {
+		return r, nil
+	}
+	return interp.NewResources(e.interpOpts.AddrBits)
+}
+
+// release resets a bundle and returns it to the pool.
+func (e *Engine) release(r *interp.Resources) {
+	r.Reset()
+	e.pool.Put(r)
+}
+
+// acquireSanitizer hands out a sanitizer bundle: a recycled one when the
+// pool has one, fresh otherwise. Only bundles whose runtime implements
+// rt.Resettable ever enter the pool, so a pooled bundle is already back in
+// post-constructor state.
+func (e *Engine) acquireSanitizer() (rt.Sanitizer, error) {
+	if s, ok := e.sanPool.Get().(rt.Sanitizer); ok {
+		return s, nil
+	}
+	return e.newSanitizer()
+}
+
+// releaseSanitizer recycles a bundle when its runtime can be restored to
+// freshly-constructed state; otherwise the bundle is dropped for the GC.
+func (e *Engine) releaseSanitizer(s rt.Sanitizer) {
+	if r, ok := s.Runtime.(rt.Resettable); ok {
+		r.ResetRuntime()
+		e.sanPool.Put(s)
+	}
+}
+
+// Machine is one prepared execution: an instrumented program bound to a
+// fresh sanitizer runtime on (pooled or fresh) resources. A Machine is used
+// by a single goroutine and Run at most once.
+type Machine struct {
+	eng      *Engine
+	inner    *interp.Machine
+	san      rt.Sanitizer
+	res      *interp.Resources // nil in FreshRuntime mode
+	released bool
+}
+
+// NewMachine instruments p (cached) and prepares a machine on a fresh
+// sanitizer runtime. Call Release when done with it so pooled resources
+// return to the pool; forgetting Release only costs pool misses.
+func (e *Engine) NewMachine(p *prog.Program) (*Machine, error) {
+	ip := e.Instrument(p)
+	if e.opts.FreshRuntime {
+		san, err := e.newSanitizer()
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		m, err := interp.New(ip, san, e.interpOpts)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		return &Machine{eng: e, inner: m, san: san}, nil
+	}
+	san, err := e.acquireSanitizer()
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	res, err := e.acquire()
+	if err != nil {
+		e.releaseSanitizer(san)
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	m, err := interp.NewOn(res, ip, san, e.interpOpts)
+	if err != nil {
+		e.release(res)
+		e.releaseSanitizer(san)
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return &Machine{eng: e, inner: m, san: san, res: res}, nil
+}
+
+// Feed queues input payloads for the program's fgets/recv calls.
+func (m *Machine) Feed(payloads ...[]byte) { m.inner.Feed(payloads...) }
+
+// Run executes the program to completion or abort, recording execute time
+// and run counts in the engine's stats.
+func (m *Machine) Run() *interp.Result {
+	e := m.eng
+	start := time.Now()
+	e.noteStart(start)
+	res := m.inner.Run()
+	end := time.Now()
+	e.executeNS.Add(end.Sub(start).Nanoseconds())
+	e.noteEnd(end)
+	e.runs.Add(1)
+	return res
+}
+
+// Output returns lines the program printed. Valid after Release.
+func (m *Machine) Output() []string { return m.inner.Output() }
+
+// Runtime returns the machine's sanitizer runtime for white-box inspection.
+func (m *Machine) Runtime() rt.Runtime { return m.san.Runtime }
+
+// Release recycles the machine's resources — and, for resettable runtimes,
+// its sanitizer — into the engine pools. The machine must not Run, touch
+// simulated memory, or inspect its Runtime afterwards; Output and the last
+// Result remain valid. Release is idempotent and a no-op in FreshRuntime
+// mode.
+func (m *Machine) Release() {
+	if m.released || m.res == nil {
+		return
+	}
+	m.released = true
+	m.eng.release(m.res)
+	m.res = nil
+	m.eng.releaseSanitizer(m.san)
+}
+
+// Run is the one-shot convenience: instrument (cached), execute on pooled
+// resources, release, return the result.
+func (e *Engine) Run(p *prog.Program, inputs ...[]byte) (*interp.Result, error) {
+	m, err := e.NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	m.Feed(inputs...)
+	res := m.Run()
+	m.Release()
+	return res, nil
+}
+
+// ForEach runs fn(0..n-1) across the engine's worker pool. All items run
+// even when some fail; the error for the lowest-indexed failing item is
+// returned, making error reporting deterministic under concurrency. The
+// Progress callback, when configured, fires every ProgressEvery completions.
+func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	every := e.opts.ProgressEvery
+	if every <= 0 {
+		every = 100
+	}
+	var (
+		next, done atomic.Int64
+		wg         sync.WaitGroup
+		errMu      sync.Mutex
+		firstErr   error
+		errIdx     = -1
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+				}
+				if d := int(done.Add(1)); e.opts.Progress != nil && (d%every == 0 || d == n) {
+					e.opts.Progress(d, n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// noteStart records the wall-clock start of the engine's first run.
+func (e *Engine) noteStart(t time.Time) {
+	e.firstStartNS.CompareAndSwap(0, t.UnixNano())
+}
+
+// noteEnd advances the wall-clock end of the engine's latest run.
+func (e *Engine) noteEnd(t time.Time) {
+	ns := t.UnixNano()
+	for {
+		cur := e.lastEndNS.Load()
+		if ns <= cur || e.lastEndNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Stats is a snapshot of the engine's aggregate counters.
+type Stats struct {
+	// Runs is the number of completed machine runs.
+	Runs int64
+	// CacheHits and CacheMisses count Instrument requests served from /
+	// added to the instrumentation cache.
+	CacheHits   int64
+	CacheMisses int64
+	// InstrumentTime is total time spent instrumenting (cache misses only).
+	InstrumentTime time.Duration
+	// ExecuteTime is total machine-run time summed over runs (can exceed
+	// Wall under concurrency).
+	ExecuteTime time.Duration
+	// Wall is the wall-clock span from the first run's start to the latest
+	// run's end.
+	Wall time.Duration
+}
+
+// CacheHitRate returns the fraction of Instrument requests served from
+// cache, in [0,1]; 0 when nothing was instrumented.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// CasesPerSec returns completed runs per wall-clock second.
+func (s Stats) CasesPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Runs) / s.Wall.Seconds()
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Runs:           e.runs.Load(),
+		CacheHits:      e.cacheHits.Load(),
+		CacheMisses:    e.cacheMisses.Load(),
+		InstrumentTime: time.Duration(e.instrumentNS.Load()),
+		ExecuteTime:    time.Duration(e.executeNS.Load()),
+	}
+	if start, end := e.firstStartNS.Load(), e.lastEndNS.Load(); start != 0 && end > start {
+		s.Wall = time.Duration(end - start)
+	}
+	return s
+}

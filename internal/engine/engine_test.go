@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"cecsan/internal/instrument"
+	"cecsan/internal/interp"
+	"cecsan/internal/juliet"
+	"cecsan/internal/sanitizers"
+	"cecsan/prog"
+)
+
+// sampleSuite generates a small Juliet sample spanning every CWE.
+func sampleSuite(t *testing.T, perCWE int) []*juliet.Case {
+	t.Helper()
+	var suite []*juliet.Case
+	for _, cwe := range juliet.AllCWEs() {
+		cs, err := juliet.Generate(cwe, perCWE)
+		if err != nil {
+			t.Fatalf("Generate(%v): %v", cwe, err)
+		}
+		suite = append(suite, cs...)
+	}
+	return suite
+}
+
+// uncachedRun is the pre-engine pipeline: fresh sanitizer, fresh
+// instrumentation, fresh machine. The property tests compare the engine's
+// cached/pooled path against it.
+func uncachedRun(t *testing.T, tool sanitizers.Name, p *prog.Program, inputs [][]byte) *interp.Result {
+	t.Helper()
+	san, err := sanitizers.New(tool)
+	if err != nil {
+		t.Fatalf("New(%s): %v", tool, err)
+	}
+	ip := instrument.Apply(p, san.Profile)
+	m, err := interp.New(ip, san, interp.DefaultOptions())
+	if err != nil {
+		t.Fatalf("interp.New: %v", err)
+	}
+	for _, in := range inputs {
+		m.Feed(in)
+	}
+	return m.Run()
+}
+
+// sameResult compares everything the harness can observe about a run.
+func sameResult(a, b *interp.Result) bool {
+	if (a.Violation == nil) != (b.Violation == nil) {
+		return false
+	}
+	if a.Violation != nil && (a.Violation.Kind != b.Violation.Kind ||
+		a.Violation.Func != b.Violation.Func || a.Violation.PC != b.Violation.PC) {
+		return false
+	}
+	if (a.Fault == nil) != (b.Fault == nil) {
+		return false
+	}
+	if a.Fault != nil && *a.Fault != *b.Fault {
+		return false
+	}
+	if (a.Err == nil) != (b.Err == nil) {
+		return false
+	}
+	return a.Ret == b.Ret && a.Stats == b.Stats
+}
+
+// TestCachedMatchesUncached is the engine's core property: for every tool,
+// running a sampled Juliet subset through the cached + pooled pipeline gives
+// byte-identical results (violations, faults, return values and all stats,
+// including the RSS gauges) to the fresh-everything pipeline.
+func TestCachedMatchesUncached(t *testing.T) {
+	suite := sampleSuite(t, 3)
+	for _, tool := range sanitizers.All() {
+		eng, err := New(tool, Options{})
+		if err != nil {
+			t.Fatalf("engine.New(%s): %v", tool, err)
+		}
+		for _, cs := range suite {
+			// Run each program twice through the engine so the second pass
+			// exercises both the instrumentation cache and recycled
+			// resources.
+			for round := 0; round < 2; round++ {
+				for _, v := range []struct {
+					p      *prog.Program
+					inputs [][]byte
+					which  string
+				}{{cs.Bad, cs.BadInputs, "bad"}, {cs.Good, cs.GoodInputs, "good"}} {
+					got, err := eng.Run(v.p, v.inputs...)
+					if err != nil {
+						t.Fatalf("%s %s %s: engine run: %v", tool, cs.ID, v.which, err)
+					}
+					want := uncachedRun(t, tool, v.p, v.inputs)
+					if !sameResult(got, want) {
+						t.Fatalf("%s %s %s round %d: cached run diverged:\n got %+v\nwant %+v",
+							tool, cs.ID, v.which, round, got, want)
+					}
+				}
+			}
+		}
+		s := eng.Stats()
+		if s.CacheHits == 0 {
+			t.Errorf("%s: no cache hits after repeated runs (misses=%d)", tool, s.CacheMisses)
+		}
+		if s.Runs == 0 || s.ExecuteTime <= 0 {
+			t.Errorf("%s: stats not recorded: %+v", tool, s)
+		}
+	}
+}
+
+// TestConcurrentEngineUse hammers one engine from many goroutines — shared
+// cache entries, racing pool traffic — and checks every result against the
+// sequential reference. Run with -race this is the engine's thread-safety
+// proof.
+func TestConcurrentEngineUse(t *testing.T) {
+	suite := sampleSuite(t, 2)
+	tool := sanitizers.CECSan
+	eng, err := New(tool, Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	want := make([]*interp.Result, len(suite))
+	for i, cs := range suite {
+		want[i] = uncachedRun(t, tool, cs.Bad, cs.BadInputs)
+	}
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds)
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- eng.ForEach(len(suite), func(i int) error {
+				got, err := eng.Run(suite[i].Bad, suite[i].BadInputs...)
+				if err != nil {
+					return err
+				}
+				if !sameResult(got, want[i]) {
+					t.Errorf("case %d diverged under concurrency", i)
+				}
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("ForEach: %v", err)
+		}
+	}
+	if s := eng.Stats(); s.Runs != int64(rounds*len(suite)) {
+		t.Errorf("Runs = %d, want %d", s.Runs, rounds*len(suite))
+	}
+}
+
+// TestInstrumentCacheKeying verifies hits only happen for structurally
+// identical programs and that hit/miss counters add up.
+func TestInstrumentCacheKeying(t *testing.T) {
+	build := func(off int64) *prog.Program {
+		pb := prog.NewProgram()
+		f := pb.Function("main", 0)
+		buf := f.MallocBytes(16)
+		f.Store(buf, off, f.Const(1), prog.Char())
+		f.Free(buf)
+		f.RetVoid()
+		return pb.MustBuild()
+	}
+	eng, err := New(sanitizers.ASan, Options{})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	a1, a2, b := build(0), build(0), build(8)
+	ia := eng.Instrument(a1)
+	if eng.Instrument(a2) != ia {
+		t.Error("structurally identical program did not hit the cache")
+	}
+	if eng.Instrument(b) == ia {
+		t.Error("distinct program shared a cache entry")
+	}
+	s := eng.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", s.CacheHits, s.CacheMisses)
+	}
+	if s.InstrumentTime <= 0 {
+		t.Error("instrument time not recorded")
+	}
+}
+
+// TestFreshRuntimeMode checks the perf-harness mode: no pooling, every
+// machine on untouched resources, results still identical.
+func TestFreshRuntimeMode(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(1024)
+	f.Store(buf, 0, f.Const(7), prog.Int64T())
+	v := f.Load(buf, 0, prog.Int64T())
+	f.Free(buf)
+	f.Ret(v)
+	p := pb.MustBuild()
+
+	fresh, err := New(sanitizers.CECSan, Options{FreshRuntime: true})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	pooled, err := New(sanitizers.CECSan, Options{})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	fr, err := fresh.Run(p)
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	pr, err := pooled.Run(p)
+	if err != nil {
+		t.Fatalf("pooled run: %v", err)
+	}
+	if !sameResult(fr, pr) {
+		t.Fatalf("fresh and pooled runs diverged:\n fresh %+v\npooled %+v", fr, pr)
+	}
+}
+
+// TestRuntimeRecycling pins the engine's sanitizer pooling: sequential
+// machines on a CECSan engine reuse the same runtime instance (its
+// constructor's 3 MiB table allocation is the dominant per-run cost), an
+// HWASan engine never recycles (its constructor seeds the tag RNG), and a
+// FreshRuntime engine never recycles anything.
+func TestRuntimeRecycling(t *testing.T) {
+	pb := prog.NewProgram()
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(64)
+	f.Store(buf, 0, f.Const(1), prog.Int64T())
+	f.Free(buf)
+	f.Ret(f.Const(0))
+	p := pb.MustBuild()
+
+	runOnce := func(e *Engine) interface{} {
+		m, err := e.NewMachine(p)
+		if err != nil {
+			t.Fatalf("NewMachine: %v", err)
+		}
+		rt := m.Runtime()
+		if res := m.Run(); res.Err != nil || res.Violation != nil || res.Fault != nil {
+			t.Fatalf("run failed: %+v", res)
+		}
+		m.Release()
+		return rt
+	}
+
+	cec, err := New(sanitizers.CECSan, Options{})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if first, second := runOnce(cec), runOnce(cec); first != second {
+		t.Error("CECSan engine did not recycle the runtime across sequential machines")
+	}
+
+	hw, err := New(sanitizers.HWASan, Options{})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if first, second := runOnce(hw), runOnce(hw); first == second {
+		t.Error("HWASan runtime was recycled; RNG-seeded runtimes must be rebuilt per machine")
+	}
+
+	fresh, err := New(sanitizers.CECSan, Options{FreshRuntime: true})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if first, second := runOnce(fresh), runOnce(fresh); first == second {
+		t.Error("FreshRuntime engine recycled a runtime; perf mode must rebuild per machine")
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"math"
 	"strings"
 
-	"cecsan/internal/instrument"
+	"cecsan/internal/engine"
 	"cecsan/internal/interp"
 	"cecsan/internal/sanitizers"
 	"cecsan/internal/specsim"
@@ -96,21 +96,15 @@ type CycleTable struct {
 	Rows  []CycleRow
 }
 
-// statsFor executes one workload under one tool and returns the machine's
-// event counts (deterministic: a single rep suffices).
-func statsFor(w specsim.Workload, tool sanitizers.Name) (interp.Stats, error) {
-	san, err := sanitizers.New(tool)
+// statsFor executes one workload through one tool's engine and returns the
+// machine's event counts (deterministic: a single rep suffices).
+func statsFor(eng *engine.Engine, w specsim.Workload) (interp.Stats, error) {
+	res, err := eng.Run(w.Build())
 	if err != nil {
 		return interp.Stats{}, err
 	}
-	ip := instrument.Apply(w.Build(), san.Profile)
-	m, err := interp.New(ip, san, interp.DefaultOptions())
-	if err != nil {
-		return interp.Stats{}, err
-	}
-	res := m.Run()
 	if !res.Ok() {
-		return interp.Stats{}, fmt.Errorf("harness: %s under %s: %v%v%v", w.Name, tool, res.Violation, res.Fault, res.Err)
+		return interp.Stats{}, fmt.Errorf("harness: %s under %s: %v%v%v", w.Name, eng.Tool(), res.Violation, res.Fault, res.Err)
 	}
 	return res.Stats, nil
 }
@@ -122,8 +116,19 @@ func EvaluateCycles(ws []specsim.Workload, tools []sanitizers.Name) (*CycleTable
 	if len(ws) > 0 {
 		table.Suite = ws[0].Suite
 	}
+	engines := make(map[sanitizers.Name]*engine.Engine, len(tools)+1)
+	for _, tool := range append([]sanitizers.Name{sanitizers.Native}, tools...) {
+		if _, ok := engines[tool]; ok {
+			continue
+		}
+		eng, err := engine.New(tool, engine.Options{})
+		if err != nil {
+			return nil, err
+		}
+		engines[tool] = eng
+	}
 	for _, w := range ws {
-		base, err := statsFor(w, sanitizers.Native)
+		base, err := statsFor(engines[sanitizers.Native], w)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +139,7 @@ func EvaluateCycles(ws []specsim.Workload, tools []sanitizers.Name) (*CycleTable
 			OverheadPct:  make(map[sanitizers.Name]float64, len(tools)),
 		}
 		for _, tool := range tools {
-			st, err := statsFor(w, tool)
+			st, err := statsFor(engines[tool], w)
 			if err != nil {
 				return nil, err
 			}

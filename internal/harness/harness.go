@@ -8,12 +8,9 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
-	"cecsan/internal/instrument"
-	"cecsan/internal/interp"
+	"cecsan/internal/engine"
 	"cecsan/internal/juliet"
 	"cecsan/internal/sanitizers"
 	"cecsan/prog"
@@ -31,21 +28,24 @@ const (
 )
 
 // RunCase executes one program with its input feed under a fresh instance
-// of the named sanitizer.
+// of the named sanitizer. One-shot convenience over RunCaseOn; evaluation
+// loops build an engine per tool and call RunCaseOn to benefit from the
+// instrumentation cache.
 func RunCase(p *prog.Program, inputs [][]byte, name sanitizers.Name) (Outcome, error) {
-	san, err := sanitizers.New(name)
+	eng, err := engine.New(name, engine.Options{})
 	if err != nil {
 		return OutcomeError, err
 	}
-	ip := instrument.Apply(p, san.Profile)
-	m, err := interp.New(ip, san, interp.DefaultOptions())
+	return RunCaseOn(eng, p, inputs)
+}
+
+// RunCaseOn executes one program through an engine (cached instrumentation,
+// pooled resources, fresh sanitizer runtime) and classifies the outcome.
+func RunCaseOn(eng *engine.Engine, p *prog.Program, inputs [][]byte) (Outcome, error) {
+	res, err := eng.Run(p, inputs...)
 	if err != nil {
 		return OutcomeError, err
 	}
-	for _, in := range inputs {
-		m.Feed(in)
-	}
-	res := m.Run()
 	switch {
 	case res.Violation != nil:
 		return OutcomeDetected, nil
@@ -81,6 +81,9 @@ type ToolResult struct {
 	Name   sanitizers.Name
 	Cases  int // size of the tool's evaluated subset
 	PerCWE map[juliet.CWE]CWEStats
+	// Engine is the tool's pipeline counters: cache hit rate, cases/sec,
+	// instrument vs execute time split.
+	Engine engine.Stats
 }
 
 // TotalFalsePositives sums FPs across CWEs.
@@ -113,12 +116,17 @@ func subsetFor(name sanitizers.Name) func(*juliet.Case) bool {
 	}
 }
 
+// Progress, when set, receives per-tool completion updates while
+// EvaluateJuliet runs, every ProgressEvery cases and once per tool at the
+// end.
+var Progress func(tool sanitizers.Name, done, total int)
+
+// ProgressEvery is the Progress callback stride.
+var ProgressEvery = 200
+
 // EvaluateJuliet runs the suite under every listed tool, in parallel across
 // cases. workers <= 0 selects GOMAXPROCS.
 func EvaluateJuliet(suite []*juliet.Case, tools []sanitizers.Name, workers int) (*JulietEvaluation, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	eval := &JulietEvaluation{}
 	for _, tool := range tools {
 		tr, err := evaluateTool(suite, tool, workers)
@@ -130,7 +138,9 @@ func EvaluateJuliet(suite []*juliet.Case, tools []sanitizers.Name, workers int) 
 	return eval, nil
 }
 
-// evaluateTool runs one tool over its subset of the suite.
+// evaluateTool runs one tool over its subset of the suite through one
+// engine: the tool's cases share an instrumentation cache and resource pool
+// and fan out across the engine's worker scheduler.
 func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*ToolResult, error) {
 	include := subsetFor(tool)
 	var cases []*juliet.Case
@@ -141,44 +151,43 @@ func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*Too
 	}
 	tr := &ToolResult{Name: tool, Cases: len(cases), PerCWE: make(map[juliet.CWE]CWEStats)}
 
+	eopts := engine.Options{Workers: workers, ProgressEvery: ProgressEvery}
+	if Progress != nil {
+		eopts.Progress = func(done, total int) { Progress(tool, done, total) }
+	}
+	eng, err := engine.New(tool, eopts)
+	if err != nil {
+		return nil, err
+	}
+
 	type caseOut struct {
 		cwe        juliet.CWE
 		badOutcome Outcome
 		fp         bool
-		err        error
 	}
 	outs := make([]caseOut, len(cases))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, cs := range cases {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, cs *juliet.Case) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			bad, err := RunCase(cs.Bad, cs.BadInputs, tool)
-			if err != nil {
-				outs[i] = caseOut{err: fmt.Errorf("%s bad: %w", cs.ID, err)}
-				return
-			}
-			good, err := RunCase(cs.Good, cs.GoodInputs, tool)
-			if err != nil {
-				outs[i] = caseOut{err: fmt.Errorf("%s good: %w", cs.ID, err)}
-				return
-			}
-			outs[i] = caseOut{
-				cwe:        cs.CWE,
-				badOutcome: bad,
-				fp:         good == OutcomeDetected || good == OutcomeCrash,
-			}
-		}(i, cs)
+	err = eng.ForEach(len(cases), func(i int) error {
+		cs := cases[i]
+		bad, err := RunCaseOn(eng, cs.Bad, cs.BadInputs)
+		if err != nil {
+			return fmt.Errorf("%s bad: %w", cs.ID, err)
+		}
+		good, err := RunCaseOn(eng, cs.Good, cs.GoodInputs)
+		if err != nil {
+			return fmt.Errorf("%s good: %w", cs.ID, err)
+		}
+		outs[i] = caseOut{
+			cwe:        cs.CWE,
+			badOutcome: bad,
+			fp:         good == OutcomeDetected || good == OutcomeCrash,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
 		s := tr.PerCWE[o.cwe]
 		s.Total++
 		switch o.badOutcome {
@@ -192,6 +201,7 @@ func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*Too
 		}
 		tr.PerCWE[o.cwe] = s
 	}
+	tr.Engine = eng.Stats()
 	return tr, nil
 }
 

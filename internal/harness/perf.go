@@ -7,8 +7,7 @@ import (
 	"strings"
 	"time"
 
-	"cecsan/internal/instrument"
-	"cecsan/internal/interp"
+	"cecsan/internal/engine"
 	"cecsan/internal/sanitizers"
 	"cecsan/internal/specsim"
 )
@@ -31,6 +30,9 @@ type PerfTable struct {
 	Suite string
 	Tools []sanitizers.Name
 	Rows  []PerfRow
+	// Engines holds each tool's pipeline counters across the whole suite
+	// (native included).
+	Engines map[sanitizers.Name]engine.Stats
 }
 
 // measurement is one tool's best-of-reps result on one workload.
@@ -40,24 +42,18 @@ type measurement struct {
 	ret     uint64
 }
 
-// measure runs one workload under one sanitizer, returning the best wall
-// time across reps and the peak footprint. The program is instrumented once
-// (compile time excluded); each rep executes on a fresh machine.
-func measure(w specsim.Workload, tool sanitizers.Name, reps int) (measurement, error) {
+// measure runs one workload through one tool's engine, returning the best
+// wall time across reps and the peak footprint. The engine's cache means the
+// program instruments once (compile time excluded); the engine runs in
+// FreshRuntime mode so each rep gets a fresh sanitizer runtime AND a fresh
+// address space, preserving the paper's fresh-process-per-rep measurement
+// semantics (sanitizer state is per-process, and so is the page-fault
+// profile the RSS model charges).
+func measure(eng *engine.Engine, w specsim.Workload, reps int) (measurement, error) {
 	p := w.Build()
-	san, err := sanitizers.New(tool)
-	if err != nil {
-		return measurement{}, err
-	}
-	ip := instrument.Apply(p, san.Profile)
 	best := measurement{seconds: math.Inf(1)}
 	for r := 0; r < reps; r++ {
-		// Fresh runtime per rep: sanitizer state is per-process.
-		san, err := sanitizers.New(tool)
-		if err != nil {
-			return measurement{}, err
-		}
-		m, err := interp.New(ip, san, interp.DefaultOptions())
+		m, err := eng.NewMachine(p)
 		if err != nil {
 			return measurement{}, err
 		}
@@ -65,10 +61,10 @@ func measure(w specsim.Workload, tool sanitizers.Name, reps int) (measurement, e
 		res := m.Run()
 		dur := time.Since(start).Seconds()
 		if res.Violation != nil {
-			return measurement{}, fmt.Errorf("harness: %s under %s reported: %v", w.Name, tool, res.Violation)
+			return measurement{}, fmt.Errorf("harness: %s under %s reported: %v", w.Name, eng.Tool(), res.Violation)
 		}
 		if res.Fault != nil || res.Err != nil {
-			return measurement{}, fmt.Errorf("harness: %s under %s failed: %v%v", w.Name, tool, res.Fault, res.Err)
+			return measurement{}, fmt.Errorf("harness: %s under %s failed: %v%v", w.Name, eng.Tool(), res.Fault, res.Err)
 		}
 		if dur < best.seconds {
 			best.seconds = dur
@@ -85,15 +81,28 @@ func EvaluatePerf(ws []specsim.Workload, tools []sanitizers.Name, reps int) (*Pe
 	if reps <= 0 {
 		reps = 3
 	}
-	table := &PerfTable{Tools: tools}
+	table := &PerfTable{Tools: tools, Engines: make(map[sanitizers.Name]engine.Stats)}
 	if len(ws) > 0 {
 		table.Suite = ws[0].Suite
+	}
+	// One engine per tool for the whole suite: instrumentation is cached
+	// across reps, execution stays fresh-per-rep.
+	engines := make(map[sanitizers.Name]*engine.Engine, len(tools)+1)
+	for _, tool := range append([]sanitizers.Name{sanitizers.Native}, tools...) {
+		if _, ok := engines[tool]; ok {
+			continue
+		}
+		eng, err := engine.New(tool, engine.Options{FreshRuntime: true})
+		if err != nil {
+			return nil, err
+		}
+		engines[tool] = eng
 	}
 	for _, w := range ws {
 		if Verbose {
 			fmt.Fprintf(os.Stderr, "  %-18s native...", w.Name)
 		}
-		base, err := measure(w, sanitizers.Native, reps)
+		base, err := measure(engines[sanitizers.Native], w, reps)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +120,7 @@ func EvaluatePerf(ws []specsim.Workload, tools []sanitizers.Name, reps int) (*Pe
 			if Verbose {
 				fmt.Fprintf(os.Stderr, " %s...", tool)
 			}
-			m, err := measure(w, tool, reps)
+			m, err := measure(engines[tool], w, reps)
 			if err != nil {
 				return nil, err
 			}
@@ -129,6 +138,9 @@ func EvaluatePerf(ws []specsim.Workload, tools []sanitizers.Name, reps int) (*Pe
 		if Verbose {
 			fmt.Fprintln(os.Stderr)
 		}
+	}
+	for tool, eng := range engines {
+		table.Engines[tool] = eng.Stats()
 	}
 	return table, nil
 }

@@ -93,6 +93,36 @@ type Result struct {
 // error.
 func (r *Result) Ok() bool { return r.Violation == nil && r.Fault == nil && r.Err == nil }
 
+// Resources bundles the reusable per-machine execution state: the simulated
+// address space and the stock allocators. A Resources value is what the
+// engine's machine pool recycles between cases — Reset returns all three to
+// their freshly-constructed state, so a machine built on reset resources
+// behaves byte-identically to one built on fresh ones (same addresses, same
+// zeroed memory, same RSS accounting).
+type Resources struct {
+	Space   *mem.Space
+	Heap    *alloc.Heap
+	Globals *alloc.Globals
+}
+
+// NewResources allocates a fresh resource bundle for the given canonical
+// pointer width.
+func NewResources(addrBits uint) (*Resources, error) {
+	space, err := mem.NewSpace(addrBits)
+	if err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	return &Resources{Space: space, Heap: alloc.NewHeap(), Globals: alloc.NewGlobals()}, nil
+}
+
+// Reset rewinds the bundle for reuse by a new machine. The caller must
+// guarantee no machine still references it.
+func (r *Resources) Reset() {
+	r.Space.Reset()
+	r.Heap.Reset()
+	r.Globals.Reset()
+}
+
 // Machine executes one instrumented program under one sanitizer runtime.
 // A Machine is single-run: create a new one for each execution.
 type Machine struct {
@@ -129,14 +159,41 @@ type Machine struct {
 	peakProg atomic.Int64
 	peakOver atomic.Int64
 
-	statsMu sync.Mutex
-	stats   Stats
+	// stats are merged with atomic adds: thread exits (including parallel
+	// region workers) fold their local counters in concurrently.
+	stats atomicStats
 }
 
-// New builds a machine for an instrumented program and sanitizer pair,
-// attaching the runtime and loading globals (including the GPT
-// initialization the paper performs at the start of main).
+// atomicStats mirrors Stats with lock-free counters for cross-thread merges.
+type atomicStats struct {
+	instructions   atomic.Int64
+	checksExecuted atomic.Int64
+	subPtrOps      atomic.Int64
+	metaOps        atomic.Int64
+	mallocs        atomic.Int64
+	frees          atomic.Int64
+	libcCalls      atomic.Int64
+	externCalls    atomic.Int64
+}
+
+// New builds a machine for an instrumented program and sanitizer pair on
+// fresh resources, attaching the runtime and loading globals (including the
+// GPT initialization the paper performs at the start of main).
 func New(p *prog.Program, san rt.Sanitizer, opts Options) (*Machine, error) {
+	if opts.AddrBits == 0 {
+		opts.AddrBits = 47
+	}
+	res, err := NewResources(opts.AddrBits)
+	if err != nil {
+		return nil, err
+	}
+	return NewOn(res, p, san, opts)
+}
+
+// NewOn builds a machine on an existing (fresh or freshly Reset) resource
+// bundle. The bundle's address-space width must match opts.AddrBits; the
+// machine takes sole ownership of the bundle until its run completes.
+func NewOn(res *Resources, p *prog.Program, san rt.Sanitizer, opts Options) (*Machine, error) {
 	if opts.MaxInstructions <= 0 {
 		opts.MaxInstructions = DefaultMaxInstructions
 	}
@@ -149,16 +206,15 @@ func New(p *prog.Program, san rt.Sanitizer, opts Options) (*Machine, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	space, err := mem.NewSpace(opts.AddrBits)
-	if err != nil {
-		return nil, fmt.Errorf("interp: %w", err)
+	if got := res.Space.AddrBits(); got != opts.AddrBits {
+		return nil, fmt.Errorf("interp: resource space has %d address bits, machine wants %d", got, opts.AddrBits)
 	}
 	m := &Machine{
 		program:    p,
 		san:        san,
-		space:      space,
-		heap:       alloc.NewHeap(),
-		globals:    alloc.NewGlobals(),
+		space:      res.Space,
+		heap:       res.Heap,
+		globals:    res.Globals,
 		globalPtr:  make(map[string]uint64, len(p.Globals)),
 		globalMeta: make(map[string]rt.PtrMeta, len(p.Globals)),
 		opts:       opts,
@@ -170,7 +226,7 @@ func New(p *prog.Program, san rt.Sanitizer, opts Options) (*Machine, error) {
 	}
 	m.trackMeta = san.Profile.PtrMeta
 
-	env := rt.Env{Space: space, Heap: m.heap, Globals: m.globals}
+	env := rt.Env{Space: m.space, Heap: m.heap, Globals: m.globals}
 	if err := san.Runtime.Attach(&env); err != nil {
 		return nil, fmt.Errorf("interp: attach %s: %w", san.Runtime.Name(), err)
 	}
@@ -186,7 +242,7 @@ func New(p *prog.Program, san rt.Sanitizer, opts Options) (*Machine, error) {
 			return nil, fmt.Errorf("interp: %w", err)
 		}
 		if g.InitBytes != nil {
-			if f := space.WriteBytes(addr, g.InitBytes); f != nil {
+			if f := m.space.WriteBytes(addr, g.InitBytes); f != nil {
 				return nil, fmt.Errorf("interp: global init: %v", f)
 			}
 		} else if g.Init != 0 {
@@ -194,7 +250,7 @@ func New(p *prog.Program, san rt.Sanitizer, opts Options) (*Machine, error) {
 			if sz > 8 {
 				sz = 8
 			}
-			if f := space.Store(addr, sz, uint64(g.Init)); f != nil {
+			if f := m.space.Store(addr, sz, uint64(g.Init)); f != nil {
 				return nil, fmt.Errorf("interp: global init: %v", f)
 			}
 		}
@@ -295,25 +351,31 @@ func (m *Machine) Run() *Result {
 	} else {
 		res.Ret = ret
 	}
-	m.statsMu.Lock()
-	res.Stats = m.stats
-	m.statsMu.Unlock()
+	res.Stats = Stats{
+		Instructions:   m.stats.instructions.Load(),
+		ChecksExecuted: m.stats.checksExecuted.Load(),
+		SubPtrOps:      m.stats.subPtrOps.Load(),
+		MetaOps:        m.stats.metaOps.Load(),
+		Mallocs:        m.stats.mallocs.Load(),
+		Frees:          m.stats.frees.Load(),
+		LibcCalls:      m.stats.libcCalls.Load(),
+		ExternCalls:    m.stats.externCalls.Load(),
+	}
 	res.Stats.PeakProgramBytes = m.peakProg.Load()
 	res.Stats.PeakOverheadBytes = m.peakOver.Load()
 	res.Stats.PeakRSS = m.peakRSS.Load()
 	return res
 }
 
-// mergeStats folds a thread's local counters into the machine totals.
+// mergeStats folds a thread's local counters into the machine totals with
+// atomic adds, keeping concurrent parallel-region exits off a shared lock.
 func (m *Machine) mergeStats(s *Stats) {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	m.stats.Instructions += s.Instructions
-	m.stats.ChecksExecuted += s.ChecksExecuted
-	m.stats.SubPtrOps += s.SubPtrOps
-	m.stats.MetaOps += s.MetaOps
-	m.stats.Mallocs += s.Mallocs
-	m.stats.Frees += s.Frees
-	m.stats.LibcCalls += s.LibcCalls
-	m.stats.ExternCalls += s.ExternCalls
+	m.stats.instructions.Add(s.Instructions)
+	m.stats.checksExecuted.Add(s.ChecksExecuted)
+	m.stats.subPtrOps.Add(s.SubPtrOps)
+	m.stats.metaOps.Add(s.MetaOps)
+	m.stats.mallocs.Add(s.Mallocs)
+	m.stats.frees.Add(s.Frees)
+	m.stats.libcCalls.Add(s.LibcCalls)
+	m.stats.externCalls.Add(s.ExternCalls)
 }

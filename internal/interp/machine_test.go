@@ -505,3 +505,96 @@ func TestWildPointerDereferenceFaults(t *testing.T) {
 		t.Fatalf("expected machine fault, got %+v", res)
 	}
 }
+
+func TestParForStatsMergeExactly(t *testing.T) {
+	// Every parfor worker thread allocates, stores, loads and frees, so the
+	// per-thread counters merge concurrently at thread exit. The totals must
+	// be exact regardless of scheduling; run under -race this also exercises
+	// the atomic merge path.
+	const iters = 64
+	pb := prog.NewProgram()
+	w := pb.Function("worker", 1)
+	i := w.Arg(0)
+	buf := w.MallocBytes(32)
+	w.Store(buf, 0, i, prog.Int64T())
+	w.Load(buf, 0, prog.Int64T())
+	w.Free(buf)
+	w.RetVoid()
+	f := pb.Function("main", 0)
+	f.ParFor("worker", f.Const(0), f.Const(iters), 8)
+	f.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	run := func() *Result {
+		m, err := New(p, nosan.Sanitizer(), DefaultOptions())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return m.Run()
+	}
+	res := run()
+	if !res.Ok() {
+		t.Fatalf("run failed: %+v", res)
+	}
+	if res.Stats.Mallocs != iters || res.Stats.Frees != iters {
+		t.Fatalf("Mallocs/Frees = %d/%d, want %d/%d",
+			res.Stats.Mallocs, res.Stats.Frees, iters, iters)
+	}
+	// Instruction totals are deterministic even under parallel scheduling.
+	again := run()
+	if res.Stats.Instructions != again.Stats.Instructions {
+		t.Fatalf("instruction count unstable across runs: %d vs %d",
+			res.Stats.Instructions, again.Stats.Instructions)
+	}
+}
+
+func TestNewOnResetReproducesFreshRun(t *testing.T) {
+	// A machine on recycled (Reset) resources must behave byte-identically
+	// to one on fresh resources: same return value, same stats, same RSS
+	// high-water marks, and the same heap addresses handed out.
+	pb := prog.NewProgram()
+	pb.GlobalBytes("msg", []byte("pool"))
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(4096)
+	f.Store(buf, 0, f.Load(f.GlobalAddr("msg"), 0, prog.Char()), prog.Char())
+	v := f.Load(buf, 0, prog.Int64T())
+	f.Free(buf)
+	f.Ret(v)
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	opts := DefaultOptions()
+
+	fresh, err := New(p, nosan.Sanitizer(), opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want := fresh.Run()
+
+	res, err := NewResources(opts.AddrBits)
+	if err != nil {
+		t.Fatalf("NewResources: %v", err)
+	}
+	for round := 0; round < 3; round++ {
+		m, err := NewOn(res, p, nosan.Sanitizer(), opts)
+		if err != nil {
+			t.Fatalf("NewOn round %d: %v", round, err)
+		}
+		got := m.Run()
+		if got.Ret != want.Ret || got.Stats != want.Stats {
+			t.Fatalf("round %d diverged from fresh run:\n got %+v\nwant %+v", round, got, want)
+		}
+		res.Reset()
+	}
+
+	// Mismatched address widths must be rejected rather than silently
+	// producing wrong tagging semantics.
+	narrow := opts
+	narrow.AddrBits = 48
+	if _, err := NewOn(res, p, nosan.Sanitizer(), narrow); err == nil {
+		t.Fatal("NewOn accepted a 47-bit space for 48-bit options")
+	}
+}

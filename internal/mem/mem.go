@@ -22,6 +22,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -71,6 +72,13 @@ type Space struct {
 
 	chunks  []atomic.Pointer[chunk]
 	touched atomic.Int64 // number of materialized chunks
+
+	// spare holds zeroed chunks recycled by Reset, so a pooled space
+	// re-materializes pages without fresh 64 KiB allocations. Only touched
+	// by Reset and the (post-Reset, single-goroutine) first faults, but a
+	// mutex keeps concurrent faulting safe anyway.
+	spareMu sync.Mutex
+	spare   []*chunk
 }
 
 // NewSpace returns an empty space with the given canonical pointer width in
@@ -104,12 +112,51 @@ func (s *Space) chunkFor(addr uint64) *chunk {
 	if c := s.chunks[idx].Load(); c != nil {
 		return c
 	}
-	c := new(chunk)
+	c := s.newChunk()
 	if s.chunks[idx].CompareAndSwap(nil, c) {
 		s.touched.Add(1)
 		return c
 	}
+	s.recycle(c)
 	return s.chunks[idx].Load()
+}
+
+// newChunk returns a zeroed chunk, reusing one recycled by Reset if any.
+func (s *Space) newChunk() *chunk {
+	s.spareMu.Lock()
+	if n := len(s.spare); n > 0 {
+		c := s.spare[n-1]
+		s.spare = s.spare[:n-1]
+		s.spareMu.Unlock()
+		return c
+	}
+	s.spareMu.Unlock()
+	return new(chunk)
+}
+
+// recycle returns a zeroed chunk to the spare list.
+func (s *Space) recycle(c *chunk) {
+	s.spareMu.Lock()
+	s.spare = append(s.spare, c)
+	s.spareMu.Unlock()
+}
+
+// Reset returns the space to its freshly-constructed state: every
+// materialized chunk is unmapped (and kept, zeroed, for reuse) and the
+// touched-page gauge drops to zero. The caller must guarantee no machine is
+// still using the space. A reset space behaves byte-for-byte like a new one
+// — including the RSS model, which counts pages from zero again.
+func (s *Space) Reset() {
+	for i := range s.chunks {
+		c := s.chunks[i].Load()
+		if c == nil {
+			continue
+		}
+		s.chunks[i].Store(nil)
+		*c = chunk{}
+		s.recycle(c)
+	}
+	s.touched.Store(0)
 }
 
 func (s *Space) inSpan(addr uint64, size int64) bool {

@@ -354,3 +354,45 @@ func BenchmarkStore8(b *testing.B) {
 		}
 	}
 }
+
+func TestSpaceReset(t *testing.T) {
+	s := newSpace(t)
+	addrs := []uint64{0, ChunkSize - 1, ChunkSize, 5 * ChunkSize, SpanSize - 8}
+	for _, a := range addrs {
+		if f := s.Store(a, 1, 0xAB); f != nil {
+			t.Fatalf("store at %#x: %v", a, f)
+		}
+	}
+	if s.TouchedBytes() == 0 {
+		t.Fatal("no pages touched before reset")
+	}
+	s.Reset()
+	if got := s.TouchedBytes(); got != 0 {
+		t.Errorf("TouchedBytes after Reset = %d, want 0", got)
+	}
+	for _, a := range addrs {
+		v, f := s.Load(a, 1)
+		if f != nil {
+			t.Fatalf("load at %#x after reset: %v", a, f)
+		}
+		if v != 0 {
+			t.Errorf("byte at %#x after Reset = %#x, want 0 (stale data leaked)", a, v)
+		}
+	}
+	// A reset space must behave like a fresh one: touching the same pages
+	// again yields the same footprint.
+	for _, a := range addrs {
+		if f := s.Store(a, 1, 0xCD); f != nil {
+			t.Fatalf("store at %#x after reset: %v", a, f)
+		}
+	}
+	fresh := newSpace(t)
+	for _, a := range addrs {
+		if f := fresh.Store(a, 1, 0xCD); f != nil {
+			t.Fatalf("store at %#x on fresh space: %v", a, f)
+		}
+	}
+	if s.TouchedBytes() != fresh.TouchedBytes() {
+		t.Errorf("TouchedBytes after reuse = %d, fresh = %d", s.TouchedBytes(), fresh.TouchedBytes())
+	}
+}

@@ -192,6 +192,19 @@ type Runtime interface {
 	OverheadBytes() int64
 }
 
+// Resettable is implemented by runtimes whose per-process state can be
+// restored to freshly-constructed form. The execution engine recycles such
+// runtimes across machines instead of reconstructing them, which matters for
+// runtimes whose constructor is dominated by a large fixed allocation (the
+// CECSan metadata table). Runtimes with construction-time randomness (the
+// HWASan tag RNG) must NOT implement it: recycling them would change the
+// per-run tag sequence relative to a fresh process.
+type Resettable interface {
+	// ResetRuntime restores the runtime to its post-constructor state.
+	// The caller rebinds the environment with Attach before reuse.
+	ResetRuntime()
+}
+
 // Profile describes what the instrumentation pass emits for a sanitizer.
 type Profile struct {
 	// Name is the sanitizer name (matches Runtime.Name).

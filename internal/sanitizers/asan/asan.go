@@ -116,26 +116,31 @@ func New(opts Options) *Runtime {
 	return &Runtime{opts: opts, chunkInfo: make(map[uint64]asanChunk)}
 }
 
-// Sanitizer returns the bundled ASan runtime and profile: checks on loads
-// and stores, interceptor-based libc checking, redzone-poisoned stack and
-// globals, no pointer tagging, no sub-object narrowing, and no compiler
-// optimizations beyond what stock ASan does.
-func Sanitizer(opts Options) rt.Sanitizer {
-	r := New(opts)
-	return rt.Sanitizer{
-		Runtime: r,
-		Profile: rt.Profile{
-			Name:            r.Name(),
-			CheckLoads:      true,
-			CheckStores:     true,
-			TrackStack:      true,
-			TrackGlobals:    true,
-			InterceptorLibc: true,
-			RedzoneBased:    true,
-			StackRedzone:    2 * granule,
-			GlobalRedzone:   2 * granule,
-		},
+// ProfileFor derives the instrumentation profile for the given options
+// without constructing a runtime (and hence without reserving shadow
+// bookkeeping): checks on loads and stores, interceptor-based libc checking,
+// redzone-poisoned stack and globals, no pointer tagging, no sub-object
+// narrowing, and no compiler optimizations beyond what stock ASan does.
+func ProfileFor(opts Options) rt.Profile {
+	if opts.Name == "" {
+		opts.Name = "ASan"
 	}
+	return rt.Profile{
+		Name:            opts.Name,
+		CheckLoads:      true,
+		CheckStores:     true,
+		TrackStack:      true,
+		TrackGlobals:    true,
+		InterceptorLibc: true,
+		RedzoneBased:    true,
+		StackRedzone:    2 * granule,
+		GlobalRedzone:   2 * granule,
+	}
+}
+
+// Sanitizer returns the bundled ASan runtime and profile.
+func Sanitizer(opts Options) rt.Sanitizer {
+	return rt.Sanitizer{Runtime: New(opts), Profile: ProfileFor(opts)}
 }
 
 // Name implements rt.Runtime.

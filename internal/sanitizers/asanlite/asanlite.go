@@ -10,13 +10,23 @@ import (
 	"cecsan/internal/sanitizers/asan"
 )
 
-// Sanitizer returns the ASAN-- bundle.
-func Sanitizer() rt.Sanitizer {
+// options returns the ASAN-- configuration of the ASan runtime.
+func options() asan.Options {
 	opts := asan.DefaultOptions()
 	opts.Name = "ASAN--"
-	san := asan.Sanitizer(opts)
-	san.Profile.Name = opts.Name
-	san.Profile.OptRedundant = true
-	san.Profile.OptLoopInvariant = true // loads only: RedzoneBased is set
-	return san
+	return opts
+}
+
+// ProfileFor derives the ASAN-- instrumentation profile without
+// constructing a runtime: ASan's profile plus the debloating passes.
+func ProfileFor() rt.Profile {
+	p := asan.ProfileFor(options())
+	p.OptRedundant = true
+	p.OptLoopInvariant = true // loads only: RedzoneBased is set
+	return p
+}
+
+// Sanitizer returns the ASAN-- bundle.
+func Sanitizer() rt.Sanitizer {
+	return rt.Sanitizer{Runtime: asan.New(options()), Profile: ProfileFor()}
 }

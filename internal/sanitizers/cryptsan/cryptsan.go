@@ -14,8 +14,8 @@ import (
 	"cecsan/internal/tagptr"
 )
 
-// Sanitizer returns the CryptSan model bundle.
-func Sanitizer() (rt.Sanitizer, error) {
+// options returns the CryptSan configuration of the core runtime.
+func options() core.Options {
 	opts := core.DefaultOptions()
 	opts.Name = "CryptSan"
 	opts.Arch = tagptr.ARM64
@@ -24,5 +24,14 @@ func Sanitizer() (rt.Sanitizer, error) {
 	opts.OptLoopInvariant = false
 	opts.OptMonotonic = false
 	opts.OptRedundant = false
-	return core.Sanitizer(opts)
+	return opts
+}
+
+// ProfileFor derives the CryptSan instrumentation profile without
+// constructing a runtime (no metadata table is allocated).
+func ProfileFor() rt.Profile { return core.ProfileFor(options()) }
+
+// Sanitizer returns the CryptSan model bundle.
+func Sanitizer() (rt.Sanitizer, error) {
+	return core.Sanitizer(options())
 }

@@ -63,19 +63,21 @@ func New(seed uint64) *Runtime {
 // libc (with the wide gap), tagged pointers stripped via the top byte, no
 // layout changes (MTE needs none), no check-reducing optimizations.
 func Sanitizer(seed uint64) rt.Sanitizer {
-	r := New(seed)
-	return rt.Sanitizer{
-		Runtime: r,
-		Profile: rt.Profile{
-			Name:            "HWASan",
-			CheckLoads:      true,
-			CheckStores:     true,
-			TagPointers:     true,
-			PtrMask:         (uint64(1) << tagShift) - 1,
-			TrackStack:      true,
-			TrackGlobals:    true,
-			InterceptorLibc: true,
-		},
+	return rt.Sanitizer{Runtime: New(seed), Profile: ProfileFor()}
+}
+
+// ProfileFor derives the HWASan instrumentation profile without
+// constructing a runtime. The profile is independent of the tag seed.
+func ProfileFor() rt.Profile {
+	return rt.Profile{
+		Name:            "HWASan",
+		CheckLoads:      true,
+		CheckStores:     true,
+		TagPointers:     true,
+		PtrMask:         (uint64(1) << tagShift) - 1,
+		TrackStack:      true,
+		TrackGlobals:    true,
+		InterceptorLibc: true,
 	}
 }
 

@@ -18,9 +18,12 @@ var _ rt.Runtime = (*Runtime)(nil)
 // New returns the baseline runtime.
 func New() *Runtime { return &Runtime{} }
 
+// ProfileFor returns the (empty) native profile: no checks, no tagging.
+func ProfileFor() rt.Profile { return rt.Profile{Name: "native"} }
+
 // Sanitizer returns the bundled runtime + (empty) profile.
 func Sanitizer() rt.Sanitizer {
-	return rt.Sanitizer{Runtime: New(), Profile: rt.Profile{Name: "native"}}
+	return rt.Sanitizer{Runtime: New(), Profile: ProfileFor()}
 }
 
 // Name implements rt.Runtime.

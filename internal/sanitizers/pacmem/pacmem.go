@@ -15,11 +15,20 @@ import (
 	"cecsan/internal/tagptr"
 )
 
-// Sanitizer returns the PACMem model bundle.
-func Sanitizer() (rt.Sanitizer, error) {
+// options returns the PACMem configuration of the core runtime.
+func options() core.Options {
 	opts := core.DefaultOptions()
 	opts.Name = "PACMem"
 	opts.Arch = tagptr.ARM64 // PA is an ARM64 feature
 	opts.SubObject = false
-	return core.Sanitizer(opts)
+	return opts
+}
+
+// ProfileFor derives the PACMem instrumentation profile without
+// constructing a runtime (no metadata table is allocated).
+func ProfileFor() rt.Profile { return core.ProfileFor(options()) }
+
+// Sanitizer returns the PACMem model bundle.
+func Sanitizer() (rt.Sanitizer, error) {
+	return core.Sanitizer(options())
 }

@@ -37,6 +37,34 @@ func All() []Name {
 	return []Name{Native, CECSan, PACMem, CryptSan, HWASan, ASan, ASanLite, SoftBound}
 }
 
+// ProfileFor returns the instrumentation profile a sanitizer would use,
+// without constructing its runtime. Profiles are cheap static descriptions;
+// runtimes allocate real state (CECSan's metadata table alone is megabytes),
+// so callers that only decide how to instrument — the execution engine, the
+// cycle model — fetch the profile here.
+func ProfileFor(name Name) (rt.Profile, error) {
+	switch name {
+	case Native:
+		return nosan.ProfileFor(), nil
+	case CECSan:
+		return core.ProfileFor(core.DefaultOptions()), nil
+	case ASan:
+		return asan.ProfileFor(asan.DefaultOptions()), nil
+	case ASanLite:
+		return asanlite.ProfileFor(), nil
+	case HWASan:
+		return hwasan.ProfileFor(), nil
+	case SoftBound:
+		return softbound.ProfileFor(), nil
+	case PACMem:
+		return pacmem.ProfileFor(), nil
+	case CryptSan:
+		return cryptsan.ProfileFor(), nil
+	default:
+		return rt.Profile{}, fmt.Errorf("sanitizers: unknown sanitizer %q", name)
+	}
+}
+
 // New constructs a fresh sanitizer bundle. Every call returns an
 // independent runtime: bundles are single-machine, like a process's
 // sanitizer runtime.

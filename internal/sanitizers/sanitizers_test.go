@@ -448,3 +448,23 @@ func TestSoftBoundStrncpyFalsePositive(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileForMatchesConstructedBundles(t *testing.T) {
+	for _, name := range All() {
+		p, err := ProfileFor(name)
+		if err != nil {
+			t.Fatalf("ProfileFor(%s): %v", name, err)
+		}
+		san, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if p != san.Profile {
+			t.Errorf("%s: ProfileFor diverges from constructed bundle:\n got %+v\nwant %+v",
+				name, p, san.Profile)
+		}
+	}
+	if _, err := ProfileFor("bogus"); err == nil {
+		t.Error("ProfileFor accepted an unknown name")
+	}
+}

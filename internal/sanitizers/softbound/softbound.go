@@ -48,17 +48,19 @@ func New() *Runtime {
 // propagation, checked loads and stores, no pointer tagging, no layout
 // changes, and none of CECSan's check-reducing optimizations.
 func Sanitizer() rt.Sanitizer {
-	r := New()
-	return rt.Sanitizer{
-		Runtime: r,
-		Profile: rt.Profile{
-			Name:        "SoftBound/CETS",
-			CheckLoads:  true,
-			CheckStores: true,
-			PtrMeta:     true,
-			TrackStack:  true,
-			TrackGlobals: true,
-		},
+	return rt.Sanitizer{Runtime: New(), Profile: ProfileFor()}
+}
+
+// ProfileFor derives the SoftBound+CETS instrumentation profile without
+// constructing a runtime.
+func ProfileFor() rt.Profile {
+	return rt.Profile{
+		Name:         "SoftBound/CETS",
+		CheckLoads:   true,
+		CheckStores:  true,
+		PtrMeta:      true,
+		TrackStack:   true,
+		TrackGlobals: true,
 	}
 }
 

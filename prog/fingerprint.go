@@ -1,0 +1,155 @@
+package prog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+)
+
+// Fingerprint is a 128-bit structural hash of a program. Two programs with
+// the same fingerprint are structurally identical as far as instrumentation
+// and execution are concerned: same functions in the same order, same
+// instructions (all operands, flags, types and symbols), same loop facts,
+// same globals and initializers, same entry point. The engine's
+// instrumentation cache uses it as the program half of its cache key, so
+// the thousands of structurally identical Juliet flow/data variants
+// instrument once per distinct shape.
+type Fingerprint [16]byte
+
+// String renders the fingerprint as hex.
+func (f Fingerprint) String() string { return fmt.Sprintf("%x", f[:]) }
+
+// fpWriter streams the program encoding into a hash. Every field is written
+// length- or tag-delimited so that adjacent variable-length fields cannot
+// alias (e.g. symbol "ab"+"c" vs "a"+"bc").
+type fpWriter struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+	// typeIDs interns types: the first encounter hashes the full structure,
+	// later ones hash only the assigned id. This keeps deep or widely shared
+	// types (struct fields, array elements) cheap and handles aliasing.
+	typeIDs map[*Type]uint64
+}
+
+func (w *fpWriter) int(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.h.Write(w.buf[:n])
+}
+
+func (w *fpWriter) uint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.h.Write(w.buf[:n])
+}
+
+func (w *fpWriter) str(s string) {
+	w.uint(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *fpWriter) bytes(b []byte) {
+	w.uint(uint64(len(b)))
+	w.h.Write(b)
+}
+
+func (w *fpWriter) bool(b bool) {
+	if b {
+		w.uint(1)
+	} else {
+		w.uint(0)
+	}
+}
+
+// typ encodes a type reference structurally (kind, size, alignment, name,
+// length, element, fields), interning repeats by id.
+func (w *fpWriter) typ(t *Type) {
+	if t == nil {
+		w.uint(0)
+		return
+	}
+	if id, ok := w.typeIDs[t]; ok {
+		w.uint(1)
+		w.uint(id)
+		return
+	}
+	id := uint64(len(w.typeIDs)) + 1
+	w.typeIDs[t] = id
+	w.uint(2)
+	w.uint(uint64(t.kind))
+	w.int(t.size)
+	w.int(t.align)
+	w.str(t.name)
+	w.int(t.length)
+	w.typ(t.elem)
+	w.uint(uint64(len(t.fields)))
+	for _, f := range t.fields {
+		w.str(f.Name)
+		w.int(f.Offset)
+		w.typ(f.Type)
+	}
+}
+
+func (w *fpWriter) instr(in *Instr) {
+	w.uint(uint64(in.Op))
+	w.uint(uint64(in.X))
+	w.int(int64(in.Dst))
+	w.int(int64(in.A))
+	w.int(int64(in.B))
+	w.int(in.Imm)
+	w.int(in.Off)
+	w.int(in.Size)
+	w.typ(in.Type)
+	w.str(in.Sym)
+	w.uint(uint64(len(in.Args)))
+	for _, a := range in.Args {
+		w.int(int64(a))
+	}
+	w.uint(uint64(in.Flags))
+}
+
+func (w *fpWriter) operand(o Operand) {
+	w.bool(o.IsConst)
+	w.int(o.Const)
+	w.int(int64(o.Reg))
+}
+
+// Fingerprint computes the structural hash of the program.
+func (p *Program) Fingerprint() Fingerprint {
+	w := &fpWriter{h: fnv.New128a(), typeIDs: make(map[*Type]uint64)}
+	w.str(p.Entry)
+	w.uint(uint64(len(p.Globals)))
+	for i := range p.Globals {
+		g := &p.Globals[i]
+		w.str(g.Name)
+		w.typ(g.Type)
+		w.int(g.Init)
+		w.bytes(g.InitBytes)
+		w.bool(g.AddressTaken)
+	}
+	w.uint(uint64(len(p.Order)))
+	for _, name := range p.Order {
+		f := p.Funcs[name]
+		w.str(f.Name)
+		w.int(int64(f.NumParams))
+		w.int(int64(f.NumRegs))
+		w.uint(uint64(len(f.Code)))
+		for i := range f.Code {
+			w.instr(&f.Code[i])
+		}
+		w.uint(uint64(len(f.Loops)))
+		for _, l := range f.Loops {
+			w.int(int64(l.HeadStart))
+			w.int(int64(l.HeadEnd))
+			w.int(int64(l.BodyStart))
+			w.int(int64(l.BodyEnd))
+			w.int(int64(l.LatchEnd))
+			w.int(int64(l.IndVar))
+			w.operand(l.Start)
+			w.operand(l.Limit)
+			w.int(l.Step)
+		}
+	}
+	var fp Fingerprint
+	copy(fp[:], w.h.Sum(nil))
+	return fp
+}

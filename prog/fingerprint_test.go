@@ -1,0 +1,69 @@
+package prog
+
+import "testing"
+
+// buildOverflow builds a small program; off parameterizes the store offset
+// so tests can produce structurally distinct variants.
+func buildOverflow(t *testing.T, off int64) *Program {
+	t.Helper()
+	pb := NewProgram()
+	pb.GlobalBytes("g_msg", []byte("hello"))
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(16)
+	f.Store(buf, off, f.Const(1), Char())
+	f.Free(buf)
+	f.RetVoid()
+	return pb.MustBuild()
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := buildOverflow(t, 8)
+	b := buildOverflow(t, 8)
+	if a == b {
+		t.Fatal("expected two independent builds")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("structurally identical programs hash differently:\n%s\n%s",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not deterministic across calls")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := buildOverflow(t, 8)
+	if buildOverflow(t, 16).Fingerprint() == base.Fingerprint() {
+		t.Error("offset change not reflected in fingerprint")
+	}
+
+	// Same layout, different global initializer bytes.
+	pb := NewProgram()
+	pb.GlobalBytes("g_msg", []byte("hellO"))
+	f := pb.Function("main", 0)
+	buf := f.MallocBytes(16)
+	f.Store(buf, 8, f.Const(1), Char())
+	f.Free(buf)
+	f.RetVoid()
+	if pb.MustBuild().Fingerprint() == base.Fingerprint() {
+		t.Error("global initializer change not reflected in fingerprint")
+	}
+}
+
+func TestFingerprintTypeStructure(t *testing.T) {
+	// Two struct types with the same name but different field layouts must
+	// hash differently (names are not trusted as identities).
+	build := func(st *Type) *Program {
+		pb := NewProgram()
+		f := pb.Function("main", 0)
+		obj := f.Alloca(st)
+		f.Store(obj, 0, f.Const(1), Char())
+		f.RetVoid()
+		return pb.MustBuild()
+	}
+	a := build(StructOf("S", FieldSpec{Name: "a", Type: ArrayOf(Char(), 8)}, FieldSpec{Name: "b", Type: Int64T()}))
+	b := build(StructOf("S", FieldSpec{Name: "a", Type: ArrayOf(Char(), 16)}, FieldSpec{Name: "b", Type: Int64T()}))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("struct layout change behind the same name not reflected in fingerprint")
+	}
+}
