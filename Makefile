@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke ci bench-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -12,6 +12,20 @@ test:
 
 race:
 	$(GO) test -race ./internal/interp/... ./internal/engine/... ./internal/core/...
+
+# Differential fuzzing smoke: a fixed-seed 200-case campaign across all
+# eight sanitizer models. Exits non-zero on any oracle disagreement, so it
+# doubles as the cross-sanitizer regression gate.
+fuzz-smoke:
+	$(GO) run ./cmd/fuzz -seed 7 -count 200
+
+# The full local CI gate: static checks, build, the race-enabled unit
+# suites, and the differential fuzz smoke.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
 
 # Quick end-to-end benchmark pass: ~5% of the Table II suite, with the
 # machine-readable record. Finishes in a few seconds; use it to sanity-check

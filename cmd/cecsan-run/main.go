@@ -46,6 +46,7 @@ func run() error {
 	noInv := flag.Bool("no-loopinv", false, "disable loop-invariant check relocation")
 	noMono := flag.Bool("no-monotonic", false, "disable monotonic check grouping")
 	noType := flag.Bool("no-typebased", false, "disable type-based check removal")
+	seed := flag.Uint64("seed", 0, "seed for the program rand() stream and RNG-bearing runtimes (HWASan tags); 0 = stock")
 	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
@@ -90,7 +91,7 @@ func run() error {
 		build = w.Build
 	}
 
-	eopts := engine.Options{Workers: *workers}
+	eopts := engine.Options{Workers: *workers, Seed: *seed, RuntimeSeed: *seed}
 	if *tool == string(sanitizers.CECSan) {
 		opts := core.DefaultOptions()
 		opts.SubObject = !*noSub

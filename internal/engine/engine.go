@@ -61,6 +61,10 @@ type Options struct {
 	MaxInstructions int64
 	// Seed seeds each machine's program-visible rand() stream (0 = 1).
 	Seed uint64
+	// RuntimeSeed seeds RNG-bearing sanitizer runtimes (HWASan's tag RNG)
+	// so differential runs are reproducible; 0 keeps each runtime's stock
+	// stream.
+	RuntimeSeed uint64
 	// FreshRuntime disables resource pooling: every machine gets a fresh
 	// address space, heap and globals layout, like a new OS process. The
 	// perf harness uses this so each rep pays the same page-fault profile
@@ -143,7 +147,7 @@ func (e *Engine) newSanitizer() (rt.Sanitizer, error) {
 	if e.tool == sanitizers.CECSan && e.opts.CECSan != nil {
 		return core.Sanitizer(*e.opts.CECSan)
 	}
-	return sanitizers.New(e.tool)
+	return sanitizers.NewSeeded(e.tool, e.opts.RuntimeSeed)
 }
 
 // Instrument returns the instrumented form of p under the engine's profile,

@@ -1,0 +1,436 @@
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+
+	"cecsan/csrc"
+	"cecsan/internal/engine"
+	"cecsan/internal/harness"
+	"cecsan/internal/rt"
+	"cecsan/internal/sanitizers"
+)
+
+// Config parameterizes a differential campaign.
+type Config struct {
+	// Seed is the campaign base seed; per-case seeds derive from it.
+	Seed uint64
+	// Count is the number of generated cases.
+	Count int
+	// Workers bounds concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxInstructions bounds each run (0 = 50M, far above any generated
+	// program; the bound only catches generator bugs).
+	MaxInstructions int64
+	// MinimizeCap bounds how many findings get the delta-debugging
+	// treatment (0 = 8). Findings beyond the cap keep their full source.
+	MinimizeCap int
+	// Progress, when set, receives (done, total) while the campaign runs.
+	Progress func(done, total int)
+}
+
+// Runner owns one engine per sanitizer and fans generated cases across all
+// of them.
+type Runner struct {
+	cfg     Config
+	tools   []sanitizers.Name
+	engines []*engine.Engine
+}
+
+// NewRunner builds a runner with one engine per registry sanitizer. All
+// engines share the campaign's seeds so HWASan's tag stream is identical
+// across runs of the same campaign.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = 50_000_000
+	}
+	if cfg.MinimizeCap == 0 {
+		cfg.MinimizeCap = 8
+	}
+	r := &Runner{cfg: cfg, tools: sanitizers.All()}
+	for i, tool := range r.tools {
+		opts := engine.Options{
+			Workers:         cfg.Workers,
+			MaxInstructions: cfg.MaxInstructions,
+			RuntimeSeed:     cfg.Seed,
+		}
+		if i == 0 && cfg.Progress != nil {
+			// The first engine doubles as the campaign scheduler.
+			opts.Progress = cfg.Progress
+		}
+		eng, err := engine.New(tool, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		r.engines = append(r.engines, eng)
+	}
+	return r, nil
+}
+
+// Classification buckets for one (case, tool) cell. Anything not in this
+// list is a finding.
+const (
+	bucketDetected     = "detected"      // expected detect, got a report
+	bucketMissDoc      = "miss_doc"      // documented blind spot, silent
+	bucketDetectedProb = "detected_prob" // probabilistic model, got a report
+	bucketMissProb     = "miss_prob"     // probabilistic model, silent
+	bucketClean        = "clean"         // clean case ran clean
+)
+
+// Finding is one oracle disagreement: an outcome the expectation models
+// declare impossible. The acceptance bar for the subsystem is an empty
+// findings list; anything here is either a sanitizer-model bug, an
+// expectation-model bug, or a genuine discovery for the ROADMAP backlog.
+type Finding struct {
+	Tool   string `json:"tool"`
+	Seed   uint64 `json:"seed"`
+	Shape  string `json:"shape"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	// Expect / Outcome / Kind record the disagreement: what the model
+	// predicted, what the run did, and the violation kind if any.
+	Expect   string `json:"expect,omitempty"`
+	Outcome  string `json:"outcome"`
+	Kind     string `json:"kind,omitempty"`
+	WantKind string `json:"want_kind,omitempty"`
+	// Source is the reproducer — minimized when the finding was within
+	// the minimization cap, the full generated program otherwise.
+	Source    string `json:"source"`
+	Minimized bool   `json:"minimized"`
+
+	caseIdx int
+	toolIdx int
+}
+
+// ToolReport aggregates one sanitizer's column of the campaign.
+type ToolReport struct {
+	Tool string `json:"tool"`
+	// Bucket counts over the tool's cells (injected + clean cases).
+	Detected     int `json:"detected"`
+	MissDoc      int `json:"miss_doc"`
+	DetectedProb int `json:"detected_prob,omitempty"`
+	MissProb     int `json:"miss_prob,omitempty"`
+	Clean        int `json:"clean"`
+	Findings     int `json:"findings,omitempty"`
+}
+
+// Report is the deterministic campaign record: same seed and count produce
+// a byte-identical report (it deliberately carries no timing — throughput
+// lives in the separate bench record).
+type Report struct {
+	Seed     uint64         `json:"seed"`
+	Count    int            `json:"count"`
+	Injected int            `json:"injected"`
+	CleanN   int            `json:"clean_cases"`
+	Shapes   map[string]int `json:"shapes"`
+	Tools    []ToolReport   `json:"tools"`
+	Findings []Finding      `json:"findings"`
+}
+
+// outcomeName renders a harness outcome for JSON records.
+func outcomeName(o harness.Outcome) string {
+	switch o {
+	case harness.OutcomeClean:
+		return "clean"
+	case harness.OutcomeDetected:
+		return "detected"
+	case harness.OutcomeCrash:
+		return "crash"
+	case harness.OutcomeError:
+		return "error"
+	}
+	return "?"
+}
+
+// cell is the classification of one (case, tool) run.
+type cell struct {
+	bucket  string // one of the bucket* constants, or "" for a finding
+	reason  string // finding reason when bucket == ""
+	detail  string
+	expect  Expect
+	outcome harness.Outcome
+	kind    rt.Kind // observed violation kind, if any
+	hasKind bool
+}
+
+// classify compares one run result against the oracle's expectation for
+// the tool. The rules mirror the subsystem contract in the package doc.
+func classify(tool sanitizers.Name, o *Oracle, outcome harness.Outcome, v *rt.Violation, runErr error) cell {
+	c := cell{outcome: outcome, expect: ExpectFor(tool, o)}
+	if v != nil {
+		c.kind, c.hasKind = v.Kind, true
+	}
+	switch outcome {
+	case harness.OutcomeError:
+		c.reason = "error"
+		if runErr != nil {
+			c.detail = runErr.Error()
+		}
+		return c
+	case harness.OutcomeCrash:
+		// No shape is allowed to escalate to a machine-level fault under
+		// any tool — least of all native, whose contract is "never aborts".
+		c.reason = "fault"
+		return c
+	}
+	detected := outcome == harness.OutcomeDetected
+
+	if !o.Injected {
+		if detected {
+			c.reason = "false-positive"
+			return c
+		}
+		c.bucket = bucketClean
+		return c
+	}
+
+	if tool == sanitizers.Native && detected {
+		c.reason = "native-report"
+		return c
+	}
+	if tool == sanitizers.CECSan && c.expect == ExpectDetect {
+		// Stricter than the generic ExpectDetect arm: CECSan must also
+		// report the exact violation kind the oracle recorded. (The one
+		// ExpectMiss carve-out — the staged tag-reuse UAF — falls through
+		// to the generic classification below.)
+		if !detected {
+			c.reason = "cecsan-false-negative"
+			return c
+		}
+		if c.kind != o.Kind {
+			c.reason = "wrong-kind"
+			c.detail = fmt.Sprintf("reported %v", c.kind)
+			return c
+		}
+		c.bucket = bucketDetected
+		return c
+	}
+
+	switch c.expect {
+	case ExpectDetect:
+		if detected {
+			c.bucket = bucketDetected
+		} else {
+			c.reason = "unexpected-miss"
+		}
+	case ExpectMiss:
+		if detected {
+			c.reason = "unexpected-detect"
+			if c.hasKind {
+				c.detail = fmt.Sprintf("reported %v", c.kind)
+			}
+		} else {
+			c.bucket = bucketMissDoc
+		}
+	default: // ExpectMaybe
+		if detected {
+			c.bucket = bucketDetectedProb
+		} else {
+			c.bucket = bucketMissProb
+		}
+	}
+	return c
+}
+
+// Campaign generates cfg.Count cases, fans each across every sanitizer,
+// classifies every cell against the oracle and returns the deterministic
+// report. Findings within the minimization cap are shrunk to minimal
+// reproducers.
+func (r *Runner) Campaign() (*Report, error) {
+	n := r.cfg.Count
+	type caseOut struct {
+		oracle  Oracle
+		cells   []cell
+		genErr  string
+		theCase *Case
+	}
+	outs := make([]caseOut, n)
+
+	err := r.engines[0].ForEach(n, func(i int) error {
+		c := Generate(caseSeed(r.cfg.Seed, i))
+		outs[i].oracle = c.Oracle
+		outs[i].theCase = c
+		p, err := csrc.Compile(c.Source)
+		if err != nil {
+			outs[i].genErr = err.Error()
+			return nil
+		}
+		outs[i].cells = make([]cell, len(r.tools))
+		for ti, tool := range r.tools {
+			res, rerr := r.engines[ti].Run(p, c.Inputs...)
+			if rerr != nil {
+				outs[i].cells[ti] = cell{reason: "error", detail: rerr.Error(), outcome: harness.OutcomeError}
+				continue
+			}
+			outs[i].cells[ti] = classify(tool, &c.Oracle, harness.Classify(res), res.Violation, res.Err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic aggregation in case order, then tool order.
+	rep := &Report{Seed: r.cfg.Seed, Count: n, Shapes: map[string]int{}}
+	for range r.tools {
+		rep.Tools = append(rep.Tools, ToolReport{})
+	}
+	for ti, tool := range r.tools {
+		rep.Tools[ti].Tool = string(tool)
+	}
+	for i := range outs {
+		o := &outs[i]
+		if o.oracle.Injected {
+			rep.Injected++
+			rep.Shapes[o.oracle.Shape]++
+		} else {
+			rep.CleanN++
+		}
+		if o.genErr != "" {
+			rep.Findings = append(rep.Findings, Finding{
+				Tool: "-", Seed: o.theCase.Seed, Shape: shapeLabel(&o.oracle),
+				Reason: "compile-error", Detail: o.genErr,
+				Outcome: "error", Source: o.theCase.Source, caseIdx: i,
+			})
+			continue
+		}
+		for ti := range r.tools {
+			cl := &o.cells[ti]
+			tr := &rep.Tools[ti]
+			switch cl.bucket {
+			case bucketDetected:
+				tr.Detected++
+			case bucketMissDoc:
+				tr.MissDoc++
+			case bucketDetectedProb:
+				tr.DetectedProb++
+			case bucketMissProb:
+				tr.MissProb++
+			case bucketClean:
+				tr.Clean++
+			default:
+				tr.Findings++
+				f := Finding{
+					Tool: string(r.tools[ti]), Seed: o.theCase.Seed,
+					Shape: shapeLabel(&o.oracle), Reason: cl.reason,
+					Detail: cl.detail, Expect: cl.expect.String(),
+					Outcome: outcomeName(cl.outcome),
+					Source:  o.theCase.Source,
+					caseIdx: i, toolIdx: ti,
+				}
+				if cl.hasKind {
+					f.Kind = cl.kind.String()
+				}
+				if r.tools[ti] == sanitizers.CECSan && o.oracle.Injected {
+					f.WantKind = o.oracle.KindName()
+				}
+				rep.Findings = append(rep.Findings, f)
+			}
+		}
+	}
+
+	r.minimizeFindings(rep, func(i int) *Case { return outs[i].theCase })
+	return rep, nil
+}
+
+func shapeLabel(o *Oracle) string {
+	if !o.Injected {
+		return "clean"
+	}
+	return o.Shape
+}
+
+// minimizeFindings shrinks up to MinimizeCap findings (in deterministic
+// report order) to minimal reproducers. The keep-predicate re-runs the
+// shrunk candidate on the finding's own engine and demands the same
+// (reason, tool) disagreement.
+func (r *Runner) minimizeFindings(rep *Report, caseAt func(i int) *Case) {
+	sort.SliceStable(rep.Findings, func(a, b int) bool {
+		fa, fb := &rep.Findings[a], &rep.Findings[b]
+		if fa.caseIdx != fb.caseIdx {
+			return fa.caseIdx < fb.caseIdx
+		}
+		return fa.toolIdx < fb.toolIdx
+	})
+	budget := r.cfg.MinimizeCap
+	for fi := range rep.Findings {
+		if budget == 0 {
+			break
+		}
+		f := &rep.Findings[fi]
+		if f.Reason == "compile-error" || f.Reason == "error" {
+			continue // already minimal / not execution-reproducible
+		}
+		budget--
+		c := caseAt(f.caseIdx)
+		min := Minimize(c, func(cand *Case) bool {
+			return r.reproduces(cand, f)
+		})
+		if min != nil {
+			f.Source = min.Source
+			f.Minimized = true
+		}
+	}
+}
+
+// reproduces reruns a candidate on the finding's tool and reports whether
+// the same disagreement reason shows up.
+func (r *Runner) reproduces(cand *Case, f *Finding) bool {
+	p, err := csrc.Compile(cand.Source)
+	if err != nil {
+		return false
+	}
+	res, rerr := r.engines[f.toolIdx].Run(p, cand.Inputs...)
+	if rerr != nil {
+		return false
+	}
+	cl := classify(r.tools[f.toolIdx], &cand.Oracle, harness.Classify(res), res.Violation, res.Err)
+	return cl.bucket == "" && cl.reason == f.Reason
+}
+
+// RunOne generates the case for one seed, fans it across every sanitizer
+// and returns any findings (unminimized). This is the Go-native fuzz
+// target's entry point; Campaign is the batch equivalent.
+func (r *Runner) RunOne(seed uint64) []Finding {
+	c := Generate(seed)
+	p, err := csrc.Compile(c.Source)
+	if err != nil {
+		return []Finding{{Tool: "-", Seed: seed, Shape: shapeLabel(&c.Oracle),
+			Reason: "compile-error", Detail: err.Error(), Outcome: "error", Source: c.Source}}
+	}
+	var findings []Finding
+	for ti, tool := range r.tools {
+		res, rerr := r.engines[ti].Run(p, c.Inputs...)
+		var cl cell
+		if rerr != nil {
+			cl = cell{reason: "error", detail: rerr.Error(), outcome: harness.OutcomeError}
+		} else {
+			cl = classify(tool, &c.Oracle, harness.Classify(res), res.Violation, res.Err)
+		}
+		if cl.bucket != "" {
+			continue
+		}
+		f := Finding{
+			Tool: string(tool), Seed: seed, Shape: shapeLabel(&c.Oracle),
+			Reason: cl.reason, Detail: cl.detail, Expect: cl.expect.String(),
+			Outcome: outcomeName(cl.outcome), Source: c.Source, toolIdx: ti,
+		}
+		if cl.hasKind {
+			f.Kind = cl.kind.String()
+		}
+		findings = append(findings, f)
+	}
+	return findings
+}
+
+// Stats exposes the per-tool engine counters for the bench record.
+func (r *Runner) Stats() map[string]engine.Stats {
+	m := make(map[string]engine.Stats, len(r.tools))
+	for i, tool := range r.tools {
+		m[string(tool)] = r.engines[i].Stats()
+	}
+	return m
+}
+
+// Tools returns the registry order the runner fans across.
+func (r *Runner) Tools() []sanitizers.Name { return r.tools }

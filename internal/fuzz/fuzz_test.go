@@ -1,0 +1,191 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"cecsan/csrc"
+	"cecsan/prog"
+)
+
+// TestGenerateDeterministic: same seed, same case — source, inputs, oracle.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: sources differ:\n%s\n----\n%s", seed, a.Source, b.Source)
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("seed %d: input counts differ", seed)
+		}
+		aj, _ := json.Marshal(a.Oracle)
+		bj, _ := json.Marshal(b.Oracle)
+		if string(aj) != string(bj) {
+			t.Fatalf("seed %d: oracles differ: %s vs %s", seed, aj, bj)
+		}
+	}
+}
+
+// TestGenerateCompiles: every generated program is valid csrc.
+func TestGenerateCompiles(t *testing.T) {
+	for seed := uint64(1); seed <= 300; seed++ {
+		c := Generate(seed)
+		if _, err := csrc.Compile(c.Source); err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, c.Source)
+		}
+	}
+}
+
+// TestShapeCoverage: a modest seed range exercises every taxonomy entry,
+// so no shape is dead code behind an unsatisfiable applicability predicate.
+func TestShapeCoverage(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := uint64(1); seed <= 5000; seed++ {
+		c := Generate(seed)
+		if c.Oracle.Injected {
+			seen[c.Oracle.Shape] = true
+		}
+	}
+	for _, name := range ShapeNames() {
+		if !seen[name] {
+			t.Errorf("shape %s never generated in 5000 seeds", name)
+		}
+	}
+}
+
+// TestCampaignClean runs a small campaign and demands zero findings: every
+// outcome across all eight sanitizers matches its oracle expectation.
+func TestCampaignClean(t *testing.T) {
+	count := 120
+	if testing.Short() {
+		count = 30
+	}
+	r, err := NewRunner(Config{Seed: 7, Count: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("finding: tool=%s shape=%s reason=%s seed=%d detail=%q\n%s",
+			f.Tool, f.Shape, f.Reason, f.Seed, f.Detail, f.Source)
+	}
+	if rep.Injected == 0 || rep.CleanN == 0 {
+		t.Errorf("campaign degenerate: %d injected, %d clean", rep.Injected, rep.CleanN)
+	}
+}
+
+// TestMinimize: the minimizer strips benign padding from a reproducer and
+// the shrunk program still triggers the same classification.
+func TestMinimize(t *testing.T) {
+	// Find an injected case with at least one removable op.
+	var c *Case
+	for seed := uint64(1); seed < 500; seed++ {
+		cand := Generate(seed)
+		if cand.Oracle.Injected && len(cand.ops) > 2 {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no multi-op injected case in seed range")
+	}
+	compiles := func(cc *Case) bool {
+		_, err := csrc.Compile(cc.Source)
+		return err == nil
+	}
+	min := Minimize(c, compiles)
+	if min == nil {
+		t.Fatal("minimizer removed nothing from a padded case")
+	}
+	if len(min.ops) >= len(c.ops) {
+		t.Fatalf("minimized case has %d ops, original %d", len(min.ops), len(c.ops))
+	}
+	if !compiles(min) {
+		t.Fatalf("minimized case does not compile:\n%s", min.Source)
+	}
+	// The essential (bug) op must survive.
+	found := false
+	for _, o := range min.ops {
+		if o.essential {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("minimizer dropped the essential bug op")
+	}
+}
+
+// TestFingerprintProperty is the prog.Fingerprint property test: across a
+// large seed sweep, structurally distinct programs never share a
+// fingerprint, and recompiling the same source reproduces it exactly (the
+// engine cache and the minimizer both rely on that round trip). Source
+// texts differing only in variable names legitimately collide — names
+// don't survive compilation — so the collision check compares the
+// compiled programs' dumps, not the source.
+func TestFingerprintProperty(t *testing.T) {
+	n := uint64(10000)
+	if testing.Short() {
+		n = 1000
+	}
+	seen := map[prog.Fingerprint]string{} // fingerprint -> IR dump
+	for seed := uint64(1); seed <= n; seed++ {
+		c := Generate(seed)
+		p, err := csrc.Compile(c.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fp := p.Fingerprint()
+		dump := p.Dump()
+		if prev, ok := seen[fp]; ok && prev != dump {
+			t.Fatalf("fingerprint collision between distinct programs:\n%s\n----\n%s", prev, dump)
+		}
+		seen[fp] = dump
+		// Round trip: recompiling the same source preserves the fingerprint.
+		p2, err := csrc.Compile(c.Source)
+		if err != nil {
+			t.Fatalf("seed %d recompile: %v", seed, err)
+		}
+		if p2.Fingerprint() != fp {
+			t.Fatalf("seed %d: recompiled fingerprint differs", seed)
+		}
+	}
+}
+
+// sharedRunner lazily builds one runner for the Go-native fuzz target, so
+// engine caches persist across the fuzzing loop.
+var (
+	sharedOnce   sync.Once
+	sharedRunner *Runner
+)
+
+func getSharedRunner(t testing.TB) *Runner {
+	sharedOnce.Do(func() {
+		r, err := NewRunner(Config{Seed: 1, Count: 0})
+		if err != nil {
+			t.Fatalf("runner: %v", err)
+		}
+		sharedRunner = r
+	})
+	return sharedRunner
+}
+
+// FuzzDifferential is the Go-native entry point: the fuzzing engine feeds
+// seeds, each becomes one generated case run differentially across every
+// sanitizer, and any oracle disagreement fails the target.
+func FuzzDifferential(f *testing.F) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		r := getSharedRunner(t)
+		findings := r.RunOne(seed)
+		for _, fd := range findings {
+			t.Errorf("finding: tool=%s shape=%s reason=%s detail=%q\n%s",
+				fd.Tool, fd.Shape, fd.Reason, fd.Detail, fd.Source)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package fuzz
+
+// Minimize shrinks a case by statement-group deletion: it repeatedly tries
+// dropping one non-essential op, re-renders (which also prunes objects no
+// surviving op uses) and keeps the deletion when the keep-predicate still
+// accepts the candidate. Generated programs carry at most a handful of
+// ops, so the quadratic greedy loop is cheap and — unlike ddmin's chunked
+// passes — yields a 1-minimal result directly.
+//
+// Returns nil when nothing could be removed (the case is already minimal
+// or keep rejects every shrink).
+func Minimize(c *Case, keep func(*Case) bool) *Case {
+	cur := cloneCase(c)
+	shrunk := false
+	for {
+		removed := false
+		for i := 0; i < len(cur.ops); i++ {
+			if cur.ops[i].essential {
+				continue
+			}
+			cand := cloneCase(cur)
+			cand.ops = append(cand.ops[:i], cand.ops[i+1:]...)
+			cand.render()
+			if keep(cand) {
+				cur = cand
+				removed, shrunk = true, true
+				break // restart: indices shifted
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	if !shrunk {
+		return nil
+	}
+	return cur
+}
+
+// cloneCase deep-copies the mutable generator state (op list; objects are
+// only read during render, but the slice header must be independent so the
+// minimizer never aliases the original).
+func cloneCase(c *Case) *Case {
+	out := &Case{Seed: c.Seed, Source: c.Source, Oracle: c.Oracle}
+	out.Inputs = append([][]byte(nil), c.Inputs...)
+	out.objects = append([]object(nil), c.objects...)
+	out.ops = append([]op(nil), c.ops...)
+	return out
+}

@@ -1,0 +1,199 @@
+package fuzz
+
+import "cecsan/internal/sanitizers"
+
+// Expect is the oracle's prediction for one (sanitizer, bug) pair.
+type Expect int
+
+const (
+	// ExpectDetect: the model's mechanism must catch this bug. A clean run
+	// is a finding ("unexpected-miss"; for CECSan, "cecsan-false-negative").
+	ExpectDetect Expect = iota + 1
+	// ExpectMiss: the bug sits in the model's documented blind spot; the
+	// run must complete silently. A report is a finding ("unexpected-detect").
+	ExpectMiss
+	// ExpectMaybe: detection depends on probabilistic state (HWASan's
+	// random tags colliding at 1/255) or on memory the model does not
+	// control; either outcome is accepted.
+	ExpectMaybe
+)
+
+// String renders the expectation for JSON records.
+func (e Expect) String() string {
+	switch e {
+	case ExpectDetect:
+		return "detect"
+	case ExpectMiss:
+		return "miss"
+	case ExpectMaybe:
+		return "maybe"
+	}
+	return "?"
+}
+
+func align16(n int64) int64 { return (n + 15) &^ 15 }
+
+// ExpectFor predicts the outcome of running an injected bug under the named
+// sanitizer. Each branch encodes a documented property of the model's
+// mechanism (file references point at the implementation the prediction is
+// derived from); the differential campaign exists to falsify them.
+func ExpectFor(tool sanitizers.Name, o *Oracle) Expect {
+	if !o.Injected {
+		return ExpectMiss
+	}
+	switch tool {
+	case sanitizers.Native:
+		// No checks at all; the flat address space absorbs every access.
+		return ExpectMiss
+	case sanitizers.CECSan:
+		// The paper's comprehensiveness claim: everything, including
+		// sub-object overflows (§II.D) and accesses through re-tagged
+		// external pointers (§II.E) — with one exception this fuzzer
+		// surfaced. Table.Free threads the freed entry onto the GMI free
+		// structure for immediate reuse (metatable.go, Figure 2), so a
+		// staged same-size reallocation reclaims both the chunk address
+		// and the freed table index: the stale tagged pointer then
+		// resolves to the rebuilt entry, whose bounds cover the very
+		// address it dangles into. The tag-reuse window is inherent to
+		// every allocation-indexed design; see ROADMAP "Open items".
+		if o.Reuse {
+			return ExpectMiss
+		}
+		return ExpectDetect
+	case sanitizers.PACMem, sanitizers.CryptSan:
+		// Full CECSan-style tagging without sub-object narrowing
+		// (core.Options.SubObject=false); the tag-reuse window above
+		// applies identically.
+		if o.SubObject || o.Reuse {
+			return ExpectMiss
+		}
+		return ExpectDetect
+	case sanitizers.ASan, sanitizers.ASanLite:
+		// ASAN-- is ASan's runtime with fewer (redundant) checks; its
+		// detection envelope is identical (asanlite.go).
+		return expectASan(o)
+	case sanitizers.HWASan:
+		return expectHWASan(o)
+	case sanitizers.SoftBound:
+		return expectSoftBound(o)
+	}
+	return ExpectMaybe
+}
+
+// expectASan models asan.go: redzone poisoning plus partial-granule shadow
+// encoding, a 2 MiB FIFO quarantine, and no wide-string interceptors.
+func expectASan(o *Oracle) Expect {
+	switch {
+	case o.SubObject:
+		// Intra-object accesses never touch poisoned shadow.
+		return ExpectMiss
+	case o.Wide:
+		// InterceptWide=false: wcs*/wmem* run unchecked.
+		return ExpectMiss
+	case o.Reuse:
+		// Churn past QuarantineBytes recycles the chunk; its shadow is
+		// addressable again when the stale access lands.
+		return ExpectMiss
+	case o.Class == ClassTemporal, o.Class == ClassInvalidFree:
+		// Quarantined chunks keep poisoned shadow; Free validates base
+		// pointers and segment.
+		return ExpectDetect
+	case o.Underflow:
+		// Left redzone on heap chunks, 8-byte left poison on stack slots
+		// (the generator keeps underflows off right-redzone-only globals).
+		return ExpectDetect
+	default:
+		// Spatial: detected while the access starts inside the partial
+		// granule ([ObjBytes, align8)) or the right redzone. Beyond that —
+		// the far-stride shapes — the access lands on addressable memory.
+		return spatialReach(o, align8(o.ObjBytes)+asanReach(o.Seg))
+	}
+}
+
+// asanReach is the right-redzone span: 16 bytes for heap chunks of the
+// sizes the generator emits (redzoneFor <= 128) and for globals
+// (GlobalRedzone), 8 bytes of poison for stack slots (StackRedzone).
+func asanReach(seg string) int64 {
+	if seg == "stack" {
+		return 8
+	}
+	return 16
+}
+
+// spatialReach classifies a spatial bug by where its first violating byte
+// lands relative to the model's detection horizon.
+func spatialReach(o *Oracle, horizon int64) Expect {
+	if o.OffStart < horizon {
+		return ExpectDetect
+	}
+	return ExpectMiss
+}
+
+// expectHWASan models hwasan.go: 16-byte tag granules, random per-
+// allocation tags (1/255 collision), and no wide interceptors. The
+// externret wrapper re-applies tag bits at the machine level, so the
+// external shapes reduce to ordinary spatial arithmetic here.
+func expectHWASan(o *Oracle) Expect {
+	switch {
+	case o.SubObject:
+		// One tag per allocation; intra-object overflows stay in-tag.
+		return ExpectMiss
+	case o.Wide:
+		// LibcCheck skips wcs*/wmem*.
+		return ExpectMiss
+	case o.Class == ClassInvalidFree:
+		// Interior/stack/global frees carry the matching memory tag, so
+		// the ptr-tag==mem-tag free check passes and the stock allocator
+		// silently ignores the bogus free.
+		return ExpectMiss
+	case o.Class == ClassTemporal:
+		// Free retags the granules; detection is certain except for a
+		// 1/255 tag reuse collision (and reallocation retags again).
+		return ExpectMaybe
+	case o.Underflow:
+		// The preceding granule belongs to a neighbour (or headers) whose
+		// tag is unrelated — usually a mismatch, never a guarantee.
+		return ExpectMaybe
+	default:
+		// Spatial: the allocation's tag covers [0, align16(ObjBytes)), so
+		// an access that stays inside the tag granules is invisible;
+		// beyond them the tag differs except by collision.
+		if o.OffEnd > align16(o.ObjBytes) {
+			return ExpectMaybe
+		}
+		return ExpectMiss
+	}
+}
+
+// expectSoftBound models softbound.go: per-pointer bounds with key+lock
+// temporal metadata, dropped on stores to memory, absent for external
+// pointers, with memset and the wide family uninstrumented.
+func expectSoftBound(o *Oracle) Expect {
+	switch {
+	case o.SubObject:
+		// Bounds are per allocation (the classic SoftBound trade-off).
+		return ExpectMiss
+	case o.Wide:
+		return ExpectMiss
+	case o.Libc == "memset":
+		// The wrapper set omits memset.
+		return ExpectMiss
+	case o.Extern:
+		// No metadata for pointers materialized by uninstrumented code.
+		return ExpectMiss
+	case o.Class == ClassTemporal && o.Reloaded:
+		// StorePtrMeta spills bounds but drops Key/Lock; the reloaded
+		// pointer passes temporal checks.
+		return ExpectMiss
+	case o.Class == ClassInvalidFree && o.Seg == "heap":
+		// The interior pointer is built by register arithmetic, which does
+		// not propagate per-pointer metadata; Free treats the meta-less
+		// pointer as foreign provenance and forwards it unchecked.
+		return ExpectMiss
+	default:
+		// Bounds and key/lock checks are exact for everything else:
+		// spatial (any distance, no redzone horizon), UAF, double free,
+		// non-heap frees (the freed name carries its bounds meta).
+		return ExpectDetect
+	}
+}

@@ -1,0 +1,25 @@
+// Minimized fuzz reproducer: staged tag-reuse use-after-free
+// (taxonomy shape uaf_quarantine_flush, minimized from campaign
+// seed 5266705631892356520).
+//
+// The stale pointer o dangles into a chunk that a same-size malloc has
+// recycled. The churn loop flushes ASan's 2 MiB quarantine, and the
+// metadata table's GMI free structure (internal/core/metatable.go,
+// Figure 2) hands the freed entry index straight back to the final
+// malloc — so o's tag resolves to a live entry whose bounds cover the
+// very address it dangles into.
+//
+// Expected outcomes (see internal/fuzz/models.go):
+//   CECSan, PACMem, CryptSan  silent  (tag/index reuse window)
+//   ASan, ASAN--              silent  (quarantine flushed, chunk recycled)
+//   HWASan                    probabilistic (free and re-malloc retag)
+//   SoftBound/CETS            reports use-after-free (key/lock mismatch)
+//   native                    silent
+func main() {
+    var o = malloc(27);
+    free(o);
+    for (i = 0; i < 24; i += 1) { var t = malloc(131072); free(t); }
+    var u = malloc(27);
+    o[10] = 3;
+    return 0;
+}

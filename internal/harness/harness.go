@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"cecsan/internal/engine"
+	"cecsan/internal/interp"
 	"cecsan/internal/juliet"
 	"cecsan/internal/sanitizers"
 	"cecsan/prog"
@@ -46,15 +47,25 @@ func RunCaseOn(eng *engine.Engine, p *prog.Program, inputs [][]byte) (Outcome, e
 	if err != nil {
 		return OutcomeError, err
 	}
+	if o := Classify(res); o != OutcomeError {
+		return o, nil
+	}
+	return OutcomeError, res.Err
+}
+
+// Classify maps a raw machine result to an Outcome: sanitizer report,
+// machine-level crash, execution error, or clean completion. Shared by the
+// Juliet evaluation and the differential fuzzer.
+func Classify(res *interp.Result) Outcome {
 	switch {
 	case res.Violation != nil:
-		return OutcomeDetected, nil
+		return OutcomeDetected
 	case res.Fault != nil:
-		return OutcomeCrash, nil
+		return OutcomeCrash
 	case res.Err != nil:
-		return OutcomeError, res.Err
+		return OutcomeError
 	default:
-		return OutcomeClean, nil
+		return OutcomeClean
 	}
 }
 

@@ -65,6 +65,17 @@ func ProfileFor(name Name) (rt.Profile, error) {
 	}
 }
 
+// NewSeeded constructs a fresh sanitizer bundle with every RNG-bearing
+// runtime seeded from seed, making runs reproducible end-to-end. Only
+// HWASan draws randomness (its tag RNG); seed 0 selects the stock stream,
+// so NewSeeded(name, 0) is New(name).
+func NewSeeded(name Name, seed uint64) (rt.Sanitizer, error) {
+	if name == HWASan && seed != 0 {
+		return hwasan.Sanitizer(seed), nil
+	}
+	return New(name)
+}
+
 // New constructs a fresh sanitizer bundle. Every call returns an
 // independent runtime: bundles are single-machine, like a process's
 // sanitizer runtime.
