@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke ci bench-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fault-smoke ci bench-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -19,13 +19,21 @@ race:
 fuzz-smoke:
 	$(GO) run ./cmd/fuzz -seed 7 -count 200
 
+# Fault-injection smoke: the same fixed-seed campaign under deterministic
+# resource-pressure injection (nth-malloc OOM, metadata-table clamps,
+# page-map failures). Exit 1 = oracle disagreement, exit 2 = the harness
+# itself faulted; both fail the gate.
+fault-smoke:
+	$(GO) run ./cmd/fuzz -seed 7 -count 200 -faults 3
+
 # The full local CI gate: static checks, build, the race-enabled unit
-# suites, and the differential fuzz smoke.
+# suites, and both fuzz smokes (clean + fault-injected).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) fault-smoke
 
 # Quick end-to-end benchmark pass: ~5% of the Table II suite, with the
 # machine-readable record. Finishes in a few seconds; use it to sanity-check

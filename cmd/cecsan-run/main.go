@@ -47,6 +47,8 @@ func run() error {
 	noMono := flag.Bool("no-monotonic", false, "disable monotonic check grouping")
 	noType := flag.Bool("no-typebased", false, "disable type-based check removal")
 	seed := flag.Uint64("seed", 0, "seed for the program rand() stream and RNG-bearing runtimes (HWASan tags); 0 = stock")
+	maxSteps := cliutil.MaxStepsFlag()
+	maxDepth := cliutil.MaxDepthFlag()
 	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
@@ -91,7 +93,13 @@ func run() error {
 		build = w.Build
 	}
 
-	eopts := engine.Options{Workers: *workers, Seed: *seed, RuntimeSeed: *seed}
+	eopts := engine.Options{
+		Workers:         *workers,
+		Seed:            *seed,
+		RuntimeSeed:     *seed,
+		MaxInstructions: *maxSteps,
+		MaxCallDepth:    *maxDepth,
+	}
 	if *tool == string(sanitizers.CECSan) {
 		opts := core.DefaultOptions()
 		opts.SubObject = !*noSub

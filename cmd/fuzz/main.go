@@ -1,17 +1,23 @@
 // Command fuzz runs a differential fuzzing campaign: seeded random
 // programs with ground-truth bug injection, executed across every
 // sanitizer in the registry, with outcomes classified against the oracle
-// (internal/fuzz). A campaign is deterministic in (-seed, -count): two
-// runs produce byte-identical -json records.
+// (internal/fuzz). A campaign is deterministic in (-seed, -count), and with
+// -faults also in the fault seed: two runs produce byte-identical -json
+// records regardless of -workers.
 //
 // Usage:
 //
 //	fuzz -seed 1 -count 1000 [-workers N] [-json report.json]
 //	     [-bench BENCH_fuzz.json] [-repro dir] [-progress]
+//	     [-faults SEED] [-max-steps N] [-max-depth N]
 //	fuzz -emit 42                 # print the program for one case seed
 //
-// Exit status 1 when the campaign surfaces findings (oracle
-// disagreements); their minimized reproducers land in -repro.
+// Exit status separates verdicts from harness health:
+//
+//	0  every outcome matched its oracle expectation
+//	1  findings (oracle disagreements); minimized reproducers land in -repro
+//	2  harness faults (recovered panics, budget exhaustions) or internal
+//	   errors — the campaign itself is suspect, whatever the findings say
 package main
 
 import (
@@ -25,14 +31,23 @@ import (
 	"cecsan/internal/fuzz"
 )
 
+// Exit codes: findings are a verdict about the sanitizers; harness faults
+// and internal errors are a verdict about the harness. The latter dominates.
+const (
+	exitOK       = 0
+	exitFindings = 1
+	exitHarness  = 2
+)
+
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuzz:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	seed := flag.Uint64("seed", 1, "campaign base seed")
 	count := flag.Int("count", 1000, "number of generated cases")
 	jsonPath := flag.String("json", "", "write the deterministic campaign record to this path")
@@ -40,16 +55,26 @@ func run() error {
 	reproDir := flag.String("repro", "", "write minimized .csc reproducers for findings into this directory")
 	emit := flag.Uint64("emit", 0, "print the generated program for one case seed and exit")
 	progress := flag.Bool("progress", false, "print campaign progress to stderr")
+	faults := flag.Uint64("faults", 0, "fault-injection seed: derive a deterministic fault plan per case (0 = off)")
+	maxSteps := cliutil.MaxStepsFlag()
+	maxDepth := cliutil.MaxDepthFlag()
 	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
 	if *emit != 0 {
 		c := fuzz.Generate(*emit)
 		fmt.Print(c.Source)
-		return nil
+		return exitOK, nil
 	}
 
-	cfg := fuzz.Config{Seed: *seed, Count: *count, Workers: cliutil.ResolveWorkers(*workers)}
+	cfg := fuzz.Config{
+		Seed:            *seed,
+		Count:           *count,
+		Workers:         cliutil.ResolveWorkers(*workers),
+		MaxInstructions: *maxSteps,
+		MaxCallDepth:    *maxDepth,
+		FaultSeed:       *faults,
+	}
 	if *progress {
 		cfg.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "fuzz: %d/%d cases\n", done, total)
@@ -57,54 +82,65 @@ func run() error {
 	}
 	runner, err := fuzz.NewRunner(cfg)
 	if err != nil {
-		return err
+		return exitHarness, err
 	}
 	rep, err := runner.Campaign()
 	if err != nil {
-		return err
+		return exitHarness, err
 	}
 
 	fmt.Printf("fuzz campaign seed=%d count=%d: %d injected, %d clean\n",
 		rep.Seed, rep.Count, rep.Injected, rep.CleanN)
+	if rep.FaultSeed != 0 {
+		fmt.Printf("  fault injection on (fault_seed=%d)\n", rep.FaultSeed)
+	}
 	for _, tr := range rep.Tools {
-		fmt.Printf("  %-16s detect %-5d miss(doc) %-5d prob %d/%d  clean %-5d findings %d\n",
-			tr.Tool, tr.Detected, tr.MissDoc, tr.DetectedProb, tr.MissProb, tr.Clean, tr.Findings)
+		fmt.Printf("  %-16s detect %-5d miss(doc) %-5d prob %d/%d  clean %-5d pressure %-5d faults %-3d findings %d\n",
+			tr.Tool, tr.Detected, tr.MissDoc, tr.DetectedProb, tr.MissProb, tr.Clean, tr.Pressure, tr.Faults, tr.Findings)
 	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			return err
+			return exitHarness, err
 		}
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			return err
+			return exitHarness, err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 	if *benchPath != "" {
 		if err := cliutil.WriteJSON(*benchPath, benchRecord(rep, runner)); err != nil {
-			return err
+			return exitHarness, err
 		}
 	}
-	if len(rep.Findings) > 0 {
-		for i, f := range rep.Findings {
-			fmt.Printf("FINDING %d: tool=%s shape=%s reason=%s seed=%d %s\n",
-				i, f.Tool, f.Shape, f.Reason, f.Seed, f.Detail)
-			if *reproDir != "" {
-				if err := os.MkdirAll(*reproDir, 0o755); err != nil {
-					return err
-				}
-				path := filepath.Join(*reproDir, fmt.Sprintf("finding_%03d_%s.csc", i, f.Reason))
-				if err := os.WriteFile(path, []byte(f.Source), 0o644); err != nil {
-					return err
-				}
-				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	for i, f := range rep.Findings {
+		fmt.Printf("FINDING %d: tool=%s shape=%s reason=%s seed=%d %s\n",
+			i, f.Tool, f.Shape, f.Reason, f.Seed, f.Detail)
+		if *reproDir != "" {
+			if err := os.MkdirAll(*reproDir, 0o755); err != nil {
+				return exitHarness, err
 			}
+			path := filepath.Join(*reproDir, fmt.Sprintf("finding_%03d_%s.csc", i, f.Reason))
+			if err := os.WriteFile(path, []byte(f.Source), 0o644); err != nil {
+				return exitHarness, err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
-		return fmt.Errorf("%d findings", len(rep.Findings))
+	}
+	for _, fc := range rep.FaultCases {
+		fmt.Printf("HARNESS FAULT: tool=%s shape=%s class=%s seed=%d\n",
+			fc.Tool, fc.Shape, fc.Class, fc.Seed)
+	}
+	switch {
+	case rep.HarnessFaults > 0:
+		return exitHarness, fmt.Errorf("%d harness faults (and %d findings)",
+			rep.HarnessFaults, len(rep.Findings))
+	case len(rep.Findings) > 0:
+		return exitFindings, fmt.Errorf("%d findings", len(rep.Findings))
 	}
 	fmt.Println("no findings: every outcome matched its oracle expectation")
-	return nil
+	return exitOK, nil
 }
 
 // benchRecord is the throughput side of the campaign, kept apart from the
@@ -126,6 +162,8 @@ func benchRecord(rep *fuzz.Report, runner *fuzz.Runner) map[string]any {
 			"detected_prob":  tr.DetectedProb,
 			"miss_prob":      tr.MissProb,
 			"clean":          tr.Clean,
+			"pressure":       tr.Pressure,
+			"faults":         tr.Faults,
 			"findings":       tr.Findings,
 			"cases_per_sec":  s.CasesPerSec(),
 			"cache_hit_rate": s.CacheHitRate(),
@@ -137,6 +175,10 @@ func benchRecord(rep *fuzz.Report, runner *fuzz.Runner) map[string]any {
 		"count": rep.Count,
 		"runs":  runs,
 		"tools": tools,
+	}
+	if rep.FaultSeed != 0 {
+		rec["fault_seed"] = rep.FaultSeed
+		rec["harness_faults"] = rep.HarnessFaults
 	}
 	if wallSec > 0 {
 		rec["cases_per_sec_total"] = float64(runs) / wallSec

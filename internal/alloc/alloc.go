@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Segment layout. Everything sits below mem.SpanSize (4 GiB); see the mem
@@ -108,6 +109,11 @@ type Heap struct {
 	liveCount  int64
 	allocCount int64
 	freeErrors int64 // invalid/double frees silently ignored (UB)
+
+	// faultHook, when set, is consulted before each allocation; a non-nil
+	// return fails the allocation with that error. Fault injection installs
+	// it to exercise OOM paths deterministically; Reset clears it.
+	faultHook atomic.Pointer[func() error]
 }
 
 // NewHeap returns an empty heap over the heap segment.
@@ -122,6 +128,13 @@ func NewHeap() *Heap {
 // Alloc returns the base address of a new chunk of at least size bytes,
 // 16-byte aligned. Size is rounded up to the allocator's class size.
 func (h *Heap) Alloc(size int64) (uint64, error) {
+	if hook := h.faultHook.Load(); hook != nil {
+		// Called before the lock is taken: a hook that panics (injected
+		// runtime-bug simulation) must not leave the arena lock held.
+		if err := (*hook)(); err != nil {
+			return 0, err
+		}
+	}
 	rs := roundUp(size)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -162,6 +175,26 @@ func (h *Heap) Reset() {
 	h.liveCount = 0
 	h.allocCount = 0
 	h.freeErrors = 0
+	h.faultHook.Store(nil)
+}
+
+// SetFaultHook installs (or, with nil, removes) the pre-allocation fault
+// hook. The caller must not race it with allocations.
+func (h *Heap) SetFaultHook(f func() error) {
+	if f == nil {
+		h.faultHook.Store(nil)
+		return
+	}
+	h.faultHook.Store(&f)
+}
+
+// LiveBytes returns the bytes currently allocated (rounded sizes). The
+// machine's heap-budget check reads it on every allocation, so it takes the
+// lock once rather than snapshotting all counters via Stats.
+func (h *Heap) LiveBytes() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.liveBytes
 }
 
 // Free releases the chunk whose base address is addr. Freeing anything that

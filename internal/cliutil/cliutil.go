@@ -17,6 +17,19 @@ func WorkersFlag() *int {
 	return flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
 }
 
+// MaxStepsFlag registers the shared -max-steps flag: the per-case executed
+// instruction budget fed to engine.Options.MaxInstructions. Exhaustion is a
+// classified harness fault, not a crash.
+func MaxStepsFlag() *int64 {
+	return flag.Int64("max-steps", 0, "per-case instruction budget (0 = interpreter default)")
+}
+
+// MaxDepthFlag registers the shared -max-depth flag: the per-case simulated
+// call-depth limit fed to engine.Options.MaxCallDepth.
+func MaxDepthFlag() *int {
+	return flag.Int("max-depth", 0, "per-case call-depth limit (0 = interpreter default)")
+}
+
 // ResolveWorkers maps the flag value to a concrete worker count.
 func ResolveWorkers(n int) int {
 	if n <= 0 {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestClampLimitsAllocatable pins the fault-injection clamp semantics:
+// Clamp(n) leaves exactly n allocatable entries (indices 1..n — the reserved
+// entry 0 is excluded), allocation n+1 fails through the normal exhaustion
+// path, and Clamp(0) lifts the cap.
+func TestClampLimitsAllocatable(t *testing.T) {
+	tbl := newTable(t)
+	tbl.Clamp(4)
+	for i := 1; i <= 4; i++ {
+		idx, ok := tbl.Allocate(0x1000, 0x1040, false)
+		if !ok {
+			t.Fatalf("Allocate #%d failed under clamp 4", i)
+		}
+		if idx == 0 || idx > 4 {
+			t.Fatalf("Allocate #%d = index %d, want 1..4", i, idx)
+		}
+	}
+	if idx, ok := tbl.Allocate(0x1000, 0x1040, false); ok {
+		t.Fatalf("Allocate #5 succeeded (index %d) under clamp 4", idx)
+	}
+	if got := tbl.Stats().Exhausted; got != 1 {
+		t.Fatalf("Exhausted = %d, want 1", got)
+	}
+	// Freeing makes room again under the same clamp.
+	tbl.Free(2)
+	if _, ok := tbl.Allocate(0x2000, 0x2040, false); !ok {
+		t.Fatal("Allocate after Free failed under clamp 4")
+	}
+	// Lifting the clamp restores full capacity.
+	tbl.Clamp(0)
+	if _, ok := tbl.Allocate(0x3000, 0x3040, false); !ok {
+		t.Fatal("Allocate failed after lifting the clamp")
+	}
+}
+
+// TestClampClearedByReset pins the run-state contract: a clamp is injected
+// per-run configuration, so Reset must clear it and leave the table
+// indistinguishable from fresh construction — the property the engine's
+// runtime pool depends on after a fault-injected case.
+func TestClampClearedByReset(t *testing.T) {
+	dirty := newTable(t)
+	dirty.Clamp(3)
+	for i := 0; i < 5; i++ {
+		dirty.Allocate(0x1000, 0x1040, false) // two of these exhaust
+	}
+	dirty.Reset()
+
+	fresh := newTable(t)
+	if got, want := dirty.Stats(), fresh.Stats(); got != want {
+		t.Errorf("Stats after Reset = %+v, want %+v", got, want)
+	}
+	// Replay far past the old clamp: indices, bounds and outcomes must match
+	// a never-clamped table exactly.
+	for i := uint64(1); i <= 40; i++ {
+		gi, gok := dirty.Allocate(0x2000*i, 0x2000*i+32, false)
+		wi, wok := fresh.Allocate(0x2000*i, 0x2000*i+32, false)
+		if gi != wi || gok != wok {
+			t.Fatalf("replay Allocate #%d: reset table gave (%d,%v), fresh gave (%d,%v)", i, gi, gok, wi, wok)
+		}
+		glow, ghigh := dirty.Load(gi)
+		wlow, whigh := fresh.Load(wi)
+		if glow != wlow || ghigh != whigh {
+			t.Fatalf("replay entry %d bounds differ: [%#x,%#x) vs [%#x,%#x)", gi, glow, ghigh, wlow, whigh)
+		}
+	}
+	if got, want := dirty.Stats(), fresh.Stats(); got != want {
+		t.Errorf("Stats after replay = %+v, want %+v", got, want)
+	}
+}

@@ -48,6 +48,7 @@ type Table struct {
 	mu          sync.Mutex
 	gmi         uint64 // current metadata table index (free-structure head)
 	reserveLast bool   // final index reserved as the CHAINED tag
+	clamp       uint64 // fault-injected capacity clamp (0 = none); cleared by Reset
 
 	slots []atomic.Uint64 // 3 * 2^TagBits: low, high, nextID(two's complement)
 	sub   []bool          // entry holds sub-object metadata (report classification only)
@@ -122,6 +123,12 @@ func (t *Table) Allocate(low, high uint64, sub bool) (uint64, bool) {
 	if t.reserveLast {
 		limit--
 	}
+	if t.clamp != 0 && t.clamp+1 < limit {
+		// Injected capacity clamp: at most t.clamp allocatable entries
+		// (indices 1..clamp), so exhaustion is reachable in tests without
+		// 2^17 live objects.
+		limit = t.clamp + 1
+	}
 	if k >= limit {
 		t.exhausted++
 		return 0, false
@@ -180,6 +187,16 @@ func (t *Table) Reset() {
 	t.live = 0
 	t.allocs = 0
 	t.exhausted = 0
+	t.clamp = 0
+}
+
+// Clamp caps the table at n allocatable entries (excluding the reserved
+// entry 0); 0 removes the cap. It is run state, not configuration: Reset
+// clears it, so a pooled table never carries a clamp into the next case.
+func (t *Table) Clamp(n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clamp = n
 }
 
 // ReserveLast excludes the table's final entry from allocation, reserving

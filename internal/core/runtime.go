@@ -145,6 +145,21 @@ func (r *Runtime) Attach(env *rt.Env) error {
 // Table exposes the metadata table for white-box tests and stats.
 func (r *Runtime) Table() *Table { return r.table }
 
+// ClampMetaTable implements rt.MetaTableClamper: it caps the metadata table
+// at n allocatable entries so fault injection can force the §V exhaustion
+// path. The clamp is run state — Table.Reset (and hence ResetRuntime)
+// removes it.
+func (r *Runtime) ClampMetaTable(n uint64) { r.table.Clamp(n) }
+
+// DegradedAllocs implements rt.Degrader: the number of allocations this run
+// that found the table exhausted. Without overflow chaining each one fell
+// back to an untagged pointer validating through the reserved entry 0 —
+// functionality preserved, coverage lost (§V); with chaining the same count
+// went to the spill index instead and stayed protected.
+func (r *Runtime) DegradedAllocs() int64 {
+	return r.table.Stats().Exhausted
+}
+
 // ResetRuntime implements rt.Resettable: it restores the runtime to its
 // freshly-constructed state so the execution engine can recycle it instead
 // of paying New's full metadata-table allocation per program. The next

@@ -35,13 +35,17 @@
 package engine
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cecsan/internal/core"
+	"cecsan/internal/faultinject"
 	"cecsan/internal/instrument"
 	"cecsan/internal/interp"
 	"cecsan/internal/rt"
@@ -57,10 +61,30 @@ type Options struct {
 	CECSan *core.Options
 	// Workers bounds ForEach concurrency; <= 0 selects GOMAXPROCS.
 	Workers int
-	// MaxInstructions bounds each run (0 = interpreter default).
+	// MaxInstructions bounds each run's executed instructions — the per-case
+	// step budget (0 = interpreter default). Exhaustion is classified as a
+	// FaultOutcome of class FaultStepBudget.
 	MaxInstructions int64
+	// MaxCallDepth bounds each run's program recursion (0 = interpreter
+	// default).
+	MaxCallDepth int
+	// WallBudget bounds each run's wall-clock time via a cancellable
+	// watchdog; 0 disables the watchdog. Exceeding it interrupts the machine
+	// at the next loop backedge or call and classifies the run as
+	// FaultWallBudget.
+	WallBudget time.Duration
+	// HeapBudget bounds each run's live simulated heap in bytes; 0 = no
+	// bound. Exceeding it is classified as FaultHeapBudget.
+	HeapBudget int64
 	// Seed seeds each machine's program-visible rand() stream (0 = 1).
 	Seed uint64
+	// FaultSeed enables deterministic fault injection: each case's fault
+	// plan derives from (FaultSeed, program fingerprint), so campaigns are
+	// byte-reproducible whatever the worker count. 0 disables injection.
+	FaultSeed uint64
+	// FaultPlanFor, when set, overrides FaultSeed with an explicit per-case
+	// plan lookup (tests target individual programs this way).
+	FaultPlanFor func(prog.Fingerprint) faultinject.Plan
 	// RuntimeSeed seeds RNG-bearing sanitizer runtimes (HWASan's tag RNG)
 	// so differential runs are reproducible; 0 keeps each runtime's stock
 	// stream.
@@ -98,6 +122,13 @@ type Engine struct {
 	executeNS    atomic.Int64
 	firstStartNS atomic.Int64 // wall-clock span over all Run calls
 	lastEndNS    atomic.Int64
+
+	faults              atomic.Int64
+	faultsDeterministic atomic.Int64
+	faultsPoolSuspect   atomic.Int64
+	faultRetries        atomic.Int64
+	degradedAllocs      atomic.Int64
+	injectedFaults      atomic.Int64
 }
 
 // cacheEntry is one instrumented program; the Once makes concurrent first
@@ -123,6 +154,12 @@ func New(tool sanitizers.Name, opts Options) (*Engine, error) {
 	iopts := interp.DefaultOptions()
 	if opts.MaxInstructions > 0 {
 		iopts.MaxInstructions = opts.MaxInstructions
+	}
+	if opts.MaxCallDepth > 0 {
+		iopts.MaxCallDepth = opts.MaxCallDepth
+	}
+	if opts.HeapBudget > 0 {
+		iopts.MaxHeapBytes = opts.HeapBudget
 	}
 	if opts.Seed != 0 {
 		iopts.Seed = opts.Seed
@@ -177,12 +214,13 @@ func (e *Engine) Instrument(p *prog.Program) *prog.Program {
 }
 
 // acquire hands out a resource bundle: a pooled one (already Reset) when
-// available, a fresh one otherwise.
-func (e *Engine) acquire() (*interp.Resources, error) {
+// available, a fresh one otherwise. The second return reports which.
+func (e *Engine) acquire() (*interp.Resources, bool, error) {
 	if r, ok := e.pool.Get().(*interp.Resources); ok && r != nil {
-		return r, nil
+		return r, true, nil
 	}
-	return interp.NewResources(e.interpOpts.AddrBits)
+	r, err := interp.NewResources(e.interpOpts.AddrBits)
+	return r, false, err
 }
 
 // release resets a bundle and returns it to the pool.
@@ -192,14 +230,15 @@ func (e *Engine) release(r *interp.Resources) {
 }
 
 // acquireSanitizer hands out a sanitizer bundle: a recycled one when the
-// pool has one, fresh otherwise. Only bundles whose runtime implements
-// rt.Resettable ever enter the pool, so a pooled bundle is already back in
-// post-constructor state.
-func (e *Engine) acquireSanitizer() (rt.Sanitizer, error) {
+// pool has one, fresh otherwise (the second return reports which). Only
+// bundles whose runtime implements rt.Resettable ever enter the pool, so a
+// pooled bundle is already back in post-constructor state.
+func (e *Engine) acquireSanitizer() (rt.Sanitizer, bool, error) {
 	if s, ok := e.sanPool.Get().(rt.Sanitizer); ok {
-		return s, nil
+		return s, true, nil
 	}
-	return e.newSanitizer()
+	s, err := e.newSanitizer()
+	return s, false, err
 }
 
 // releaseSanitizer recycles a bundle when its runtime can be restored to
@@ -218,59 +257,183 @@ type Machine struct {
 	eng      *Engine
 	inner    *interp.Machine
 	san      rt.Sanitizer
-	res      *interp.Resources // nil in FreshRuntime mode
+	res      *interp.Resources
+	inj      *faultinject.Injector // nil outside fault mode
+	fresh    bool                  // built for FreshRuntime/retry: never pooled
+	recycled bool                  // runtime or resources came from a pool
+	faulted  bool                  // a panic unwound through this machine
 	released bool
+}
+
+// planFor resolves the fault-injection plan for one program: the explicit
+// per-case lookup when configured, the seeded schedule otherwise, and the
+// empty plan when fault mode is off.
+func (e *Engine) planFor(p *prog.Program) faultinject.Plan {
+	if e.opts.FaultPlanFor != nil {
+		return e.opts.FaultPlanFor(p.Fingerprint())
+	}
+	if e.opts.FaultSeed != 0 {
+		fp := p.Fingerprint()
+		return faultinject.Schedule(e.opts.FaultSeed, binary.LittleEndian.Uint64(fp[:8]))
+	}
+	return faultinject.Plan{}
 }
 
 // NewMachine instruments p (cached) and prepares a machine on a fresh
 // sanitizer runtime. Call Release when done with it so pooled resources
 // return to the pool; forgetting Release only costs pool misses.
 func (e *Engine) NewMachine(p *prog.Program) (*Machine, error) {
+	return e.newMachine(p, e.opts.FreshRuntime)
+}
+
+// newMachine builds a machine, on fresh (never-pooled) runtime and resources
+// when fresh is set, on pooled ones otherwise. The fault-retry path forces
+// fresh to rule out pool-state corruption.
+func (e *Engine) newMachine(p *prog.Program, fresh bool) (*Machine, error) {
 	ip := e.Instrument(p)
-	if e.opts.FreshRuntime {
-		san, err := e.newSanitizer()
+	var (
+		san      rt.Sanitizer
+		res      *interp.Resources
+		recycled bool
+		err      error
+	)
+	if fresh {
+		san, err = e.newSanitizer()
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
-		m, err := interp.New(ip, san, e.interpOpts)
+		res, err = interp.NewResources(e.interpOpts.AddrBits)
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
-		return &Machine{eng: e, inner: m, san: san}, nil
+	} else {
+		var sanPooled, resPooled bool
+		san, sanPooled, err = e.acquireSanitizer()
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		res, resPooled, err = e.acquire()
+		if err != nil {
+			e.releaseSanitizer(san)
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		recycled = sanPooled || resPooled
 	}
-	san, err := e.acquireSanitizer()
+	m := &Machine{eng: e, san: san, res: res, fresh: fresh, recycled: recycled}
+	if plan := e.planFor(p); !plan.Zero() {
+		m.inj = faultinject.New(plan)
+		if plan.MetatableCap > 0 {
+			if c, ok := san.Runtime.(rt.MetaTableClamper); ok {
+				c.ClampMetaTable(plan.MetatableCap)
+			}
+		}
+		// The event hooks are armed in Run, not here: machine construction
+		// (global init writes pages through the same space) is harness setup,
+		// and injected faults target the program's own execution.
+	}
+	inner, err := interp.NewOn(res, ip, san, e.interpOpts)
 	if err != nil {
+		if !fresh {
+			e.release(res) // Reset also clears the fault hooks
+			e.releaseSanitizer(san)
+		}
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	res, err := e.acquire()
-	if err != nil {
-		e.releaseSanitizer(san)
-		return nil, fmt.Errorf("engine: %w", err)
-	}
-	m, err := interp.NewOn(res, ip, san, e.interpOpts)
-	if err != nil {
-		e.release(res)
-		e.releaseSanitizer(san)
-		return nil, fmt.Errorf("engine: %w", err)
-	}
-	return &Machine{eng: e, inner: m, san: san, res: res}, nil
+	m.inner = inner
+	return m, nil
 }
 
 // Feed queues input payloads for the program's fgets/recv calls.
 func (m *Machine) Feed(payloads ...[]byte) { m.inner.Feed(payloads...) }
 
 // Run executes the program to completion or abort, recording execute time
-// and run counts in the engine's stats.
+// and run counts in the engine's stats. Panics from the interpreter or the
+// sanitizer runtime are recovered, and budget exhaustions classified, into a
+// structured FaultOutcome in the result's Err — one hostile case can neither
+// kill the process nor poison the pools (a panicked machine's runtime and
+// resources are dropped at Release instead of recycled).
 func (m *Machine) Run() *interp.Result {
 	e := m.eng
+	if m.inj != nil {
+		m.res.Heap.SetFaultHook(m.inj.OnMalloc)
+		m.res.Space.SetFaultHook(m.inj.OnPageMap)
+	}
 	start := time.Now()
 	e.noteStart(start)
-	res := m.inner.Run()
+	res := m.runGuarded()
 	end := time.Now()
 	e.executeNS.Add(end.Sub(start).Nanoseconds())
 	e.noteEnd(end)
 	e.runs.Add(1)
+	m.classifyFault(res)
 	return res
+}
+
+// runGuarded executes the inner machine under the per-case sandbox: a
+// cancellable wall-clock watchdog and a panic recovery that converts a
+// main-thread panic into a PanicError result (parallel-region panics are
+// already recovered inside the interpreter).
+func (m *Machine) runGuarded() (res *interp.Result) {
+	if wb := m.eng.opts.WallBudget; wb > 0 {
+		watchdog := time.AfterFunc(wb, func() { m.inner.Interrupt(interp.ErrWallBudget) })
+		defer watchdog.Stop()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			res = &interp.Result{Err: &interp.PanicError{
+				Value: fmt.Sprint(v),
+				Stack: string(debug.Stack()),
+			}}
+		}
+	}()
+	return m.inner.Run()
+}
+
+// classifyFault rewrites harness-level failure causes in res into a
+// FaultOutcome, folds fault-injection and degradation counters into the
+// result stats, and updates the engine's fault accounting.
+func (m *Machine) classifyFault(res *interp.Result) {
+	e := m.eng
+	if m.inj != nil {
+		res.Stats.InjectedFaults = m.inj.Triggered()
+		e.injectedFaults.Add(res.Stats.InjectedFaults)
+	}
+	if res.Stats.DegradedAllocs > 0 {
+		e.degradedAllocs.Add(res.Stats.DegradedAllocs)
+	}
+	if res.Err == nil {
+		return
+	}
+	var fo *FaultOutcome
+	switch {
+	case errors.Is(res.Err, interp.ErrInstructionBudget):
+		// Step and heap budgets trigger on deterministic program state, so
+		// no fresh-runtime retry is needed to attribute them.
+		fo = &FaultOutcome{Class: FaultStepBudget, Deterministic: true, Err: res.Err}
+	case errors.Is(res.Err, interp.ErrWallBudget):
+		fo = &FaultOutcome{Class: FaultWallBudget, Err: res.Err}
+	case errors.Is(res.Err, interp.ErrHeapBudget):
+		fo = &FaultOutcome{Class: FaultHeapBudget, Deterministic: true, Err: res.Err}
+	default:
+		var pe *interp.PanicError
+		if errors.As(res.Err, &pe) {
+			m.faulted = true
+			fo = &FaultOutcome{Class: FaultPanic, PanicValue: pe.Value, Stack: pe.Stack, Err: pe}
+			if !m.recycled {
+				// First occurrence was already on a never-pooled runtime:
+				// pool corruption is ruled out without a retry.
+				fo.Deterministic = true
+			}
+		}
+	}
+	if fo == nil {
+		return
+	}
+	e.faults.Add(1)
+	if fo.Deterministic {
+		e.faultsDeterministic.Add(1)
+	}
+	res.Err = fo
 }
 
 // Output returns lines the program printed. Valid after Release.
@@ -283,19 +446,34 @@ func (m *Machine) Runtime() rt.Runtime { return m.san.Runtime }
 // its sanitizer — into the engine pools. The machine must not Run, touch
 // simulated memory, or inspect its Runtime afterwards; Output and the last
 // Result remain valid. Release is idempotent and a no-op in FreshRuntime
-// mode.
+// mode. Fault isolation: a machine through which a panic unwound may hold a
+// runtime with a poisoned lock or half-updated metadata, so its runtime and
+// resources are dropped for the GC instead of pooled.
 func (m *Machine) Release() {
 	if m.released || m.res == nil {
 		return
 	}
 	m.released = true
-	m.eng.release(m.res)
+	res := m.res
 	m.res = nil
+	if m.fresh || m.faulted {
+		return
+	}
+	m.eng.release(res) // Reset also clears any fault hooks
 	m.eng.releaseSanitizer(m.san)
 }
 
 // Run is the one-shot convenience: instrument (cached), execute on pooled
 // resources, release, return the result.
+//
+// When a run panics on a machine whose runtime or resources came from a
+// pool, the fault is ambiguous: the case may be hostile, or an earlier case
+// may have corrupted the pooled state. Run retries such a case exactly once
+// on a fresh, never-pooled machine: a reproduced panic is classified
+// deterministic (the case's own fault), a vanished one as pool-suspect.
+// Either way the retry's result is returned, and both verdicts land in
+// Stats. Budget faults skip the retry — their triggers cannot depend on pool
+// state.
 func (e *Engine) Run(p *prog.Program, inputs ...[]byte) (*interp.Result, error) {
 	m, err := e.NewMachine(p)
 	if err != nil {
@@ -303,8 +481,29 @@ func (e *Engine) Run(p *prog.Program, inputs ...[]byte) (*interp.Result, error) 
 	}
 	m.Feed(inputs...)
 	res := m.Run()
+	recycled := m.recycled
 	m.Release()
-	return res, nil
+	fo := AsFault(res.Err)
+	if fo == nil || fo.Class != FaultPanic || !recycled {
+		return res, nil
+	}
+	e.faultRetries.Add(1)
+	fm, err := e.newMachine(p, true)
+	if err != nil {
+		return res, nil // cannot retry; keep the unattributed fault
+	}
+	fm.Feed(inputs...)
+	res2 := fm.Run()
+	fm.Release()
+	if fo2 := AsFault(res2.Err); fo2 != nil {
+		// classifyFault already marked a reproduced panic deterministic
+		// (the retry machine is never recycled).
+		fo2.Retried = true
+		return res2, nil
+	}
+	// The fault vanished on a fresh runtime: the recycled state is suspect.
+	e.faultsPoolSuspect.Add(1)
+	return res2, nil
 }
 
 // ForEach runs fn(0..n-1) across the engine's worker pool. All items run
@@ -391,6 +590,25 @@ type Stats struct {
 	// Wall is the wall-clock span from the first run's start to the latest
 	// run's end.
 	Wall time.Duration
+	// Faults counts runs that ended in a FaultOutcome (panic or budget),
+	// including retry runs.
+	Faults int64
+	// FaultsDeterministic counts faults attributed to the case itself: budget
+	// exhaustions and panics that occurred (or reproduced) on a never-pooled
+	// runtime.
+	FaultsDeterministic int64
+	// FaultsPoolSuspect counts panics on recycled state that vanished on the
+	// fresh-runtime retry — evidence of pool-state corruption.
+	FaultsPoolSuspect int64
+	// FaultRetries counts fresh-runtime retry runs triggered by panics on
+	// recycled state.
+	FaultRetries int64
+	// DegradedAllocs counts allocations that lost metadata protection to
+	// exhaustion across all runs (the CECSan entry-0 graceful degradation).
+	DegradedAllocs int64
+	// InjectedFaults counts fault-injection trigger firings across all runs;
+	// 0 outside fault mode.
+	InjectedFaults int64
 }
 
 // CacheHitRate returns the fraction of Instrument requests served from
@@ -414,11 +632,17 @@ func (s Stats) CasesPerSec() float64 {
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Runs:           e.runs.Load(),
-		CacheHits:      e.cacheHits.Load(),
-		CacheMisses:    e.cacheMisses.Load(),
-		InstrumentTime: time.Duration(e.instrumentNS.Load()),
-		ExecuteTime:    time.Duration(e.executeNS.Load()),
+		Runs:                e.runs.Load(),
+		CacheHits:           e.cacheHits.Load(),
+		CacheMisses:         e.cacheMisses.Load(),
+		InstrumentTime:      time.Duration(e.instrumentNS.Load()),
+		ExecuteTime:         time.Duration(e.executeNS.Load()),
+		Faults:              e.faults.Load(),
+		FaultsDeterministic: e.faultsDeterministic.Load(),
+		FaultsPoolSuspect:   e.faultsPoolSuspect.Load(),
+		FaultRetries:        e.faultRetries.Load(),
+		DegradedAllocs:      e.degradedAllocs.Load(),
+		InjectedFaults:      e.injectedFaults.Load(),
 	}
 	if start, end := e.firstStartNS.Load(), e.lastEndNS.Load(); start != 0 && end > start {
 		s.Wall = time.Duration(end - start)

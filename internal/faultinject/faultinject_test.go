@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 50; seed++ {
+		for key := uint64(0); key < 50; key++ {
+			a, b := Schedule(seed, key), Schedule(seed, key)
+			if a != b {
+				t.Fatalf("Schedule(%d,%d) not deterministic: %+v vs %+v", seed, key, a, b)
+			}
+		}
+	}
+}
+
+func TestScheduleSeedZeroDisables(t *testing.T) {
+	for key := uint64(0); key < 100; key++ {
+		if p := Schedule(0, key); !p.Zero() {
+			t.Fatalf("Schedule(0,%d) = %+v, want zero plan", key, p)
+		}
+	}
+}
+
+// Schedule must never set MallocPanicNth: injected panics are a test-only
+// device for exercising the engine's recovery path, not a campaign fault.
+func TestScheduleNeverPanics(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		for key := uint64(0); key < 200; key++ {
+			if p := Schedule(seed, key); p.MallocPanicNth != 0 {
+				t.Fatalf("Schedule(%d,%d) set MallocPanicNth=%d", seed, key, p.MallocPanicNth)
+			}
+		}
+	}
+}
+
+// The schedule should hit every plan family so campaigns exercise all three
+// pressure paths plus controls.
+func TestScheduleCoversFamilies(t *testing.T) {
+	var oom, clamp, page, control int
+	for key := uint64(0); key < 400; key++ {
+		p := Schedule(7, key)
+		switch {
+		case p.Zero():
+			control++
+		case p.MetatableCap > 0:
+			clamp++
+		case p.PageMapFailNth > 0:
+			page++
+		case p.MallocFailNth > 0:
+			oom++
+		}
+	}
+	if oom == 0 || clamp == 0 || page == 0 || control == 0 {
+		t.Fatalf("family coverage oom=%d clamp=%d page=%d control=%d: some family never scheduled",
+			oom, clamp, page, control)
+	}
+}
+
+func TestInjectorMallocFailNth(t *testing.T) {
+	in := New(Plan{MallocFailNth: 3})
+	for i := 1; i <= 5; i++ {
+		err := in.OnMalloc()
+		if i == 3 {
+			if !errors.Is(err, ErrInjectedOOM) {
+				t.Fatalf("malloc %d: got %v, want ErrInjectedOOM", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("malloc %d: unexpected error %v", i, err)
+		}
+	}
+	if got := in.Triggered(); got != 1 {
+		t.Fatalf("Triggered = %d, want 1", got)
+	}
+}
+
+func TestInjectorMallocPanicNth(t *testing.T) {
+	in := New(Plan{MallocPanicNth: 2})
+	if err := in.OnMalloc(); err != nil {
+		t.Fatalf("malloc 1: unexpected error %v", err)
+	}
+	defer func() {
+		v := recover()
+		if v != PanicValue {
+			t.Fatalf("recovered %v, want PanicValue", v)
+		}
+		if got := in.Triggered(); got != 1 {
+			t.Fatalf("Triggered = %d, want 1", got)
+		}
+	}()
+	in.OnMalloc()
+	t.Fatal("malloc 2 did not panic")
+}
+
+func TestInjectorPageMapFailNth(t *testing.T) {
+	in := New(Plan{PageMapFailNth: 4})
+	for i := 1; i <= 6; i++ {
+		failed := in.OnPageMap()
+		if (i == 4) != failed {
+			t.Fatalf("page map %d: failed=%v", i, failed)
+		}
+	}
+	if got := in.Triggered(); got != 1 {
+		t.Fatalf("Triggered = %d, want 1", got)
+	}
+}
+
+func TestInjectorZeroPlanNeverFires(t *testing.T) {
+	in := New(Plan{})
+	for i := 0; i < 100; i++ {
+		if err := in.OnMalloc(); err != nil {
+			t.Fatalf("OnMalloc fired on zero plan: %v", err)
+		}
+		if in.OnPageMap() {
+			t.Fatal("OnPageMap fired on zero plan")
+		}
+	}
+	if got := in.Triggered(); got != 0 {
+		t.Fatalf("Triggered = %d, want 0", got)
+	}
+}

@@ -1,12 +1,16 @@
 package fuzz
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"cecsan/csrc"
 	"cecsan/internal/engine"
+	"cecsan/internal/faultinject"
 	"cecsan/internal/harness"
+	"cecsan/internal/interp"
 	"cecsan/internal/rt"
 	"cecsan/internal/sanitizers"
 )
@@ -22,6 +26,18 @@ type Config struct {
 	// MaxInstructions bounds each run (0 = 50M, far above any generated
 	// program; the bound only catches generator bugs).
 	MaxInstructions int64
+	// MaxCallDepth bounds each run's simulated recursion (0 = interpreter
+	// default).
+	MaxCallDepth int
+	// WallBudget is the per-case wall-clock watchdog (0 = 30s — a hang
+	// backstop that the instruction budget fires long before in any
+	// deterministic run, so campaign records stay byte-reproducible).
+	WallBudget time.Duration
+	// FaultSeed enables deterministic fault injection: each case's fault
+	// plan derives from (FaultSeed, program fingerprint). Expected-miss
+	// disagreements under injection pressure are diverted to the pressure
+	// bucket; spurious detections stay findings. 0 disables injection.
+	FaultSeed uint64
 	// MinimizeCap bounds how many findings get the delta-debugging
 	// treatment (0 = 8). Findings beyond the cap keep their full source.
 	MinimizeCap int
@@ -32,9 +48,10 @@ type Config struct {
 // Runner owns one engine per sanitizer and fans generated cases across all
 // of them.
 type Runner struct {
-	cfg     Config
-	tools   []sanitizers.Name
-	engines []*engine.Engine
+	cfg       Config
+	faultMode bool
+	tools     []sanitizers.Name
+	engines   []*engine.Engine
 }
 
 // NewRunner builds a runner with one engine per registry sanitizer. All
@@ -47,11 +64,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.MinimizeCap == 0 {
 		cfg.MinimizeCap = 8
 	}
-	r := &Runner{cfg: cfg, tools: sanitizers.All()}
+	if cfg.WallBudget == 0 {
+		cfg.WallBudget = 30 * time.Second
+	}
+	r := &Runner{cfg: cfg, faultMode: cfg.FaultSeed != 0, tools: sanitizers.All()}
 	for i, tool := range r.tools {
 		opts := engine.Options{
 			Workers:         cfg.Workers,
 			MaxInstructions: cfg.MaxInstructions,
+			MaxCallDepth:    cfg.MaxCallDepth,
+			WallBudget:      cfg.WallBudget,
+			FaultSeed:       cfg.FaultSeed,
 			RuntimeSeed:     cfg.Seed,
 		}
 		if i == 0 && cfg.Progress != nil {
@@ -75,6 +98,13 @@ const (
 	bucketDetectedProb = "detected_prob" // probabilistic model, got a report
 	bucketMissProb     = "miss_prob"     // probabilistic model, silent
 	bucketClean        = "clean"         // clean case ran clean
+	// bucketPressure collects fault-mode cells where injected resource
+	// pressure legitimately changed the run: the program died of an injected
+	// OOM or page-map failure before (or instead of) the bug, or the metadata
+	// clamp degraded coverage so an expected detection went silent. Only
+	// miss-direction disagreements divert here — a *detection* the oracle
+	// rules out is a finding no matter what was injected.
+	bucketPressure = "pressure"
 )
 
 // Finding is one oracle disagreement: an outcome the expectation models
@@ -111,20 +141,41 @@ type ToolReport struct {
 	DetectedProb int `json:"detected_prob,omitempty"`
 	MissProb     int `json:"miss_prob,omitempty"`
 	Clean        int `json:"clean"`
-	Findings     int `json:"findings,omitempty"`
+	// Pressure counts cells where injected faults legitimately changed the
+	// outcome (fault mode only).
+	Pressure int `json:"pressure,omitempty"`
+	// Faults counts harness-level faults (recovered panics, budget
+	// exhaustions) — cases with no sanitizer verdict at all.
+	Faults   int `json:"faults,omitempty"`
+	Findings int `json:"findings,omitempty"`
 }
 
-// Report is the deterministic campaign record: same seed and count produce
-// a byte-identical report (it deliberately carries no timing — throughput
-// lives in the separate bench record).
+// FaultCase records one harness-level fault deterministically: class only —
+// panic values and stacks carry addresses, so they stay out of the record.
+type FaultCase struct {
+	Tool  string `json:"tool"`
+	Seed  uint64 `json:"seed"`
+	Shape string `json:"shape"`
+	Class string `json:"class"`
+}
+
+// Report is the deterministic campaign record: same seed, count and fault
+// seed produce a byte-identical report regardless of worker count (it
+// deliberately carries no timing — throughput lives in the separate bench
+// record).
 type Report struct {
-	Seed     uint64         `json:"seed"`
-	Count    int            `json:"count"`
-	Injected int            `json:"injected"`
-	CleanN   int            `json:"clean_cases"`
-	Shapes   map[string]int `json:"shapes"`
-	Tools    []ToolReport   `json:"tools"`
-	Findings []Finding      `json:"findings"`
+	Seed      uint64         `json:"seed"`
+	FaultSeed uint64         `json:"fault_seed,omitempty"`
+	Count     int            `json:"count"`
+	Injected  int            `json:"injected"`
+	CleanN    int            `json:"clean_cases"`
+	Shapes    map[string]int `json:"shapes"`
+	Tools     []ToolReport   `json:"tools"`
+	// HarnessFaults totals FaultCases; any non-zero value makes cmd/fuzz
+	// exit 2 (harness fault), distinct from exit 1 (findings).
+	HarnessFaults int         `json:"harness_faults,omitempty"`
+	FaultCases    []FaultCase `json:"fault_cases,omitempty"`
+	Findings      []Finding   `json:"findings"`
 }
 
 // outcomeName renders a harness outcome for JSON records.
@@ -144,30 +195,57 @@ func outcomeName(o harness.Outcome) string {
 
 // cell is the classification of one (case, tool) run.
 type cell struct {
-	bucket  string // one of the bucket* constants, or "" for a finding
-	reason  string // finding reason when bucket == ""
-	detail  string
-	expect  Expect
-	outcome harness.Outcome
-	kind    rt.Kind // observed violation kind, if any
-	hasKind bool
+	bucket     string // one of the bucket* constants, or "" for a finding
+	reason     string // finding reason when bucket == ""
+	detail     string
+	expect     Expect
+	outcome    harness.Outcome
+	kind       rt.Kind // observed violation kind, if any
+	hasKind    bool
+	faultClass string // harness-fault class when the machine itself stopped
 }
 
 // classify compares one run result against the oracle's expectation for
-// the tool. The rules mirror the subsystem contract in the package doc.
-func classify(tool sanitizers.Name, o *Oracle, outcome harness.Outcome, v *rt.Violation, runErr error) cell {
+// the tool. The rules mirror the subsystem contract in the package doc;
+// faultMode additionally enables the pressure diversions documented on
+// bucketPressure.
+func classify(tool sanitizers.Name, o *Oracle, res *interp.Result, faultMode bool) cell {
+	outcome := harness.Classify(res)
 	c := cell{outcome: outcome, expect: ExpectFor(tool, o)}
-	if v != nil {
+	if v := res.Violation; v != nil {
 		c.kind, c.hasKind = v.Kind, true
 	}
+	if fo := engine.AsFault(res.Err); fo != nil {
+		// The machine itself was stopped: there is no sanitizer verdict to
+		// compare. Recorded by class alone (stacks and panic payloads carry
+		// addresses) and surfaced as a harness fault, not a finding.
+		c.faultClass = fo.Class.String()
+		return c
+	}
+	// Injection pressure that legitimately pre-empts or masks the verdict:
+	// the program died of an injected OOM or page-map SIGBUS, or the clamped
+	// metadata table degraded coverage. Detections the oracle rules out are
+	// never excused this way.
+	pressured := faultMode && (res.Stats.InjectedFaults > 0 ||
+		res.Stats.DegradedAllocs > 0 ||
+		(res.Fault != nil && res.Fault.Injected) ||
+		errors.Is(res.Err, faultinject.ErrInjectedOOM))
 	switch outcome {
 	case harness.OutcomeError:
+		if pressured && errors.Is(res.Err, faultinject.ErrInjectedOOM) {
+			c.bucket = bucketPressure
+			return c
+		}
 		c.reason = "error"
-		if runErr != nil {
-			c.detail = runErr.Error()
+		if res.Err != nil {
+			c.detail = res.Err.Error()
 		}
 		return c
 	case harness.OutcomeCrash:
+		if pressured && res.Fault != nil && res.Fault.Injected {
+			c.bucket = bucketPressure
+			return c
+		}
 		// No shape is allowed to escalate to a machine-level fault under
 		// any tool — least of all native, whose contract is "never aborts".
 		c.reason = "fault"
@@ -194,10 +272,18 @@ func classify(tool sanitizers.Name, o *Oracle, outcome harness.Outcome, v *rt.Vi
 		// ExpectMiss carve-out — the staged tag-reuse UAF — falls through
 		// to the generic classification below.)
 		if !detected {
+			if pressured {
+				c.bucket = bucketPressure
+				return c
+			}
 			c.reason = "cecsan-false-negative"
 			return c
 		}
 		if c.kind != o.Kind {
+			if pressured {
+				c.bucket = bucketPressure
+				return c
+			}
 			c.reason = "wrong-kind"
 			c.detail = fmt.Sprintf("reported %v", c.kind)
 			return c
@@ -210,6 +296,8 @@ func classify(tool sanitizers.Name, o *Oracle, outcome harness.Outcome, v *rt.Vi
 	case ExpectDetect:
 		if detected {
 			c.bucket = bucketDetected
+		} else if pressured {
+			c.bucket = bucketPressure
 		} else {
 			c.reason = "unexpected-miss"
 		}
@@ -225,6 +313,8 @@ func classify(tool sanitizers.Name, o *Oracle, outcome harness.Outcome, v *rt.Vi
 	default: // ExpectMaybe
 		if detected {
 			c.bucket = bucketDetectedProb
+		} else if pressured {
+			c.bucket = bucketPressure
 		} else {
 			c.bucket = bucketMissProb
 		}
@@ -262,7 +352,7 @@ func (r *Runner) Campaign() (*Report, error) {
 				outs[i].cells[ti] = cell{reason: "error", detail: rerr.Error(), outcome: harness.OutcomeError}
 				continue
 			}
-			outs[i].cells[ti] = classify(tool, &c.Oracle, harness.Classify(res), res.Violation, res.Err)
+			outs[i].cells[ti] = classify(tool, &c.Oracle, res, r.faultMode)
 		}
 		return nil
 	})
@@ -271,7 +361,7 @@ func (r *Runner) Campaign() (*Report, error) {
 	}
 
 	// Deterministic aggregation in case order, then tool order.
-	rep := &Report{Seed: r.cfg.Seed, Count: n, Shapes: map[string]int{}}
+	rep := &Report{Seed: r.cfg.Seed, FaultSeed: r.cfg.FaultSeed, Count: n, Shapes: map[string]int{}}
 	for range r.tools {
 		rep.Tools = append(rep.Tools, ToolReport{})
 	}
@@ -297,6 +387,15 @@ func (r *Runner) Campaign() (*Report, error) {
 		for ti := range r.tools {
 			cl := &o.cells[ti]
 			tr := &rep.Tools[ti]
+			if cl.faultClass != "" {
+				tr.Faults++
+				rep.HarnessFaults++
+				rep.FaultCases = append(rep.FaultCases, FaultCase{
+					Tool: string(r.tools[ti]), Seed: o.theCase.Seed,
+					Shape: shapeLabel(&o.oracle), Class: cl.faultClass,
+				})
+				continue
+			}
 			switch cl.bucket {
 			case bucketDetected:
 				tr.Detected++
@@ -308,6 +407,8 @@ func (r *Runner) Campaign() (*Report, error) {
 				tr.MissProb++
 			case bucketClean:
 				tr.Clean++
+			case bucketPressure:
+				tr.Pressure++
 			default:
 				tr.Findings++
 				f := Finding{
@@ -384,8 +485,8 @@ func (r *Runner) reproduces(cand *Case, f *Finding) bool {
 	if rerr != nil {
 		return false
 	}
-	cl := classify(r.tools[f.toolIdx], &cand.Oracle, harness.Classify(res), res.Violation, res.Err)
-	return cl.bucket == "" && cl.reason == f.Reason
+	cl := classify(r.tools[f.toolIdx], &cand.Oracle, res, r.faultMode)
+	return cl.bucket == "" && cl.faultClass == "" && cl.reason == f.Reason
 }
 
 // RunOne generates the case for one seed, fans it across every sanitizer
@@ -405,7 +506,17 @@ func (r *Runner) RunOne(seed uint64) []Finding {
 		if rerr != nil {
 			cl = cell{reason: "error", detail: rerr.Error(), outcome: harness.OutcomeError}
 		} else {
-			cl = classify(tool, &c.Oracle, harness.Classify(res), res.Violation, res.Err)
+			cl = classify(tool, &c.Oracle, res, r.faultMode)
+		}
+		if cl.faultClass != "" {
+			// The batch path reports these separately as harness faults; the
+			// Go-native fuzz target has only findings to surface them with.
+			findings = append(findings, Finding{
+				Tool: string(tool), Seed: seed, Shape: shapeLabel(&c.Oracle),
+				Reason: "harness-fault", Detail: cl.faultClass,
+				Outcome: outcomeName(cl.outcome), Source: c.Source, toolIdx: ti,
+			})
+			continue
 		}
 		if cl.bucket != "" {
 			continue

@@ -1,0 +1,55 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFaultCampaignDeterministic pins the acceptance property for fault
+// mode: a campaign's record is a pure function of (seed, fault seed) — the
+// worker count must not leak into a single byte of it. It also checks the
+// injection actually bites (some pressure cells) without destabilizing the
+// harness (no faults, no findings).
+func TestFaultCampaignDeterministic(t *testing.T) {
+	run := func(workers int) []byte {
+		t.Helper()
+		r, err := NewRunner(Config{Seed: 7, Count: 60, FaultSeed: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		rep, err := r.Campaign()
+		if err != nil {
+			t.Fatalf("Campaign: %v", err)
+		}
+		if rep.HarnessFaults > 0 {
+			t.Fatalf("workers=%d: %d harness faults: %+v", workers, rep.HarnessFaults, rep.FaultCases)
+		}
+		if len(rep.Findings) > 0 {
+			t.Fatalf("workers=%d: %d findings under injection, first: %+v",
+				workers, len(rep.Findings), rep.Findings[0])
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		return data
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("fault campaign not worker-independent:\nworkers=1: %s\nworkers=8: %s", serial, parallel)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(serial, &rep); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	var pressure int
+	for _, tr := range rep.Tools {
+		pressure += tr.Pressure
+	}
+	if pressure == 0 {
+		t.Fatal("no pressure cells: fault injection never bit")
+	}
+}

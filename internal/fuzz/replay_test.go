@@ -1,0 +1,74 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cecsan/csrc"
+	"cecsan/internal/engine"
+	"cecsan/internal/harness"
+	"cecsan/internal/rt"
+	"cecsan/internal/sanitizers"
+)
+
+// TestReplayUAFTagReuse replays the minimized staged tag-reuse reproducer as
+// a standing regression: the differential outcome matrix it documents
+// (SoftBound reports the UAF through its key/lock pair; every tag- or
+// redzone-based tool is silent because the entry index / chunk was recycled;
+// HWASan is probabilistic) must not drift as runtimes evolve. A drift here
+// means either a model regression or a genuine detection change — both worth
+// a human look before re-pinning.
+func TestReplayUAFTagReuse(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "uaf_tag_reuse.csc"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	p, err := csrc.Compile(string(src))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+
+	// silent = must run to completion with no report; detect = must report a
+	// use-after-free; HWASan is legitimately either (retag on free/malloc).
+	expect := map[sanitizers.Name]string{
+		sanitizers.Native:    "silent",
+		sanitizers.CECSan:    "silent",
+		sanitizers.PACMem:    "silent",
+		sanitizers.CryptSan:  "silent",
+		sanitizers.ASan:      "silent",
+		sanitizers.ASanLite:  "silent",
+		sanitizers.SoftBound: "detect",
+		sanitizers.HWASan:    "either",
+	}
+	for _, tool := range sanitizers.All() {
+		eng, err := engine.New(tool, engine.Options{RuntimeSeed: 1})
+		if err != nil {
+			t.Fatalf("engine.New(%s): %v", tool, err)
+		}
+		res, rerr := eng.Run(p)
+		if rerr != nil {
+			t.Fatalf("%s: Run: %v", tool, rerr)
+		}
+		outcome := harness.Classify(res)
+		switch expect[tool] {
+		case "silent":
+			if outcome != harness.OutcomeClean {
+				t.Errorf("%s: outcome %v (violation=%v err=%v), want clean",
+					tool, outcome, res.Violation, res.Err)
+			}
+		case "detect":
+			if outcome != harness.OutcomeDetected {
+				t.Errorf("%s: outcome %v, want detected", tool, outcome)
+			} else if res.Violation.Kind != rt.KindUseAfterFree {
+				t.Errorf("%s: reported %v, want use-after-free", tool, res.Violation.Kind)
+			}
+		case "either":
+			if outcome != harness.OutcomeClean && outcome != harness.OutcomeDetected {
+				t.Errorf("%s: outcome %v, want clean or detected", tool, outcome)
+			}
+		default:
+			t.Fatalf("no expectation for %s", tool)
+		}
+	}
+}

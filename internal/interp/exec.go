@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"cecsan/internal/alloc"
@@ -46,6 +47,11 @@ type trackedObj struct {
 func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth int) (uint64, rt.PtrMeta, *abort) {
 	if depth > th.m.opts.MaxCallDepth {
 		return 0, rt.PtrMeta{}, &abort{err: ErrCallDepth}
+	}
+	if th.m.aborted.Load() {
+		// Interrupts also land at call entry, so loop-free recursive
+		// programs still honour the watchdog.
+		return 0, rt.PtrMeta{}, th.abortCause()
 	}
 	m := th.m
 	run := m.san.Runtime
@@ -160,7 +166,7 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 				}
 				if m.aborted.Load() {
 					epilogue()
-					return 0, rt.PtrMeta{}, &abort{err: errAbortedElsewhere}
+					return 0, rt.PtrMeta{}, th.abortCause()
 				}
 			}
 			pc = tgt
@@ -223,6 +229,10 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 				metas[in.Dst] = meta
 			}
 			th.local.Mallocs++
+			if mb := m.opts.MaxHeapBytes; mb > 0 && m.heap.LiveBytes() > mb {
+				epilogue()
+				return 0, rt.PtrMeta{}, &abort{err: ErrHeapBudget}
+			}
 			m.sampleRSS()
 		case prog.OpFree:
 			var meta rt.PtrMeta
@@ -420,6 +430,16 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 // errAbortedElsewhere stops sibling threads after another thread reported.
 var errAbortedElsewhere = fmt.Errorf("interp: aborted by violation on another thread")
 
+// abortCause builds the abort for a thread that observed the machine's
+// aborted flag: the externally supplied Interrupt cause when there is one,
+// the generic cross-thread error otherwise.
+func (th *thread) abortCause() *abort {
+	if c := th.m.interrupted.Load(); c != nil {
+		return &abort{err: c.err}
+	}
+	return &abort{err: errAbortedElsewhere}
+}
+
 // report finalizes a violation with its code location and flips the global
 // abort flag so parallel regions stop.
 func (th *thread) report(v *rt.Violation, fnName string, pc int) *abort {
@@ -463,6 +483,18 @@ func (th *thread) parFor(in *prog.Instr, regs []uint64, depth int) *abort {
 		wg.Add(1)
 		go func(w int, start, end int64) {
 			defer wg.Done()
+			// A panic on a worker goroutine would kill the whole process
+			// (recover in the engine can't cross goroutines), so each worker
+			// converts its own panic into an abort and stops the region.
+			defer func() {
+				if v := recover(); v != nil {
+					aborts[w] = &abort{err: &PanicError{
+						Value: fmt.Sprint(v),
+						Stack: string(debug.Stack()),
+					}}
+					m.aborted.Store(true)
+				}
+			}()
 			stack, err := alloc.NewStack(w + 1)
 			if err != nil {
 				aborts[w] = &abort{err: err}

@@ -34,12 +34,37 @@ var ErrInstructionBudget = errors.New("interp: instruction budget exhausted")
 // ErrCallDepth is returned when a program recurses past the depth limit.
 var ErrCallDepth = errors.New("interp: call depth limit exceeded")
 
+// ErrWallBudget is the conventional cause an external watchdog passes to
+// Interrupt when a run exceeds its wall-clock budget.
+var ErrWallBudget = errors.New("interp: wall-clock budget exhausted")
+
+// ErrHeapBudget is returned when a program's live heap exceeds
+// Options.MaxHeapBytes.
+var ErrHeapBudget = errors.New("interp: heap budget exhausted")
+
+// PanicError is a Go panic recovered from simulated execution — a bug in a
+// sanitizer runtime or the machine itself, never legal program behaviour.
+// Parallel-region workers recover panics into it so one hostile case cannot
+// kill the host process; the engine wraps main-thread panics the same way.
+type PanicError struct {
+	// Value is the stringified panic payload.
+	Value string
+	// Stack is the recovering goroutine's stack trace.
+	Stack string
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string { return "interp: recovered panic: " + e.Value }
+
 // Options configures a Machine.
 type Options struct {
 	// MaxInstructions bounds the total executed instructions (per run).
 	MaxInstructions int64
 	// MaxCallDepth bounds program recursion.
 	MaxCallDepth int
+	// MaxHeapBytes bounds the program's live heap (rounded chunk sizes);
+	// 0 = unlimited. Exceeding it aborts the run with ErrHeapBudget.
+	MaxHeapBytes int64
 	// AddrBits is the canonical pointer width (47 unless testing ARM64).
 	AddrBits uint
 	// Seed seeds the program-visible rand() stream.
@@ -66,6 +91,14 @@ type Stats struct {
 	Frees          int64
 	LibcCalls      int64
 	ExternCalls    int64
+
+	// DegradedAllocs counts allocations whose sanitizer metadata was lost to
+	// exhaustion (the CECSan entry-0 fallback); 0 for runtimes that do not
+	// degrade.
+	DegradedAllocs int64
+	// InjectedFaults counts scheduled fault-injection events that fired
+	// during the run (filled by the engine; always 0 outside fault mode).
+	InjectedFaults int64
 
 	// PeakProgramBytes is the high-water resident size of program memory.
 	PeakProgramBytes int64
@@ -154,7 +187,9 @@ type Machine struct {
 
 	rngState atomic.Uint64
 
-	aborted  atomic.Bool
+	aborted     atomic.Bool
+	interrupted atomic.Pointer[interruptCause]
+
 	peakRSS  atomic.Int64
 	peakProg atomic.Int64
 	peakOver atomic.Int64
@@ -296,6 +331,22 @@ func (m *Machine) printLine(s string) {
 	m.output = append(m.output, s)
 }
 
+// interruptCause carries the error an external Interrupt asked the run to
+// stop with.
+type interruptCause struct{ err error }
+
+// Interrupt asynchronously stops the run: threads notice at the next loop
+// backedge or call and abort with cause (ErrWallBudget from the engine's
+// watchdog, typically). The first cause wins; a nil cause still stops the
+// run but leaves the generic cross-thread abort error. Safe to call from any
+// goroutine, including after the run has finished (then a no-op).
+func (m *Machine) Interrupt(cause error) {
+	if cause != nil {
+		m.interrupted.CompareAndSwap(nil, &interruptCause{err: cause})
+	}
+	m.aborted.Store(true)
+}
+
 // rand returns the next value of the program-visible deterministic LCG.
 func (m *Machine) rand() uint64 {
 	for {
@@ -364,6 +415,9 @@ func (m *Machine) Run() *Result {
 	res.Stats.PeakProgramBytes = m.peakProg.Load()
 	res.Stats.PeakOverheadBytes = m.peakOver.Load()
 	res.Stats.PeakRSS = m.peakRSS.Load()
+	if d, ok := m.san.Runtime.(rt.Degrader); ok {
+		res.Stats.DegradedAllocs = d.DegradedAllocs()
+	}
 	return res
 }
 

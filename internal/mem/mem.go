@@ -53,6 +53,11 @@ type Fault struct {
 	Addr uint64
 	Size int64
 	Wr   bool
+	// Injected marks a fault produced by the fault-injection page-map hook
+	// (the chunk backing this address could not be materialized), as opposed
+	// to a wild access by the program. Classifiers use it to separate
+	// injected resource pressure from genuine program crashes.
+	Injected bool
 }
 
 // Error implements the error interface.
@@ -60,6 +65,9 @@ func (f *Fault) Error() string {
 	op := "read"
 	if f.Wr {
 		op = "write"
+	}
+	if f.Injected {
+		return fmt.Sprintf("SIGBUS: injected page-map failure on %s of %d bytes at %#x", op, f.Size, f.Addr)
 	}
 	return fmt.Sprintf("SIGSEGV: wild %s of %d bytes at unmapped address %#x", op, f.Size, f.Addr)
 }
@@ -79,6 +87,11 @@ type Space struct {
 	// mutex keeps concurrent faulting safe anyway.
 	spareMu sync.Mutex
 	spare   []*chunk
+
+	// faultHook, when set, is consulted before each first-touch chunk
+	// materialization; returning true fails the mapping (the access gets an
+	// injected Fault). Reset clears it.
+	faultHook atomic.Pointer[func() bool]
 }
 
 // NewSpace returns an empty space with the given canonical pointer width in
@@ -106,11 +119,16 @@ func (s *Space) Canonical(addr uint64) bool { return addr < uint64(1)<<s.addrBit
 func (s *Space) TouchedBytes() int64 { return s.touched.Load() * ChunkSize }
 
 // chunkFor returns the chunk containing addr, materializing it on first
-// touch. addr must be below SpanSize.
+// touch. addr must be below SpanSize. It returns nil only when the fault
+// hook vetoes the materialization (injected mmap failure): callers turn that
+// into an injected Fault.
 func (s *Space) chunkFor(addr uint64) *chunk {
 	idx := addr >> ChunkBits
 	if c := s.chunks[idx].Load(); c != nil {
 		return c
+	}
+	if hook := s.faultHook.Load(); hook != nil && (*hook)() {
+		return nil
 	}
 	c := s.newChunk()
 	if s.chunks[idx].CompareAndSwap(nil, c) {
@@ -157,6 +175,17 @@ func (s *Space) Reset() {
 		s.recycle(c)
 	}
 	s.touched.Store(0)
+	s.faultHook.Store(nil)
+}
+
+// SetFaultHook installs (or, with nil, removes) the chunk-materialization
+// fault hook. The caller must not race it with accesses.
+func (s *Space) SetFaultHook(f func() bool) {
+	if f == nil {
+		s.faultHook.Store(nil)
+		return
+	}
+	s.faultHook.Store(&f)
 }
 
 func (s *Space) inSpan(addr uint64, size int64) bool {
@@ -171,6 +200,9 @@ func (s *Space) Load(addr uint64, size int64) (uint64, *Fault) {
 	off := addr & chunkMask
 	if off+uint64(size) <= ChunkSize {
 		c := s.chunkFor(addr)
+		if c == nil {
+			return 0, &Fault{Addr: addr, Size: size, Injected: true}
+		}
 		switch size {
 		case 1:
 			return uint64(c[off]), nil
@@ -187,6 +219,9 @@ func (s *Space) Load(addr uint64, size int64) (uint64, *Fault) {
 	var v uint64
 	for i := int64(0); i < size; i++ {
 		c := s.chunkFor(addr + uint64(i))
+		if c == nil {
+			return 0, &Fault{Addr: addr + uint64(i), Size: size, Injected: true}
+		}
 		v |= uint64(c[(addr+uint64(i))&chunkMask]) << (8 * uint(i))
 	}
 	return v, nil
@@ -200,6 +235,9 @@ func (s *Space) Store(addr uint64, size int64, val uint64) *Fault {
 	off := addr & chunkMask
 	if off+uint64(size) <= ChunkSize {
 		c := s.chunkFor(addr)
+		if c == nil {
+			return &Fault{Addr: addr, Size: size, Wr: true, Injected: true}
+		}
 		switch size {
 		case 1:
 			c[off] = byte(val)
@@ -218,6 +256,9 @@ func (s *Space) Store(addr uint64, size int64, val uint64) *Fault {
 	}
 	for i := int64(0); i < size; i++ {
 		c := s.chunkFor(addr + uint64(i))
+		if c == nil {
+			return &Fault{Addr: addr + uint64(i), Size: size, Wr: true, Injected: true}
+		}
 		c[(addr+uint64(i))&chunkMask] = byte(val >> (8 * uint(i)))
 	}
 	return nil
@@ -233,6 +274,9 @@ func (s *Space) ReadBytes(addr uint64, n int64) ([]byte, *Fault) {
 	for done < n {
 		a := addr + uint64(done)
 		c := s.chunkFor(a)
+		if c == nil {
+			return nil, &Fault{Addr: a, Size: n, Injected: true}
+		}
 		done += int64(copy(out[done:], c[a&chunkMask:]))
 	}
 	return out, nil
@@ -248,6 +292,9 @@ func (s *Space) WriteBytes(addr uint64, b []byte) *Fault {
 	for done < n {
 		a := addr + uint64(done)
 		c := s.chunkFor(a)
+		if c == nil {
+			return &Fault{Addr: a, Size: n, Wr: true, Injected: true}
+		}
 		done += int64(copy(c[a&chunkMask:], b[done:]))
 	}
 	return nil
@@ -275,6 +322,9 @@ func (s *Space) Set(addr uint64, v byte, n int64) *Fault {
 	for done < n {
 		a := addr + uint64(done)
 		c := s.chunkFor(a)
+		if c == nil {
+			return &Fault{Addr: a, Size: n, Wr: true, Injected: true}
+		}
 		off := a & chunkMask
 		end := int64(ChunkSize) - int64(off)
 		if end > n-done {

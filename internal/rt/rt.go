@@ -192,6 +192,25 @@ type Runtime interface {
 	OverheadBytes() int64
 }
 
+// MetaTableClamper is implemented by runtimes whose metadata structure has a
+// hard capacity that fault injection can clamp, making exhaustion reachable
+// without millions of live objects. The clamp is run state: the runtime's
+// reset must remove it.
+type MetaTableClamper interface {
+	// ClampMetaTable caps the metadata structure at n allocatable entries;
+	// 0 removes the cap.
+	ClampMetaTable(n uint64)
+}
+
+// Degrader is implemented by runtimes that degrade gracefully under metadata
+// exhaustion — trading coverage for functionality instead of aborting, the
+// CECSan reserved-entry-0 fallback (§II.E, §V).
+type Degrader interface {
+	// DegradedAllocs returns how many allocations this run lost (or, with
+	// overflow chaining, rerouted) their metadata protection.
+	DegradedAllocs() int64
+}
+
 // Resettable is implemented by runtimes whose per-process state can be
 // restored to freshly-constructed form. The execution engine recycles such
 // runtimes across machines instead of reconstructing them, which matters for
