@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fault-smoke ci bench-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke ci bench-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -19,6 +19,15 @@ race:
 fuzz-smoke:
 	$(GO) run ./cmd/fuzz -seed 7 -count 200
 
+# Hardened-profile smoke: the same fixed-seed campaign with every
+# CECSan-family tool swapped for its temporally hardened variant. The
+# oracle flips the reuse-window shapes (uaf_quarantine_flush,
+# uaf_realloc_reuse) from documented misses to mandatory detections, so
+# this gate proves the mitigations close the window without introducing
+# false positives.
+fuzz-smoke-hardened:
+	$(GO) run ./cmd/fuzz -seed 7 -count 200 -hardened
+
 # Fault-injection smoke: the same fixed-seed campaign under deterministic
 # resource-pressure injection (nth-malloc OOM, metadata-table clamps,
 # page-map failures). Exit 1 = oracle disagreement, exit 2 = the harness
@@ -33,6 +42,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) fuzz-smoke-hardened
 	$(MAKE) fault-smoke
 
 # Quick end-to-end benchmark pass: ~5% of the Table II suite, with the
@@ -40,6 +50,7 @@ ci:
 # detection rates and the engine's cache/pooling behaviour after a change.
 bench-smoke:
 	$(GO) run ./cmd/julietbench -table 2 -scale 0.05 -progress 0 -json BENCH_table2.json
+	$(GO) run ./cmd/temporalbench -json BENCH_temporal.json
 
 # Full-scale table regenerations.
 bench-table2:

@@ -7,8 +7,14 @@
 //
 //	cecsan-run -workload 462.libquantum [-sanitizer CECSan]
 //	           [-no-subobject] [-no-redundant] [-no-loopinv] [-no-monotonic] [-no-typebased]
+//	           [-hardened] [-gen-bits N] [-index-delay K] [-quarantine-bytes B]
 //	cecsan-run -src prog.csc [-input hex] [-sanitizer ASan]
 //	cecsan-run -list
+//
+// The temporal-hardening knobs apply to the CECSan-family sanitizers only:
+// -hardened turns on every mitigation at its default strength, and the three
+// fine-grained knobs override individual dials (a non-zero value implies the
+// corresponding mitigation even without -hardened).
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"cecsan/internal/cliutil"
 	"cecsan/internal/core"
 	"cecsan/internal/engine"
+	"cecsan/internal/rt"
 	"cecsan/internal/sanitizers"
 	"cecsan/internal/specsim"
 	"cecsan/prog"
@@ -46,6 +53,10 @@ func run() error {
 	noInv := flag.Bool("no-loopinv", false, "disable loop-invariant check relocation")
 	noMono := flag.Bool("no-monotonic", false, "disable monotonic check grouping")
 	noType := flag.Bool("no-typebased", false, "disable type-based check removal")
+	hardened := flag.Bool("hardened", false, "enable all temporal-reuse mitigations at default strength (CECSan family)")
+	genBits := flag.Uint("gen-bits", 0, "generation-stamp width in bits (0 = default when -hardened, else off)")
+	indexDelay := flag.Int("index-delay", 0, "freed metatable indices held back until this many others are freed (0 = default when -hardened, else off)")
+	quarBytes := flag.Int64("quarantine-bytes", 0, "allocator quarantine budget in bytes (0 = default when -hardened, else off)")
 	seed := flag.Uint64("seed", 0, "seed for the program rand() stream and RNG-bearing runtimes (HWASan tags); 0 = stock")
 	maxSteps := cliutil.MaxStepsFlag()
 	maxDepth := cliutil.MaxDepthFlag()
@@ -100,16 +111,37 @@ func run() error {
 		MaxInstructions: *maxSteps,
 		MaxCallDepth:    *maxDepth,
 	}
-	if *tool == string(sanitizers.CECSan) {
+	toolName := sanitizers.Name(*tool)
+	if *hardened {
+		// -hardened selects the temporally hardened variant; tools without
+		// one (no tag-index reuse window to close) run unchanged.
+		if h, ok := sanitizers.Hardened(toolName); ok {
+			toolName = h
+		}
+	}
+	if toolName == sanitizers.CECSan || toolName == sanitizers.CECSanHardened {
 		opts := core.DefaultOptions()
+		if toolName == sanitizers.CECSanHardened {
+			opts = core.HardenedOptions()
+		}
 		opts.SubObject = !*noSub
 		opts.OptRedundant = !*noRed
 		opts.OptLoopInvariant = !*noInv
 		opts.OptMonotonic = !*noMono
 		opts.OptTypeBased = !*noType
+		if *genBits > 0 {
+			opts.TemporalGenerations = true
+			opts.GenerationBits = *genBits
+		}
+		if *indexDelay > 0 {
+			opts.IndexDelay = *indexDelay
+		}
+		if *quarBytes > 0 {
+			opts.QuarantineBytes = *quarBytes
+		}
 		eopts.CECSan = &opts
 	}
-	eng, err := engine.New(sanitizers.Name(*tool), eopts)
+	eng, err := engine.New(toolName, eopts)
 	if err != nil {
 		return err
 	}
@@ -154,5 +186,11 @@ func run() error {
 	fmt.Printf("peak program      %d bytes\n", s.PeakProgramBytes)
 	fmt.Printf("peak overhead     %d bytes\n", s.PeakOverheadBytes)
 	fmt.Printf("peak RSS          %d bytes\n", s.PeakRSS)
+	if th, ok := m.Runtime().(rt.TemporalHardened); ok &&
+		(strings.HasSuffix(m.Runtime().Name(), "-hardened") || *genBits > 0 || *indexDelay > 0 || *quarBytes > 0) {
+		ts := th.TemporalStats()
+		fmt.Printf("temporal          gen-wraps %d  index-spills %d  quarantine evict %d / flush %d / held %d bytes\n",
+			ts.GenerationWraps, ts.IndexSpills, ts.QuarantineEvictions, ts.QuarantineFlushes, ts.QuarantinedBytes)
+	}
 	return nil
 }

@@ -9,7 +9,7 @@
 //
 //	fuzz -seed 1 -count 1000 [-workers N] [-json report.json]
 //	     [-bench BENCH_fuzz.json] [-repro dir] [-progress]
-//	     [-faults SEED] [-max-steps N] [-max-depth N]
+//	     [-faults SEED] [-hardened] [-max-steps N] [-max-depth N]
 //	fuzz -emit 42                 # print the program for one case seed
 //
 // Exit status separates verdicts from harness health:
@@ -56,6 +56,7 @@ func run() (int, error) {
 	emit := flag.Uint64("emit", 0, "print the generated program for one case seed and exit")
 	progress := flag.Bool("progress", false, "print campaign progress to stderr")
 	faults := flag.Uint64("faults", 0, "fault-injection seed: derive a deterministic fault plan per case (0 = off)")
+	hardened := flag.Bool("hardened", false, "swap CECSan-family tools for their temporally hardened variants (reuse-window shapes become mandatory detections)")
 	maxSteps := cliutil.MaxStepsFlag()
 	maxDepth := cliutil.MaxDepthFlag()
 	workers := cliutil.WorkersFlag()
@@ -74,6 +75,7 @@ func run() (int, error) {
 		MaxInstructions: *maxSteps,
 		MaxCallDepth:    *maxDepth,
 		FaultSeed:       *faults,
+		Hardened:        *hardened,
 	}
 	if *progress {
 		cfg.Progress = func(done, total int) {
@@ -93,6 +95,9 @@ func run() (int, error) {
 		rep.Seed, rep.Count, rep.Injected, rep.CleanN)
 	if rep.FaultSeed != 0 {
 		fmt.Printf("  fault injection on (fault_seed=%d)\n", rep.FaultSeed)
+	}
+	if rep.Hardened {
+		fmt.Println("  hardened profiles (CECSan-family temporal mitigations on)")
 	}
 	for _, tr := range rep.Tools {
 		fmt.Printf("  %-16s detect %-5d miss(doc) %-5d prob %d/%d  clean %-5d pressure %-5d faults %-3d findings %d\n",

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -39,24 +40,57 @@ const EntryBytes = 8 * slotsPerEntry
 // metadata index GMI as its head (§II.B.2, Figure 2), so freed entries are
 // reused as early as possible.
 //
+// Two opt-in temporal-hardening modes close the tag-index reuse window that
+// "as early as possible" opens (the uaf_quarantine_flush blind spot):
+//
+//   - Generation stamping (genBits > 0) carves the top genBits off the tag
+//     field, so a tag is gen<<idxBits|idx and the table shrinks to 2^idxBits
+//     entries. The entry's current generation lives in the spare high bits of
+//     its high-bound slot (bounds are < 2^AddrBits, so bits [AddrBits,
+//     AddrBits+genBits) are genuinely free — the same unused-bit exploitation
+//     the tag itself relies on). Free bumps the generation, so a stale tag
+//     fails Probe's generation comparison even after the index is rebuilt.
+//     The counter wraps at 2^genBits, falling back to stamp-free behaviour
+//     for that incarnation (counted in GenWraps).
+//
+//   - Delayed reuse (delay > 0) holds each freed index in a FIFO until delay
+//     more are freed, only then threading it onto the GMI free structure.
+//     Exhaustion drains the FIFO oldest-first instead of degrading the
+//     allocation (counted in IndexSpills).
+//
+// With both off (NewTable) the byte-level behaviour is identical to the
+// paper's free structure.
+//
 // Writes (allocate/free) are serialized by a mutex, the paper's thread-safe
 // GMI arrangement (§III). Checks read entries lock-free via atomic loads,
 // which on x86-64 compile to the same plain loads the real runtime issues.
 type Table struct {
 	arch tagptr.Arch
 
+	// Temporal-hardening configuration: structural, survives Reset.
+	genBits  uint   // generation bits carved from the top of the tag (0 = off)
+	idxBits  uint   // index bits remaining below the generation field
+	idxMask  uint64 // (1 << idxBits) - 1
+	genMask  uint64 // (1 << genBits) - 1
+	genShift uint   // entry-side generation position in the high slot (= AddrBits)
+	delay    int    // delayed-reuse FIFO depth (0 = immediate reuse)
+
 	mu          sync.Mutex
 	gmi         uint64 // current metadata table index (free-structure head)
 	reserveLast bool   // final index reserved as the CHAINED tag
 	clamp       uint64 // fault-injected capacity clamp (0 = none); cleared by Reset
 
-	slots []atomic.Uint64 // 3 * 2^TagBits: low, high, nextID(two's complement)
+	slots []atomic.Uint64 // 3 * 2^idxBits: low, high, nextID(two's complement)
 	sub   []bool          // entry holds sub-object metadata (report classification only)
 
-	live      int64
-	highWater uint64 // largest index ever handed out + 1 (lazy-page RSS model)
-	allocs    int64
-	exhausted int64 // allocations that fell back to the reserved entry
+	fifo []uint64 // freed indices awaiting re-threading, oldest first
+
+	live        int64
+	highWater   uint64 // largest index ever handed out + 1 (lazy-page RSS model)
+	allocs      int64
+	exhausted   int64 // allocations that fell back to the reserved entry
+	genWraps    int64 // generation counters that wrapped to 0 (coverage lost)
+	indexSpills int64 // delayed indices re-threaded early under exhaustion
 }
 
 // TableStats is a snapshot of table counters.
@@ -66,6 +100,10 @@ type TableStats struct {
 	Allocs    int64
 	Exhausted int64
 	Capacity  uint64
+	// Temporal-hardening degradation counters (0 with hardening off).
+	GenWraps    int64
+	IndexSpills int64
+	Delayed     int64 // indices currently held back by the reuse FIFO
 }
 
 // NewTable builds the table for an architecture: 2^TagBits entries
@@ -73,52 +111,106 @@ type TableStats struct {
 // every field to zero, sets the reserved entry's high bound to a very high
 // address, and starts GMI at 1 (§III).
 func NewTable(arch tagptr.Arch) (*Table, error) {
+	return NewHardenedTable(arch, 0, 0)
+}
+
+// NewHardenedTable builds a table with the temporal-hardening modes
+// configured: genBits generation bits carved from the tag field and a
+// delayed-reuse FIFO of depth delay. (0, 0) is exactly NewTable.
+func NewHardenedTable(arch tagptr.Arch, genBits uint, delay int) (*Table, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
-	n := arch.TableEntries()
+	if genBits > 8 || (genBits > 0 && genBits+2 > arch.TagBits) {
+		return nil, fmt.Errorf("core: generation bits %d out of range for %d tag bits", genBits, arch.TagBits)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("core: negative index delay %d", delay)
+	}
+	idxBits := arch.TagBits - genBits
+	n := uint64(1) << idxBits
 	t := &Table{
-		arch:  arch,
-		gmi:   1,
-		slots: make([]atomic.Uint64, n*slotsPerEntry),
-		sub:   make([]bool, n),
+		arch:     arch,
+		genBits:  genBits,
+		idxBits:  idxBits,
+		idxMask:  n - 1,
+		genMask:  (uint64(1) << genBits) - 1,
+		genShift: arch.AddrBits,
+		delay:    delay,
+		gmi:      1,
+		slots:    make([]atomic.Uint64, n*slotsPerEntry),
+		sub:      make([]bool, n),
 	}
 	// Reserved entry 0: minimum base address, maximum upper bound (§II.E).
+	// reservedHigh sits at bit 62, above any generation field (AddrBits +
+	// genBits <= 56), so entry 0 decodes as generation 0 and keeps matching
+	// every untagged pointer.
 	t.slots[1].Store(reservedHigh)
 	t.highWater = 1
 	return t, nil
 }
 
-// Capacity returns the number of entries (including the reserved one).
-func (t *Table) Capacity() uint64 { return t.arch.TableEntries() }
+// Capacity returns the number of entries (including the reserved one). With
+// generation stamping on, index bits surrendered to the generation field
+// halve the capacity per bit.
+func (t *Table) Capacity() uint64 { return uint64(1) << t.idxBits }
 
-// Load returns the (low, high) bounds of entry idx, lock-free.
-func (t *Table) Load(idx uint64) (low, high uint64) {
-	base := idx * slotsPerEntry
-	return t.slots[base].Load(), t.slots[base+1].Load()
+// GenerationBits returns the configured generation-field width (0 = off).
+func (t *Table) GenerationBits() uint { return t.genBits }
+
+// IndexDelay returns the delayed-reuse FIFO depth (0 = immediate reuse).
+func (t *Table) IndexDelay() int { return t.delay }
+
+// Probe returns the decoded (low, high) bounds of the entry a tag refers to
+// plus the XOR of the tag's generation stamp with the entry's current
+// generation, lock-free. genXor is 0 when the generations match or stamping
+// is off; any non-zero value means the pointer predates the entry's current
+// incarnation, so negating it sets the sign bit and folds into Algorithm 1's
+// combined test as a third OR term.
+func (t *Table) Probe(tag uint64) (low, high, genXor uint64) {
+	base := (tag & t.idxMask) * slotsPerEntry
+	low = t.slots[base].Load()
+	high = t.slots[base+1].Load()
+	if t.genBits == 0 {
+		return low, high, 0
+	}
+	genXor = (high>>t.genShift ^ tag>>t.idxBits) & t.genMask
+	high &^= t.genMask << t.genShift
+	return low, high, genXor
 }
 
-// IsSub reports whether entry idx currently holds sub-object metadata. It is
-// consulted only on the check's failure (reporting) path.
-func (t *Table) IsSub(idx uint64) bool {
+// Load returns the decoded (low, high) bounds of the entry tag refers to,
+// lock-free (Probe without the generation comparison).
+func (t *Table) Load(tag uint64) (low, high uint64) {
+	low, high, _ = t.Probe(tag)
+	return low, high
+}
+
+// IsSub reports whether the entry tag refers to currently holds sub-object
+// metadata. It is consulted only on the check's failure (reporting) path.
+func (t *Table) IsSub(tag uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.sub[idx]
+	return t.sub[tag&t.idxMask]
 }
 
 // Allocate creates a metadata entry for an object spanning [low, high) and
-// returns its index. Per Figure 2, the entry at the current GMI is used and
+// returns its tag. Per Figure 2, the entry at the current GMI is used and
 // GMI advances by the entry's stored nextID + 1: 0 for virgin entries
 // (advance to the next virgin slot) and the encoded free-list offset for
-// recycled ones (jump back to the previous head).
+// recycled ones (jump back to the previous head). With generation stamping
+// on, the returned tag carries the entry's current generation in its top
+// genBits; otherwise the tag is the plain index.
 //
-// When the table is exhausted (2^TagBits simultaneously live objects, the
-// §V limitation), Allocate reports ok=false; the caller falls back to the
-// reserved entry, trading protection of this one object for progress.
+// When the table is exhausted (2^idxBits simultaneously live objects, the
+// §V limitation), Allocate first drains the delayed-reuse FIFO — an early
+// re-threading that shrinks the reuse window instead of dropping this
+// object's protection, counted in IndexSpills — and only then reports
+// ok=false; the caller falls back to the reserved entry, trading protection
+// of this one object for progress.
 func (t *Table) Allocate(low, high uint64, sub bool) (uint64, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	k := t.gmi
 	limit := t.Capacity()
 	if t.reserveLast {
 		limit--
@@ -129,12 +221,25 @@ func (t *Table) Allocate(low, high uint64, sub bool) (uint64, bool) {
 		// 2^17 live objects.
 		limit = t.clamp + 1
 	}
+	for t.gmi >= limit && len(t.fifo) > 0 {
+		t.thread(t.fifo[0])
+		t.fifo = t.fifo[1:]
+		t.indexSpills++
+	}
+	k := t.gmi
 	if k >= limit {
 		t.exhausted++
 		return 0, false
 	}
 	base := k * slotsPerEntry
 	next := int64(t.slots[base+2].Load())
+	var gen uint64
+	if t.genBits != 0 {
+		// A recycled entry's generation was left in the high slot by Free;
+		// virgin entries start at generation 0.
+		gen = t.slots[base+1].Load() >> t.genShift & t.genMask
+		high |= gen << t.genShift
+	}
 	t.slots[base].Store(low)
 	t.slots[base+1].Store(high)
 	t.slots[base+2].Store(0)
@@ -145,13 +250,24 @@ func (t *Table) Allocate(low, high uint64, sub bool) (uint64, bool) {
 	if k+1 > t.highWater {
 		t.highWater = k + 1
 	}
-	return k, true
+	return gen<<t.idxBits | k, true
 }
 
-// Free invalidates entry k and threads it onto the encoded free list
-// (§II.B.4, Figure 2): low := INVALID, high := 0, nextID := GMI - k - 1,
-// GMI := k. The next Allocate reuses k immediately and restores GMI.
-func (t *Table) Free(k uint64) {
+// thread links freed index k onto the encoded free structure (§II.B.4,
+// Figure 2): nextID := GMI - k - 1, GMI := k. Callers hold t.mu.
+func (t *Table) thread(k uint64) {
+	t.slots[k*slotsPerEntry+2].Store(uint64(int64(t.gmi) - int64(k) - 1))
+	t.gmi = k
+}
+
+// Free invalidates the entry the tag refers to: low := INVALID, high := 0
+// (plus, with stamping on, the bumped generation in the high slot's spare
+// bits, so every stale tag of the previous incarnation now fails Probe).
+// With immediate reuse the index is threaded onto the free list at once and
+// the next Allocate reuses it; with delayed reuse it enters the FIFO and is
+// threaded only after `delay` more frees.
+func (t *Table) Free(tag uint64) {
+	k := tag & t.idxMask
 	if k == 0 || k >= t.Capacity() {
 		return // the reserved entry is never recycled
 	}
@@ -159,9 +275,28 @@ func (t *Table) Free(k uint64) {
 	defer t.mu.Unlock()
 	base := k * slotsPerEntry
 	t.slots[base].Store(Invalid)
-	t.slots[base+1].Store(0)
-	t.slots[base+2].Store(uint64(int64(t.gmi) - int64(k) - 1))
-	t.gmi = k
+	if t.genBits == 0 {
+		t.slots[base+1].Store(0)
+	} else {
+		gen := t.slots[base+1].Load()>>t.genShift&t.genMask + 1
+		if gen > t.genMask {
+			// Generation wrap: this incarnation is indistinguishable from the
+			// entry's first, so stale tags stamped 0 would validate again —
+			// the graceful fallback to stamp-free coverage, counted.
+			gen = 0
+			t.genWraps++
+		}
+		t.slots[base+1].Store(gen << t.genShift)
+	}
+	if t.delay > 0 {
+		t.fifo = append(t.fifo, k)
+		if len(t.fifo) > t.delay {
+			t.thread(t.fifo[0])
+			t.fifo = t.fifo[1:]
+		}
+	} else {
+		t.thread(k)
+	}
 	t.live--
 }
 
@@ -188,6 +323,9 @@ func (t *Table) Reset() {
 	t.allocs = 0
 	t.exhausted = 0
 	t.clamp = 0
+	t.fifo = nil
+	t.genWraps = 0
+	t.indexSpills = 0
 }
 
 // Clamp caps the table at n allocatable entries (excluding the reserved
@@ -212,11 +350,14 @@ func (t *Table) Stats() TableStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TableStats{
-		Live:      t.live,
-		HighWater: t.highWater,
-		Allocs:    t.allocs,
-		Exhausted: t.exhausted,
-		Capacity:  t.Capacity(),
+		Live:        t.live,
+		HighWater:   t.highWater,
+		Allocs:      t.allocs,
+		Exhausted:   t.exhausted,
+		Capacity:    t.Capacity(),
+		GenWraps:    t.genWraps,
+		IndexSpills: t.indexSpills,
+		Delayed:     int64(len(t.fifo)),
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -34,6 +35,61 @@ type Options struct {
 	// index, preserving (object-granular) protection at O(log n) check
 	// cost instead of dropping it.
 	OverflowChaining bool
+
+	// TemporalGenerations enables the first temporal-hardening mode:
+	// generation-stamped metadata entries (stale tags fail checks even
+	// after their index is rebuilt) plus a delayed-reuse FIFO in the free
+	// structure. It closes the table-index half of the tag-reuse window at
+	// the cost of GenerationBits of tag space.
+	TemporalGenerations bool
+	// GenerationBits is the tag-field width surrendered to the generation
+	// stamp (0 selects DefaultGenerationBits when TemporalGenerations is
+	// set). Each bit halves the table capacity and multiplies the per-entry
+	// reuse distance a stale tag must survive by 2.
+	GenerationBits uint
+	// IndexDelay is the delayed-reuse FIFO depth: a freed index is not
+	// re-handed-out until this many others have been freed (0 selects
+	// DefaultIndexDelay when TemporalGenerations is set). A non-zero value
+	// is honored on its own — delayed reuse without generation stamps is a
+	// valid, cheaper configuration.
+	IndexDelay int
+	// QuarantineBytes enables the second temporal-hardening mode: a
+	// bounded FIFO under the stock allocator that delays chunk-address
+	// reuse by up to this many bytes (0 = off). It closes the address half
+	// of the tag-reuse window at a bounded RSS cost.
+	QuarantineBytes int64
+}
+
+// Temporal-hardening defaults, applied by Harden (and by New when
+// TemporalGenerations is set with zero-valued knobs).
+const (
+	// DefaultGenerationBits trades 3 of x86-64's 17 tag bits: 2^14 entries
+	// remain and a stale tag survives only if its entry is recycled a
+	// multiple of 8 times.
+	DefaultGenerationBits = 3
+	// DefaultIndexDelay holds each freed index back until 64 more frees.
+	DefaultIndexDelay = 64
+	// DefaultQuarantineBytes is 8 MiB — four times ASan's default, so the
+	// churn that defeats ASan's quarantine (the uaf_quarantine_flush shape)
+	// still sits inside CECSan's.
+	DefaultQuarantineBytes = 8 << 20
+)
+
+// Harden layers both temporal-hardening modes, at their default strengths,
+// onto an existing configuration and marks the name.
+func Harden(opts Options) Options {
+	opts.TemporalGenerations = true
+	opts.GenerationBits = DefaultGenerationBits
+	opts.IndexDelay = DefaultIndexDelay
+	opts.QuarantineBytes = DefaultQuarantineBytes
+	opts.Name += "-hardened"
+	return opts
+}
+
+// HardenedOptions is the hardened CECSan prototype configuration:
+// DefaultOptions plus both temporal-reuse mitigations.
+func HardenedOptions() Options {
+	return Harden(DefaultOptions())
 }
 
 // DefaultOptions returns the paper's prototype configuration: x86-64,
@@ -101,6 +157,10 @@ type Runtime struct {
 	chainTag uint64
 	spill    *spillIndex
 
+	// quar delays chunk-address reuse when the quarantine hardening mode is
+	// on (nil = deallocations go straight to the heap).
+	quar *alloc.Quarantine
+
 	trackedGlobals atomic.Int64
 	subCreated     atomic.Int64
 }
@@ -112,7 +172,18 @@ func New(opts Options) (*Runtime, error) {
 	if opts.Name == "" {
 		opts.Name = "CECSan"
 	}
-	table, err := NewTable(opts.Arch)
+	var genBits uint
+	delay := opts.IndexDelay
+	if opts.TemporalGenerations {
+		genBits = opts.GenerationBits
+		if genBits == 0 {
+			genBits = DefaultGenerationBits
+		}
+		if delay == 0 {
+			delay = DefaultIndexDelay
+		}
+	}
+	table, err := NewHardenedTable(opts.Arch, genBits, delay)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -123,7 +194,13 @@ func New(opts Options) (*Runtime, error) {
 		addrBits: opts.Arch.AddrBits,
 		signBit:  1 << 63,
 	}
+	if opts.QuarantineBytes > 0 {
+		r.quar = alloc.NewQuarantine(opts.QuarantineBytes)
+	}
 	if opts.OverflowChaining {
+		// The CHAINED tag is the all-ones tag field; ReserveLast keeps the
+		// top *index* out of circulation, so no generation-stamped tag can
+		// collide with it.
 		r.chainTag = opts.Arch.MaxIndex()
 		r.spill = &spillIndex{}
 		table.ReserveLast()
@@ -166,6 +243,9 @@ func (r *Runtime) DegradedAllocs() int64 {
 // Attach rebinds the machine environment.
 func (r *Runtime) ResetRuntime() {
 	r.table.Reset()
+	if r.quar != nil {
+		r.quar.Reset()
+	}
 	if r.spill != nil {
 		r.spill.mu.Lock()
 		r.spill.spans = r.spill.spans[:0]
@@ -183,6 +263,13 @@ func (r *Runtime) ResetRuntime() {
 // pointer (§II.B.2).
 func (r *Runtime) Malloc(size int64) (uint64, rt.PtrMeta, error) {
 	raw, err := r.env.Heap.Alloc(size)
+	if err != nil && r.quar != nil && errors.Is(err, alloc.ErrOutOfMemory) {
+		// Graceful quarantine degradation: trade the delayed-reuse coverage
+		// back for progress before reporting OOM (counted in Flushes).
+		if r.quar.Flush(r.env.Heap) > 0 {
+			raw, err = r.env.Heap.Alloc(size)
+		}
+	}
 	if err != nil {
 		return 0, rt.PtrMeta{}, err
 	}
@@ -216,22 +303,31 @@ func (r *Runtime) Free(ptr uint64, _ rt.PtrMeta) *rt.Violation {
 				Detail: "no chained metadata at this base (freed already, or interior pointer)",
 			}
 		}
-		r.env.Heap.Free(raw)
+		r.heapFree(raw)
 		return nil
 	}
 	if idx == 0 {
 		// Untagged pointer: from uninstrumented code or the exhaustion
 		// fallback. CECSan uses it as-is with the standard deallocation
 		// (§II.E), performing no check.
-		r.env.Heap.Free(raw)
+		r.heapFree(raw)
 		return nil
 	}
-	low, _ := r.table.Load(idx)
-	if low != raw {
+	low, _, gx := r.table.Probe(idx)
+	if low != raw || gx != 0 {
 		if low == Invalid {
 			return &rt.Violation{
 				Kind: rt.KindDoubleFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
 				Detail: "metadata entry already invalidated (Algorithm 2, line 4)",
+			}
+		}
+		if gx != 0 {
+			// Generation-stamped variant of Algorithm 2's line 4: the entry
+			// was rebuilt for a newer object, so this pointer's object was
+			// already freed even though the bases may coincide.
+			return &rt.Violation{
+				Kind: rt.KindDoubleFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
+				Detail: "pointer generation predates the entry's (object freed, index reused)",
 			}
 		}
 		return &rt.Violation{
@@ -248,8 +344,18 @@ func (r *Runtime) Free(ptr uint64, _ rt.PtrMeta) *rt.Violation {
 	// Invalidate the metadata entry first (§II.B.4), then free through the
 	// standard deallocator.
 	r.table.Free(idx)
-	r.env.Heap.Free(raw)
+	r.heapFree(raw)
 	return nil
+}
+
+// heapFree returns a chunk to the stock allocator, via the address
+// quarantine when that hardening mode is on.
+func (r *Runtime) heapFree(raw uint64) {
+	if r.quar != nil {
+		r.quar.Free(r.env.Heap, raw)
+		return
+	}
+	r.env.Heap.Free(raw)
 }
 
 // StackAlloc implements rt.Runtime: unsafe stack objects (§II.C.3) get a
@@ -298,29 +404,36 @@ func (r *Runtime) GlobalInit(_ string, raw uint64, size int64, tracked bool) (ui
 // Check implements rt.Runtime with Algorithm 1, the optimized combined
 // spatial+temporal dereference check: both bound differences are computed,
 // OR-ed, and the sign bit tested once. A freed entry's INVALID low bound
-// makes the same single test fail, providing the temporal guarantee.
+// makes the same single test fail, providing the temporal guarantee. With
+// generation stamping on, the XOR of the tag's stamp against the entry's
+// generation is negated and folded into the same OR — any mismatch sets the
+// sign bit, so the hardened check still costs one branch.
 func (r *Runtime) Check(ptr uint64, _ rt.PtrMeta, off, size int64, k rt.AccessKind) *rt.Violation {
 	idx := ptr >> r.addrBits
 	if r.spill != nil && idx == r.chainTag {
 		return r.checkChained(ptr, off, size, k)
 	}
-	low, high := r.table.Load(idx)
+	low, high, gx := r.table.Probe(idx)
 	p := (ptr & ((1 << r.addrBits) - 1)) + uint64(off)
 	d1 := p - low                   // >= 0 iff p >= low
 	d2 := high - (p + uint64(size)) // >= 0 iff p+size <= high
-	if (d1|d2)&r.signBit == 0 {
+	d3 := -gx                       // 0 iff generations match (or stamping off)
+	if (d1|d2|d3)&r.signBit == 0 {
 		return nil
 	}
-	return r.classify(ptr, p, idx, low, size, k)
+	return r.classify(ptr, p, idx, low, gx, size, k)
 }
 
 // classify builds the violation report on the slow path.
-func (r *Runtime) classify(ptr, p, idx uint64, low uint64, size int64, k rt.AccessKind) *rt.Violation {
+func (r *Runtime) classify(ptr, p, idx uint64, low, gx uint64, size int64, k rt.AccessKind) *rt.Violation {
 	v := &rt.Violation{Ptr: ptr, Addr: p, Size: size, Seg: alloc.SegmentOf(p)}
 	switch {
 	case low == Invalid:
 		v.Kind = rt.KindUseAfterFree
 		v.Detail = "metadata low bound is INVALID: object lifetime ended"
+	case gx != 0:
+		v.Kind = rt.KindUseAfterFree
+		v.Detail = "pointer generation predates the entry's: stale tag into a reused index"
 	case r.table.IsSub(idx):
 		v.Kind = rt.KindSubObjectOverflow
 		v.Detail = "access exceeds narrowed sub-object bounds (§II.D)"
@@ -379,8 +492,8 @@ func (r *Runtime) UsableSize(ptr uint64, _ rt.PtrMeta) int64 {
 		return -1
 	}
 	if idx != 0 {
-		low, high := r.table.Load(idx)
-		if low == raw && high > low {
+		low, high, gx := r.table.Probe(idx)
+		if low == raw && high > low && gx == 0 {
 			return int64(high - low)
 		}
 		return -1
@@ -431,11 +544,12 @@ func (r *Runtime) PrepareExternArg(ptr uint64) (uint64, *rt.Violation) {
 		}
 		return raw, nil
 	}
-	low, high := r.table.Load(idx)
+	low, high, gx := r.table.Probe(idx)
 	d1 := raw - low
 	d2 := high - raw // one-past-end pointers remain legal to pass
-	if (d1|d2)&r.signBit != 0 {
-		if low == Invalid {
+	d3 := -gx
+	if (d1|d2|d3)&r.signBit != 0 {
+		if low == Invalid || gx != 0 {
 			return raw, &rt.Violation{
 				Kind: rt.KindUseAfterFree, Ptr: ptr, Addr: raw, Seg: alloc.SegmentOf(raw),
 				Detail: "dangling pointer passed to external function",
@@ -479,7 +593,31 @@ func (r *Runtime) OverheadBytes() int64 {
 	if r.spill != nil {
 		b += r.spill.bytes()
 	}
+	if r.quar != nil {
+		// Bookkeeping only: the held chunk bytes stay live in the heap and
+		// are charged to program memory, which is the point of the RSS
+		// trade-off measurement.
+		b += r.quar.OverheadBytes()
+	}
 	return b
+}
+
+// TemporalStats implements rt.TemporalHardened: the graceful-degradation
+// counters of the temporal-hardening modes. All zero when both modes are
+// off.
+func (r *Runtime) TemporalStats() rt.TemporalStats {
+	st := r.table.Stats()
+	ts := rt.TemporalStats{
+		GenerationWraps: st.GenWraps,
+		IndexSpills:     st.IndexSpills,
+	}
+	if r.quar != nil {
+		qs := r.quar.Stats()
+		ts.QuarantineEvictions = qs.Evictions
+		ts.QuarantineFlushes = qs.Flushes
+		ts.QuarantinedBytes = qs.HeldBytes
+	}
+	return ts
 }
 
 // ChainedObjects returns the number of objects currently protected by the

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"cecsan/internal/tagptr"
+)
+
+// idxBits for X8664 with 3 generation bits: 17 - 3.
+const testIdxBits = 14
+
+func newHardenedTable(t *testing.T, genBits uint, delay int) *Table {
+	t.Helper()
+	tbl, err := NewHardenedTable(tagptr.X8664, genBits, delay)
+	if err != nil {
+		t.Fatalf("NewHardenedTable(%d, %d): %v", genBits, delay, err)
+	}
+	return tbl
+}
+
+func TestHardenedTableValidation(t *testing.T) {
+	if _, err := NewHardenedTable(tagptr.X8664, 9, 0); err == nil {
+		t.Error("NewHardenedTable(9 bits) succeeded, want error (max 8)")
+	}
+	if _, err := NewHardenedTable(tagptr.X8664, 0, -1); err == nil {
+		t.Error("NewHardenedTable(delay -1) succeeded, want error")
+	}
+	tbl := newHardenedTable(t, 3, 0)
+	if got, want := tbl.Capacity(), uint64(1)<<testIdxBits; got != want {
+		t.Errorf("Capacity = %d, want %d (3 of 17 tag bits surrendered)", got, want)
+	}
+}
+
+// TestGenerationStampDetectsReuse pins the tentpole property: after an index
+// is freed and rebuilt for a new object, the stale tag's generation no longer
+// matches the entry's, so Probe returns a non-zero genXor — the value whose
+// negation fails Algorithm 1's combined check. The fresh tag still decodes
+// clean bounds, proving the stamp stays out of the address arithmetic.
+func TestGenerationStampDetectsReuse(t *testing.T) {
+	tbl := newHardenedTable(t, 3, 0)
+	stale, ok := tbl.Allocate(0x1000, 0x1040, false)
+	if !ok {
+		t.Fatal("Allocate failed")
+	}
+	if stale != 1 {
+		t.Fatalf("first tag = %#x, want 1 (index 1, generation 0)", stale)
+	}
+	tbl.Free(stale)
+	fresh, ok := tbl.Allocate(0x2000, 0x2080, false)
+	if !ok {
+		t.Fatal("Allocate after Free failed")
+	}
+	if want := uint64(1)<<testIdxBits | 1; fresh != want {
+		t.Fatalf("recycled tag = %#x, want %#x (index 1, generation 1)", fresh, want)
+	}
+	if _, _, gx := tbl.Probe(stale); gx == 0 {
+		t.Error("stale tag probed with genXor 0; the reuse window is open")
+	}
+	low, high, gx := tbl.Probe(fresh)
+	if gx != 0 {
+		t.Errorf("fresh tag probed with genXor %#x, want 0", gx)
+	}
+	if low != 0x2000 || high != 0x2080 {
+		t.Errorf("fresh bounds = [%#x,%#x), want [0x2000,0x2080) — generation bits leaked into the high bound", low, high)
+	}
+}
+
+// TestGenerationWrap pins the documented degradation: with a 1-bit stamp the
+// counter wraps on the second free, the wrap is counted, and a tag from the
+// entry's first incarnation validates again (stamp-free coverage, not an
+// error).
+func TestGenerationWrap(t *testing.T) {
+	tbl := newHardenedTable(t, 1, 0)
+	gen0, _ := tbl.Allocate(0x1000, 0x1040, false)
+	tbl.Free(gen0)
+	gen1, _ := tbl.Allocate(0x1000, 0x1040, false)
+	if gen1 == gen0 {
+		t.Fatal("second incarnation reused the generation-0 tag")
+	}
+	tbl.Free(gen1)
+	if got := tbl.Stats().GenWraps; got != 1 {
+		t.Fatalf("GenWraps = %d, want 1 after the 1-bit counter wrapped", got)
+	}
+	wrapped, _ := tbl.Allocate(0x3000, 0x3040, false)
+	if wrapped != gen0 {
+		t.Fatalf("post-wrap tag = %#x, want %#x (generation back to 0)", wrapped, gen0)
+	}
+	if _, _, gx := tbl.Probe(gen0); gx != 0 {
+		t.Errorf("generation-0 tag probed with genXor %#x after wrap, want 0 (coverage degraded, by design)", gx)
+	}
+}
+
+// TestIndexDelayFIFO pins the delayed-reuse semantics: a freed index is not
+// re-handed-out until `delay` more indices have been freed; allocations in
+// the meantime take virgin indices.
+func TestIndexDelayFIFO(t *testing.T) {
+	tbl := newHardenedTable(t, 0, 2)
+	var tags [4]uint64
+	for i := 1; i <= 3; i++ {
+		tags[i], _ = tbl.Allocate(uint64(0x1000*i), uint64(0x1000*i+64), false)
+	}
+	tbl.Free(tags[1])
+	if got, _ := tbl.Allocate(0x9000, 0x9040, false); got != 4 {
+		t.Fatalf("Allocate while index 1 is delayed = %d, want virgin index 4", got)
+	}
+	tbl.Free(tags[2])
+	if got := tbl.Stats().Delayed; got != 2 {
+		t.Fatalf("Delayed = %d, want 2 (FIFO at capacity)", got)
+	}
+	// The third free pushes the FIFO past its depth: index 1 threads.
+	tbl.Free(tags[3])
+	if got, _ := tbl.Allocate(0xa000, 0xa040, false); got != 1 {
+		t.Fatalf("Allocate after 2 further frees = %d, want recycled index 1", got)
+	}
+}
+
+// TestIndexSpillUnderExhaustion pins graceful degradation: when the table is
+// full, Allocate drains the delayed-reuse FIFO (counting the early
+// re-threadings) before falling back to the reserved entry.
+func TestIndexSpillUnderExhaustion(t *testing.T) {
+	tbl := newHardenedTable(t, 0, 5)
+	tbl.Clamp(3)
+	var tags [4]uint64
+	for i := 1; i <= 3; i++ {
+		tags[i], _ = tbl.Allocate(uint64(0x1000*i), uint64(0x1000*i+64), false)
+	}
+	tbl.Free(tags[1])
+	idx, ok := tbl.Allocate(0x9000, 0x9040, false)
+	if !ok || idx != 1 {
+		t.Fatalf("Allocate under exhaustion = (%d,%v), want delayed index 1 spilled early", idx, ok)
+	}
+	if got := tbl.Stats().IndexSpills; got != 1 {
+		t.Errorf("IndexSpills = %d, want 1", got)
+	}
+	// With the FIFO empty and the clamp still on, exhaustion degrades as before.
+	if _, ok := tbl.Allocate(0xb000, 0xb040, false); ok {
+		t.Error("Allocate succeeded with a full table and empty FIFO")
+	}
+	if got := tbl.Stats().Exhausted; got != 1 {
+		t.Errorf("Exhausted = %d, want 1", got)
+	}
+}
+
+// TestHardenedResetByteIdentity extends the clamp test's pooling contract to
+// the hardened configuration: after arbitrary churn (bumped generations, a
+// part-full FIFO), Reset must leave the table indistinguishable from fresh
+// construction — same stats, and a long replay of allocate/probe produces
+// identical tags, bounds and generation comparisons.
+func TestHardenedResetByteIdentity(t *testing.T) {
+	dirty := newHardenedTable(t, 3, 4)
+	var churn []uint64
+	for i := 1; i <= 12; i++ {
+		tag, _ := dirty.Allocate(uint64(0x1000*i), uint64(0x1000*i+32), false)
+		churn = append(churn, tag)
+	}
+	for _, tag := range churn[:7] {
+		dirty.Free(tag)
+	}
+	dirty.Reset()
+
+	fresh := newHardenedTable(t, 3, 4)
+	if got, want := dirty.Stats(), fresh.Stats(); got != want {
+		t.Errorf("Stats after Reset = %+v, want %+v", got, want)
+	}
+	for i := uint64(1); i <= 40; i++ {
+		gi, gok := dirty.Allocate(0x2000*i, 0x2000*i+32, false)
+		wi, wok := fresh.Allocate(0x2000*i, 0x2000*i+32, false)
+		if gi != wi || gok != wok {
+			t.Fatalf("replay Allocate #%d: reset table gave (%#x,%v), fresh gave (%#x,%v)", i, gi, gok, wi, wok)
+		}
+		if i%3 == 0 {
+			dirty.Free(gi)
+			fresh.Free(wi)
+			continue
+		}
+		glow, ghigh, ggx := dirty.Probe(gi)
+		wlow, whigh, wgx := fresh.Probe(wi)
+		if glow != wlow || ghigh != whigh || ggx != wgx {
+			t.Fatalf("replay entry %#x differs: [%#x,%#x) gx=%d vs [%#x,%#x) gx=%d",
+				gi, glow, ghigh, ggx, wlow, whigh, wgx)
+		}
+	}
+	if got, want := dirty.Stats(), fresh.Stats(); got != want {
+		t.Errorf("Stats after replay = %+v, want %+v", got, want)
+	}
+}

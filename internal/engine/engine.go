@@ -56,8 +56,9 @@ import (
 // Options configures an Engine. The zero value is usable: default worker
 // count, default interpreter limits, pooled resources.
 type Options struct {
-	// CECSan overrides CECSan's own options (ablations). Only consulted
-	// when the engine's tool is CECSan.
+	// CECSan overrides CECSan's own options (ablations, temporal-hardening
+	// knobs). Only consulted when the engine's tool is CECSan or
+	// CECSan-hardened.
 	CECSan *core.Options
 	// Workers bounds ForEach concurrency; <= 0 selects GOMAXPROCS.
 	Workers int
@@ -143,7 +144,7 @@ type cacheEntry struct {
 func New(tool sanitizers.Name, opts Options) (*Engine, error) {
 	var profile rt.Profile
 	var err error
-	if tool == sanitizers.CECSan && opts.CECSan != nil {
+	if (tool == sanitizers.CECSan || tool == sanitizers.CECSanHardened) && opts.CECSan != nil {
 		profile = core.ProfileFor(*opts.CECSan)
 	} else {
 		profile, err = sanitizers.ProfileFor(tool)
@@ -181,7 +182,7 @@ func (e *Engine) Profile() rt.Profile { return e.profile }
 
 // newSanitizer constructs a fresh sanitizer bundle for one machine.
 func (e *Engine) newSanitizer() (rt.Sanitizer, error) {
-	if e.tool == sanitizers.CECSan && e.opts.CECSan != nil {
+	if (e.tool == sanitizers.CECSan || e.tool == sanitizers.CECSanHardened) && e.opts.CECSan != nil {
 		return core.Sanitizer(*e.opts.CECSan)
 	}
 	return sanitizers.NewSeeded(e.tool, e.opts.RuntimeSeed)

@@ -272,3 +272,49 @@ func TestRuntimeRecycling(t *testing.T) {
 		t.Error("FreshRuntime engine recycled a runtime; perf mode must rebuild per machine")
 	}
 }
+
+// TestHardenedPooledByteIdentity is the temporal-hardening pooling proof: a
+// hardened runtime carries extra cross-run state (generation stamps in entry
+// high slots, the delayed-reuse FIFO, quarantined chunks), and a recycled
+// runtime must shed all of it on Reset. A multi-case batch — violating and
+// clean programs interleaved, run twice — on a pooled hardened engine must
+// produce results byte-identical (violations, return values, every stat
+// including the temporal counters) to a FreshRuntime engine that rebuilds
+// the 3 MiB table and quarantine per case.
+func TestHardenedPooledByteIdentity(t *testing.T) {
+	suite := sampleSuite(t, 2)
+	for _, tool := range []sanitizers.Name{
+		sanitizers.CECSanHardened, sanitizers.PACMemHardened, sanitizers.CryptSanHardened,
+	} {
+		pooled, err := New(tool, Options{})
+		if err != nil {
+			t.Fatalf("engine.New(%s): %v", tool, err)
+		}
+		fresh, err := New(tool, Options{FreshRuntime: true})
+		if err != nil {
+			t.Fatalf("engine.New(%s, fresh): %v", tool, err)
+		}
+		for round := 0; round < 2; round++ {
+			for _, cs := range suite {
+				for _, v := range []struct {
+					p      *prog.Program
+					inputs [][]byte
+					which  string
+				}{{cs.Bad, cs.BadInputs, "bad"}, {cs.Good, cs.GoodInputs, "good"}} {
+					got, err := pooled.Run(v.p, v.inputs...)
+					if err != nil {
+						t.Fatalf("%s %s %s: pooled run: %v", tool, cs.ID, v.which, err)
+					}
+					want, err := fresh.Run(v.p, v.inputs...)
+					if err != nil {
+						t.Fatalf("%s %s %s: fresh run: %v", tool, cs.ID, v.which, err)
+					}
+					if !sameResult(got, want) {
+						t.Fatalf("%s %s %s round %d: pooled hardened run diverged:\n got %+v\nwant %+v",
+							tool, cs.ID, v.which, round, got, want)
+					}
+				}
+			}
+		}
+	}
+}

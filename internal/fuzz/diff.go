@@ -41,6 +41,12 @@ type Config struct {
 	// MinimizeCap bounds how many findings get the delta-debugging
 	// treatment (0 = 8). Findings beyond the cap keep their full source.
 	MinimizeCap int
+	// Hardened swaps every CECSan-family tool for its temporally hardened
+	// variant (generation-stamped metatable entries + address quarantine),
+	// changing the oracle expectations with it: the Reuse/IndexReuse blind
+	// spots become mandatory detections. Tools without a hardened variant
+	// run unchanged.
+	Hardened bool
 	// Progress, when set, receives (done, total) while the campaign runs.
 	Progress func(done, total int)
 }
@@ -68,6 +74,13 @@ func NewRunner(cfg Config) (*Runner, error) {
 		cfg.WallBudget = 30 * time.Second
 	}
 	r := &Runner{cfg: cfg, faultMode: cfg.FaultSeed != 0, tools: sanitizers.All()}
+	if cfg.Hardened {
+		for i, tool := range r.tools {
+			if h, ok := sanitizers.Hardened(tool); ok {
+				r.tools[i] = h
+			}
+		}
+	}
 	for i, tool := range r.tools {
 		opts := engine.Options{
 			Workers:         cfg.Workers,
@@ -166,6 +179,7 @@ type FaultCase struct {
 type Report struct {
 	Seed      uint64         `json:"seed"`
 	FaultSeed uint64         `json:"fault_seed,omitempty"`
+	Hardened  bool           `json:"hardened,omitempty"`
 	Count     int            `json:"count"`
 	Injected  int            `json:"injected"`
 	CleanN    int            `json:"clean_cases"`
@@ -361,7 +375,7 @@ func (r *Runner) Campaign() (*Report, error) {
 	}
 
 	// Deterministic aggregation in case order, then tool order.
-	rep := &Report{Seed: r.cfg.Seed, FaultSeed: r.cfg.FaultSeed, Count: n, Shapes: map[string]int{}}
+	rep := &Report{Seed: r.cfg.Seed, FaultSeed: r.cfg.FaultSeed, Hardened: r.cfg.Hardened, Count: n, Shapes: map[string]int{}}
 	for range r.tools {
 		rep.Tools = append(rep.Tools, ToolReport{})
 	}

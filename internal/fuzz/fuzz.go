@@ -68,6 +68,12 @@ type Oracle struct {
 	// size classes) reoccupies the chunk — and, for the CECSan family,
 	// reclaims the freed metadata-table index.
 	Reuse bool `json:"reuse,omitempty"`
+	// IndexReuse marks a UAF staged so only the CECSan family's reuse
+	// window opens: a same-size realloc recycles the chunk address and the
+	// metadata-table index through the stale tag, but the churn is far too
+	// small to flush ASan's quarantine, so redzone-based tools still see
+	// poisoned shadow.
+	IndexReuse bool `json:"index_reuse,omitempty"`
 
 	// Byte extent of the violating access relative to the object base, and
 	// the object's size: the inputs to the granule arithmetic (HWASan's

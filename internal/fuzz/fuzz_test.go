@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cecsan/csrc"
+	"cecsan/internal/sanitizers"
 	"cecsan/prog"
 )
 
@@ -75,6 +76,38 @@ func TestCampaignClean(t *testing.T) {
 	}
 	if rep.Injected == 0 || rep.CleanN == 0 {
 		t.Errorf("campaign degenerate: %d injected, %d clean", rep.Injected, rep.CleanN)
+	}
+}
+
+// TestCampaignCleanHardened runs the same campaign with the CECSan family
+// swapped for its temporally hardened variants. Beyond zero findings, the
+// hardened CECSan column must have no documented misses at all: with both
+// reuse windows closed its oracle predicts detection for every injected
+// shape, so a single miss_doc cell would mean the swap silently failed.
+func TestCampaignCleanHardened(t *testing.T) {
+	count := 120
+	if testing.Short() {
+		count = 30
+	}
+	r, err := NewRunner(Config{Seed: 7, Count: count, Hardened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("finding: tool=%s shape=%s reason=%s seed=%d detail=%q\n%s",
+			f.Tool, f.Shape, f.Reason, f.Seed, f.Detail, f.Source)
+	}
+	for _, tr := range rep.Tools {
+		if tr.Tool == string(sanitizers.CECSanHardened) {
+			if tr.Detected != rep.Injected || tr.MissDoc != 0 {
+				t.Errorf("%s: detected %d / miss_doc %d, want %d / 0",
+					tr.Tool, tr.Detected, tr.MissDoc, rep.Injected)
+			}
+		}
 	}
 }
 

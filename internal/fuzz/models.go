@@ -56,7 +56,8 @@ func ExpectFor(tool sanitizers.Name, o *Oracle) Expect {
 		// resolves to the rebuilt entry, whose bounds cover the very
 		// address it dangles into. The tag-reuse window is inherent to
 		// every allocation-indexed design; see ROADMAP "Open items".
-		if o.Reuse {
+		// IndexReuse is the realloc-staged variant of the same window.
+		if o.Reuse || o.IndexReuse {
 			return ExpectMiss
 		}
 		return ExpectDetect
@@ -64,7 +65,21 @@ func ExpectFor(tool sanitizers.Name, o *Oracle) Expect {
 		// Full CECSan-style tagging without sub-object narrowing
 		// (core.Options.SubObject=false); the tag-reuse window above
 		// applies identically.
-		if o.SubObject || o.Reuse {
+		if o.SubObject || o.Reuse || o.IndexReuse {
+			return ExpectMiss
+		}
+		return ExpectDetect
+	case sanitizers.CECSanHardened:
+		// Both temporal mitigations on: the freed index's generation is
+		// bumped (so the stale tag fails even against a rebuilt entry) and
+		// the chunk address sits in an 8 MiB quarantine the staged churn
+		// cannot flush. The Reuse/IndexReuse blind spots close; everything
+		// else is unchanged from CECSan.
+		return ExpectDetect
+	case sanitizers.PACMemHardened, sanitizers.CryptSanHardened:
+		// Hardening closes the reuse window; the sub-object gap is
+		// structural (no narrowing) and remains.
+		if o.SubObject {
 			return ExpectMiss
 		}
 		return ExpectDetect
@@ -185,15 +200,13 @@ func expectSoftBound(o *Oracle) Expect {
 		// StorePtrMeta spills bounds but drops Key/Lock; the reloaded
 		// pointer passes temporal checks.
 		return ExpectMiss
-	case o.Class == ClassInvalidFree && o.Seg == "heap":
-		// The interior pointer is built by register arithmetic, which does
-		// not propagate per-pointer metadata; Free treats the meta-less
-		// pointer as foreign provenance and forwards it unchecked.
-		return ExpectMiss
 	default:
 		// Bounds and key/lock checks are exact for everything else:
 		// spatial (any distance, no redzone horizon), UAF, double free,
-		// non-heap frees (the freed name carries its bounds meta).
+		// and invalid frees of every segment — interior heap frees
+		// included, since pointer arithmetic propagates per-pointer
+		// metadata (interp OpBin), so free(p+16) arrives with the
+		// original allocation's provenance and fails the base check.
 		return ExpectDetect
 	}
 }

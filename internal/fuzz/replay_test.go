@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cecsan/csrc"
+	"cecsan/internal/core"
 	"cecsan/internal/engine"
 	"cecsan/internal/harness"
 	"cecsan/internal/rt"
@@ -69,6 +70,90 @@ func TestReplayUAFTagReuse(t *testing.T) {
 			}
 		default:
 			t.Fatalf("no expectation for %s", tool)
+		}
+	}
+}
+
+// TestReplayUAFTagReuseHardened is the other half of the standing matrix:
+// the same reproducer that the default CECSan profile must miss (pinned
+// above) must be caught by every temporal-hardening mode. Generation
+// stamping reports the violation as a use-after-free (the stale tag fails
+// against its own entry); quarantine-only detects through spatial bounds —
+// the table index is recycled but the chunk address is not, so the stale
+// pointer lands outside the rebuilt entry's bounds and the exact kind is an
+// implementation detail this test deliberately leaves open.
+func TestReplayUAFTagReuseHardened(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "uaf_tag_reuse.csc"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	p, err := csrc.Compile(string(src))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+
+	genOnly := core.DefaultOptions()
+	genOnly.TemporalGenerations = true
+	quarOnly := core.DefaultOptions()
+	quarOnly.QuarantineBytes = core.DefaultQuarantineBytes
+	both := core.HardenedOptions()
+
+	modes := []struct {
+		name     string
+		tool     sanitizers.Name
+		override *core.Options
+		wantUAF  bool // detected as use-after-free vs detected as any kind
+	}{
+		{"generations-only", sanitizers.CECSan, &genOnly, true},
+		{"quarantine-only", sanitizers.CECSan, &quarOnly, false},
+		{"both-via-override", sanitizers.CECSan, &both, true},
+		{"registry-hardened", sanitizers.CECSanHardened, nil, true},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			eng, err := engine.New(mode.tool, engine.Options{RuntimeSeed: 1, CECSan: mode.override})
+			if err != nil {
+				t.Fatalf("engine.New: %v", err)
+			}
+			res, rerr := eng.Run(p)
+			if rerr != nil {
+				t.Fatalf("Run: %v", rerr)
+			}
+			if harness.Classify(res) != harness.OutcomeDetected {
+				t.Fatalf("outcome %v (violation=%v err=%v), want detected",
+					harness.Classify(res), res.Violation, res.Err)
+			}
+			if mode.wantUAF && res.Violation.Kind != rt.KindUseAfterFree {
+				t.Errorf("reported %v, want use-after-free", res.Violation.Kind)
+			}
+		})
+	}
+}
+
+// TestReplayInteriorFree pins the OpBin provenance propagation: free(o + 16)
+// is built by register arithmetic, and SoftBound can only flag it if pointer
+// metadata rides through the add. Before the propagation this was a
+// documented SoftBound miss; it is now a mandatory detection, alongside
+// CECSan's (which never depended on per-pointer metadata).
+func TestReplayInteriorFree(t *testing.T) {
+	p, err := csrc.Compile("func main() {\n    var o = malloc(35);\n    free(o + 16);\n    return 0;\n}\n")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for _, tool := range []sanitizers.Name{sanitizers.SoftBound, sanitizers.CECSan} {
+		eng, err := engine.New(tool, engine.Options{RuntimeSeed: 1})
+		if err != nil {
+			t.Fatalf("engine.New(%s): %v", tool, err)
+		}
+		res, rerr := eng.Run(p)
+		if rerr != nil {
+			t.Fatalf("%s: Run: %v", tool, rerr)
+		}
+		if harness.Classify(res) != harness.OutcomeDetected {
+			t.Errorf("%s: outcome %v (violation=%v err=%v), want detected",
+				tool, harness.Classify(res), res.Violation, res.Err)
+		} else if res.Violation.Kind != rt.KindInvalidFree {
+			t.Errorf("%s: reported %v, want invalid-free", tool, res.Violation.Kind)
 		}
 	}
 }

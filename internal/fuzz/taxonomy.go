@@ -17,7 +17,8 @@ import (
 //	             oob_wcsncpy oob_input
 //	subobject    subobj_store subobj_memcpy
 //	temporal     uaf_store uaf_load uaf_memcpy uaf_memset uaf_wide
-//	             uaf_reloaded uaf_quarantine_flush double_free
+//	             uaf_reloaded uaf_quarantine_flush uaf_realloc_grow
+//	             uaf_realloc_alias uaf_realloc_reuse double_free
 //	             double_free_alias
 //	invalidfree  invfree_interior invfree_stack invfree_global
 //	external     extern_oob
@@ -298,6 +299,46 @@ var shapes = []bugShape{
 					fmt.Sprintf("var %s = malloc(%d);", u, o.bytes()),
 					fmt.Sprintf("%s[%d] = 3;", o.name, g.r.intn(int(o.bytes())))}},
 				Oracle{Kind: rt.KindUseAfterFree, Reuse: true}
+		}},
+	// realloc-lifetime temporal shapes: the old chunk's lifetime ends inside
+	// realloc (this allocator's realloc always moves), so the pre-realloc
+	// pointer and its aliases dangle the moment the call returns.
+	{name: "uaf_realloc_grow", class: ClassTemporal, atEnd: true, applies: heapPlain,
+		build: func(g *genState, oi int) (*op, Oracle) {
+			o := g.obj(oi)
+			o.freedByBug = true
+			q := g.fresh("q")
+			return &op{uses: []int{oi}, lines: []string{
+					fmt.Sprintf("var %s = realloc(%s, %d);", q, o.name, 2*o.bytes()),
+					fmt.Sprintf("%s[%d] = 5;", o.name, g.r.intn(int(o.bytes())))}},
+				Oracle{Kind: rt.KindUseAfterFree}
+		}},
+	{name: "uaf_realloc_alias", class: ClassTemporal, atEnd: true, applies: heapPlain,
+		build: func(g *genState, oi int) (*op, Oracle) {
+			o := g.obj(oi)
+			o.freedByBug = true
+			a, q := g.fresh("a"), g.fresh("q")
+			return &op{uses: []int{oi}, lines: []string{
+					fmt.Sprintf("var %s = %s;", a, o.name),
+					fmt.Sprintf("var %s = realloc(%s, %d);", q, o.name, o.bytes()+16),
+					fmt.Sprintf("%s[%d] = 7;", a, g.r.intn(int(o.bytes())))}},
+				Oracle{Kind: rt.KindUseAfterFree}
+		}},
+	// The same-size variant reopens the tag-reuse window without ASan-scale
+	// churn: realloc frees the old chunk to its LIFO size class and a
+	// same-size malloc immediately reoccupies both the address and (for the
+	// CECSan family) the freed metadata-table index — but the old chunk
+	// never left ASan's quarantine, so its shadow is still poisoned.
+	{name: "uaf_realloc_reuse", class: ClassTemporal, atEnd: true, applies: heapPlain,
+		build: func(g *genState, oi int) (*op, Oracle) {
+			o := g.obj(oi)
+			o.freedByBug = true
+			q, u := g.fresh("q"), g.fresh("u")
+			return &op{uses: []int{oi}, lines: []string{
+					fmt.Sprintf("var %s = realloc(%s, %d);", q, o.name, o.bytes()),
+					fmt.Sprintf("var %s = malloc(%d);", u, o.bytes()),
+					fmt.Sprintf("%s[%d] = 3;", o.name, g.r.intn(int(o.bytes())))}},
+				Oracle{Kind: rt.KindUseAfterFree, IndexReuse: true}
 		}},
 	{name: "double_free", class: ClassTemporal, atEnd: true,
 		applies: func(g *genState, oi int) bool { return g.obj(oi).seg == "heap" },

@@ -124,6 +124,22 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 				v = a >> (b & 63)
 			}
 			regs[in.Dst] = v
+			if metas != nil {
+				// Pointer ± integer keeps the operand's per-pointer metadata:
+				// the derived pointer inherits the base object's bounds and
+				// key (SoftBound's pointer-arithmetic rule), so an interior
+				// pointer built by register arithmetic carries provenance
+				// into Free/Check. Scalar operands carry zero metadata, so
+				// plain integer arithmetic stays metadata-free.
+				switch prog.BinOp(in.X) {
+				case prog.BinAdd, prog.BinSub:
+					if ma := metas[in.A]; ma.Valid() {
+						metas[in.Dst] = ma
+					} else if mb := metas[in.B]; mb.Valid() {
+						metas[in.Dst] = mb
+					}
+				}
+			}
 		case prog.OpCmp:
 			a, b := regs[in.A], regs[in.B]
 			var t bool

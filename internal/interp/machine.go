@@ -100,6 +100,14 @@ type Stats struct {
 	// during the run (filled by the engine; always 0 outside fault mode).
 	InjectedFaults int64
 
+	// Temporal-hardening degradation counters (rt.TemporalStats): coverage
+	// the hardened runtime traded back under pressure. Always 0 for default
+	// profiles and for runtimes without the hardening modes.
+	GenerationWraps     int64
+	IndexSpills         int64
+	QuarantineEvictions int64
+	QuarantineFlushes   int64
+
 	// PeakProgramBytes is the high-water resident size of program memory.
 	PeakProgramBytes int64
 	// PeakOverheadBytes is the high-water sanitizer metadata size.
@@ -417,6 +425,13 @@ func (m *Machine) Run() *Result {
 	res.Stats.PeakRSS = m.peakRSS.Load()
 	if d, ok := m.san.Runtime.(rt.Degrader); ok {
 		res.Stats.DegradedAllocs = d.DegradedAllocs()
+	}
+	if th, ok := m.san.Runtime.(rt.TemporalHardened); ok {
+		ts := th.TemporalStats()
+		res.Stats.GenerationWraps = ts.GenerationWraps
+		res.Stats.IndexSpills = ts.IndexSpills
+		res.Stats.QuarantineEvictions = ts.QuarantineEvictions
+		res.Stats.QuarantineFlushes = ts.QuarantineFlushes
 	}
 	return res
 }

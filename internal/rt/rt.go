@@ -211,6 +211,34 @@ type Degrader interface {
 	DegradedAllocs() int64
 }
 
+// TemporalStats counts the graceful degradations of the temporal-hardening
+// modes: each field is coverage the hardened runtime gave back under
+// pressure rather than aborting, the same trade DegradedAllocs records for
+// table exhaustion.
+type TemporalStats struct {
+	// GenerationWraps counts entry generation counters that wrapped to 0,
+	// making the next incarnation indistinguishable from the first.
+	GenerationWraps int64
+	// IndexSpills counts delayed-reuse indices re-threaded early because the
+	// free structure was exhausted.
+	IndexSpills int64
+	// QuarantineEvictions counts chunks released early because the
+	// quarantine byte budget overflowed.
+	QuarantineEvictions int64
+	// QuarantineFlushes counts whole-quarantine releases on the OOM retry
+	// path.
+	QuarantineFlushes int64
+	// QuarantinedBytes is the bytes currently held back from reuse.
+	QuarantinedBytes int64
+}
+
+// TemporalHardened is implemented by runtimes carrying the temporal-reuse
+// mitigations (generation stamping, delayed index reuse, address
+// quarantine); the machine folds the counters into interp.Stats after a run.
+type TemporalHardened interface {
+	TemporalStats() TemporalStats
+}
+
 // Resettable is implemented by runtimes whose per-process state can be
 // restored to freshly-constructed form. The execution engine recycles such
 // runtimes across machines instead of reconstructing them, which matters for

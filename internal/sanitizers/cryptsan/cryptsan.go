@@ -35,3 +35,13 @@ func ProfileFor() rt.Profile { return core.ProfileFor(options()) }
 func Sanitizer() (rt.Sanitizer, error) {
 	return core.Sanitizer(options())
 }
+
+// HardenedProfileFor derives the profile of the temporally hardened variant
+// (identical instrumentation; the hardening is runtime-side).
+func HardenedProfileFor() rt.Profile { return core.ProfileFor(core.Harden(options())) }
+
+// HardenedSanitizer returns the CryptSan model with the temporal-reuse
+// mitigations (generation stamping + address quarantine) layered on.
+func HardenedSanitizer() (rt.Sanitizer, error) {
+	return core.Sanitizer(core.Harden(options()))
+}

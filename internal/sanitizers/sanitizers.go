@@ -30,11 +30,36 @@ const (
 	SoftBound Name = "SoftBound/CETS"
 	PACMem    Name = "PACMem"
 	CryptSan  Name = "CryptSan"
+
+	// Temporally hardened CECSan-family variants: the same runtimes with
+	// generation-stamped metadata entries, delayed index reuse and the
+	// address quarantine (core.Harden). They are deliberately NOT part of
+	// All() — Table II and the default fuzz campaign keep comparing the
+	// paper's configurations — and are selected explicitly via flags or
+	// Hardened().
+	CECSanHardened   Name = "CECSan-hardened"
+	PACMemHardened   Name = "PACMem-hardened"
+	CryptSanHardened Name = "CryptSan-hardened"
 )
 
 // All lists the registry names in Table II column order (native first).
 func All() []Name {
 	return []Name{Native, CECSan, PACMem, CryptSan, HWASan, ASan, ASanLite, SoftBound}
+}
+
+// Hardened maps a CECSan-family sanitizer to its temporally hardened
+// variant; ok is false for tools with no such variant (their temporal
+// behaviour has no tag-index reuse window to close).
+func Hardened(n Name) (Name, bool) {
+	switch n {
+	case CECSan:
+		return CECSanHardened, true
+	case PACMem:
+		return PACMemHardened, true
+	case CryptSan:
+		return CryptSanHardened, true
+	}
+	return n, false
 }
 
 // ProfileFor returns the instrumentation profile a sanitizer would use,
@@ -60,6 +85,12 @@ func ProfileFor(name Name) (rt.Profile, error) {
 		return pacmem.ProfileFor(), nil
 	case CryptSan:
 		return cryptsan.ProfileFor(), nil
+	case CECSanHardened:
+		return core.ProfileFor(core.HardenedOptions()), nil
+	case PACMemHardened:
+		return pacmem.HardenedProfileFor(), nil
+	case CryptSanHardened:
+		return cryptsan.HardenedProfileFor(), nil
 	default:
 		return rt.Profile{}, fmt.Errorf("sanitizers: unknown sanitizer %q", name)
 	}
@@ -97,6 +128,12 @@ func New(name Name) (rt.Sanitizer, error) {
 		return pacmem.Sanitizer()
 	case CryptSan:
 		return cryptsan.Sanitizer()
+	case CECSanHardened:
+		return core.Sanitizer(core.HardenedOptions())
+	case PACMemHardened:
+		return pacmem.HardenedSanitizer()
+	case CryptSanHardened:
+		return cryptsan.HardenedSanitizer()
 	default:
 		return rt.Sanitizer{}, fmt.Errorf("sanitizers: unknown sanitizer %q", name)
 	}
