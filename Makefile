@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke ci bench-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -35,8 +35,19 @@ fuzz-smoke-hardened:
 fault-smoke:
 	$(GO) run ./cmd/fuzz -seed 7 -count 200 -faults 3
 
+# Observability smoke: a 50-case campaign with every obs flag on — metrics
+# snapshot, trace export, check-site profiling, live endpoint on an
+# ephemeral port. Exit 0 plus non-empty exports proves the layer stays off
+# the report path while every facility records.
+obs-smoke:
+	$(GO) run ./cmd/fuzz -seed 7 -count 50 -metrics-json metrics-smoke.json \
+		-trace trace-smoke.json -profile-checks -http 127.0.0.1:0
+	test -s metrics-smoke.json
+	test -s trace-smoke.json
+
 # The full local CI gate: static checks, build, the race-enabled unit
-# suites, and both fuzz smokes (clean + fault-injected).
+# suites, the fuzz smokes (clean + hardened + fault-injected), and the
+# observability smoke.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -44,12 +55,14 @@ ci:
 	$(MAKE) fuzz-smoke
 	$(MAKE) fuzz-smoke-hardened
 	$(MAKE) fault-smoke
+	$(MAKE) obs-smoke
 
 # Quick end-to-end benchmark pass: ~5% of the Table II suite, with the
 # machine-readable record. Finishes in a few seconds; use it to sanity-check
 # detection rates and the engine's cache/pooling behaviour after a change.
 bench-smoke:
-	$(GO) run ./cmd/julietbench -table 2 -scale 0.05 -progress 0 -json BENCH_table2.json
+	$(GO) run ./cmd/julietbench -table 2 -scale 0.05 -progress 0 -json BENCH_table2.json \
+		-metrics-json metrics-smoke.json
 	$(GO) run ./cmd/temporalbench -json BENCH_temporal.json
 
 # Full-scale table regenerations.
@@ -60,4 +73,4 @@ bench-table4:
 	$(GO) run ./cmd/specbench -suite 2006 -json BENCH_table4.json
 
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json metrics-smoke.json trace-smoke.json

@@ -57,10 +57,11 @@ func run() error {
 	genBits := flag.Uint("gen-bits", 0, "generation-stamp width in bits (0 = default when -hardened, else off)")
 	indexDelay := flag.Int("index-delay", 0, "freed metatable indices held back until this many others are freed (0 = default when -hardened, else off)")
 	quarBytes := flag.Int64("quarantine-bytes", 0, "allocator quarantine budget in bytes (0 = default when -hardened, else off)")
-	seed := flag.Uint64("seed", 0, "seed for the program rand() stream and RNG-bearing runtimes (HWASan tags); 0 = stock")
+	seed := cliutil.SeedFlag(0, "seed for the program rand() stream and RNG-bearing runtimes (HWASan tags); 0 = stock")
 	maxSteps := cliutil.MaxStepsFlag()
 	maxDepth := cliutil.MaxDepthFlag()
 	workers := cliutil.WorkersFlag()
+	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
 
 	if *list {
@@ -104,12 +105,17 @@ func run() error {
 		build = w.Build
 	}
 
+	o, srv, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
 	eopts := engine.Options{
 		Workers:         *workers,
 		Seed:            *seed,
 		RuntimeSeed:     *seed,
 		MaxInstructions: *maxSteps,
 		MaxCallDepth:    *maxDepth,
+		Obs:             o,
 	}
 	toolName := sanitizers.Name(*tool)
 	if *hardened {
@@ -192,5 +198,7 @@ func run() error {
 		fmt.Printf("temporal          gen-wraps %d  index-spills %d  quarantine evict %d / flush %d / held %d bytes\n",
 			ts.GenerationWraps, ts.IndexSpills, ts.QuarantineEvictions, ts.QuarantineFlushes, ts.QuarantinedBytes)
 	}
-	return nil
+	// The -profile-checks table attributes the observed check fires against
+	// the run's ChecksExecuted total.
+	return obsFlags.Finish(o, srv, res.Stats.ChecksExecuted)
 }

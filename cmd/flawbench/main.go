@@ -30,6 +30,7 @@ func run() error {
 	tool := flag.String("tool", "CECSan", "sanitizer to evaluate")
 	patched := flag.Bool("patched", false, "run the fixed variants instead (expect no detections)")
 	workers := cliutil.WorkersFlag()
+	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
 
 	list := flaws.All()
@@ -37,7 +38,11 @@ func run() error {
 		return err
 	}
 
-	eng, err := engine.New(sanitizers.Name(*tool), engine.Options{Workers: *workers})
+	o, srv, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(sanitizers.Name(*tool), engine.Options{Workers: *workers, Obs: o})
 	if err != nil {
 		return err
 	}
@@ -55,7 +60,7 @@ func run() error {
 		}
 		fmt.Printf("%-16s %-24s %s\n", fl.CVE, fl.Type, mark)
 	}
-	return nil
+	return obsFlags.Finish(o, srv, 0)
 }
 
 func runFlaw(eng *engine.Engine, fl flaws.Flaw, patched bool) (bool, error) {

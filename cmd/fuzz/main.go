@@ -10,7 +10,13 @@
 //	fuzz -seed 1 -count 1000 [-workers N] [-json report.json]
 //	     [-bench BENCH_fuzz.json] [-repro dir] [-progress]
 //	     [-faults SEED] [-hardened] [-max-steps N] [-max-depth N]
+//	     [-metrics-json m.json] [-trace t.json] [-http 127.0.0.1:0]
+//	     [-profile-checks]
 //	fuzz -emit 42                 # print the program for one case seed
+//
+// The observability flags attach internal/obs to every engine in the
+// fan-out; -http serves live metric snapshots and pprof while the campaign
+// runs. Campaign records stay byte-identical with or without them.
 //
 // Exit status separates verdicts from harness health:
 //
@@ -26,9 +32,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"cecsan/internal/cliutil"
 	"cecsan/internal/fuzz"
+	"cecsan/internal/obs"
 )
 
 // Exit codes: findings are a verdict about the sanitizers; harness faults
@@ -60,12 +68,23 @@ func run() (int, error) {
 	maxSteps := cliutil.MaxStepsFlag()
 	maxDepth := cliutil.MaxDepthFlag()
 	workers := cliutil.WorkersFlag()
+	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
 
 	if *emit != 0 {
 		c := fuzz.Generate(*emit)
 		fmt.Print(c.Source)
 		return exitOK, nil
+	}
+
+	o, srv, err := obsFlags.Build()
+	if err != nil {
+		return exitHarness, err
+	}
+	if *progress && o == nil {
+		// The status line reads its rates from the registry, so -progress
+		// alone still attaches a (registry-only) observer.
+		o = obs.New()
 	}
 
 	cfg := fuzz.Config{
@@ -76,10 +95,24 @@ func run() (int, error) {
 		MaxCallDepth:    *maxDepth,
 		FaultSeed:       *faults,
 		Hardened:        *hardened,
+		Obs:             o,
 	}
+	campaignStart := time.Now()
 	if *progress {
 		cfg.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "fuzz: %d/%d cases\n", done, total)
+			cps, _ := o.Registry.Value("fuzz_cases_per_sec")
+			hit, _ := o.Registry.Value("fuzz_cache_hit_rate")
+			fts, _ := o.Registry.Value("fuzz_faults_total")
+			eta := "?"
+			if done > 0 {
+				left := time.Duration(float64(time.Since(campaignStart)) * float64(total-done) / float64(done))
+				eta = left.Round(time.Second).String()
+			}
+			fmt.Fprintf(os.Stderr, "\rfuzz: %d/%d cases  %.0f runs/s  cache %.1f%%  faults %.0f  ETA %s   ",
+				done, total, cps, 100*hit, fts, eta)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
 		}
 	}
 	runner, err := fuzz.NewRunner(cfg)
@@ -136,6 +169,9 @@ func run() (int, error) {
 	for _, fc := range rep.FaultCases {
 		fmt.Printf("HARNESS FAULT: tool=%s shape=%s class=%s seed=%d\n",
 			fc.Tool, fc.Shape, fc.Class, fc.Seed)
+	}
+	if err := obsFlags.Finish(o, srv, 0); err != nil {
+		return exitHarness, err
 	}
 	switch {
 	case rep.HarnessFaults > 0:

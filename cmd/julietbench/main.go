@@ -66,7 +66,15 @@ func run() error {
 	workers := cliutil.WorkersFlag()
 	progress := flag.Int("progress", 200, "print per-tool progress every N cases (0 = off)")
 	jsonPath := flag.String("json", "", "also write a machine-readable benchmark record to this path")
+	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
+
+	o, srv, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	harness.Obs = o
+	defer func() { harness.Obs = nil }()
 
 	counts := juliet.TableI()
 	var suite []*juliet.Case
@@ -155,5 +163,5 @@ func run() error {
 			return err
 		}
 	}
-	return nil
+	return obsFlags.Finish(o, srv, 0)
 }

@@ -66,7 +66,15 @@ func run() error {
 	model := flag.Bool("model", false, "also print the cycle-model overhead table (per-operation costs from the published instrumentation sequences)")
 	workers := cliutil.WorkersFlag()
 	jsonPath := flag.String("json", "", "also write a machine-readable benchmark record to this path")
+	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
+
+	o, srv, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	harness.Obs = o
+	defer func() { harness.Obs = nil }()
 
 	var ws []specsim.Workload
 	switch *suite {
@@ -137,5 +145,5 @@ func run() error {
 			return err
 		}
 	}
-	return nil
+	return obsFlags.Finish(o, srv, 0)
 }

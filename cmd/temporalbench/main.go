@@ -101,7 +101,13 @@ func run() error {
 	reps := flag.Int("reps", 3, "repetitions per measurement (best-of)")
 	churn := flag.Int("churn", 1500, "allocations in each synthetic churn workload")
 	jsonPath := flag.String("json", "BENCH_temporal.json", "machine-readable record path")
+	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
+
+	o, srv, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
 
 	type workload struct {
 		name  string
@@ -143,7 +149,7 @@ func run() error {
 	baseline := map[string]measurement{}
 	for _, mode := range modes {
 		opts := mode.opts
-		eng, err := engine.New(sanitizers.CECSan, engine.Options{RuntimeSeed: 1, CECSan: &opts})
+		eng, err := engine.New(sanitizers.CECSan, engine.Options{RuntimeSeed: 1, CECSan: &opts, Obs: o})
 		if err != nil {
 			return err
 		}
@@ -207,7 +213,7 @@ func run() error {
 			return err
 		}
 	}
-	return nil
+	return obsFlags.Finish(o, srv, 0)
 }
 
 // pct is the percent overhead of v over base (0 when base is 0).

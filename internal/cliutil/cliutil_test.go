@@ -1,0 +1,159 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// newFlagSet builds a quiet FlagSet with the full shared flag complement
+// registered, mirroring what every cmd/ tool does at startup.
+type sharedFlags struct {
+	workers  *int
+	maxSteps *int64
+	maxDepth *int
+	seed     *uint64
+	jsonPath *string
+	obs      *ObsFlags
+}
+
+func newFlagSet() (*flag.FlagSet, *sharedFlags) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs, &sharedFlags{
+		workers:  RegisterWorkersFlag(fs),
+		maxSteps: RegisterMaxStepsFlag(fs),
+		maxDepth: RegisterMaxDepthFlag(fs),
+		seed:     RegisterSeedFlag(fs, 1, "seed"),
+		jsonPath: RegisterJSONFlag(fs, "json path"),
+		obs:      RegisterObsFlags(fs),
+	}
+}
+
+func TestSharedFlagParsing(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		check func(t *testing.T, f *sharedFlags)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, f *sharedFlags) {
+				if *f.workers != 0 || *f.maxSteps != 0 || *f.maxDepth != 0 {
+					t.Fatalf("engine knob defaults: workers=%d steps=%d depth=%d", *f.workers, *f.maxSteps, *f.maxDepth)
+				}
+				if *f.seed != 1 {
+					t.Fatalf("seed default = %d, want the registered default 1", *f.seed)
+				}
+				if *f.jsonPath != "" {
+					t.Fatalf("json default = %q, want empty", *f.jsonPath)
+				}
+				if f.obs.Enabled() {
+					t.Fatalf("obs flags must default to disabled: %+v", *f.obs)
+				}
+				if f.obs.ProfileTop != 10 {
+					t.Fatalf("profile-top default = %d, want 10", f.obs.ProfileTop)
+				}
+			},
+		},
+		{
+			name: "engine knobs",
+			args: []string{"-workers", "4", "-max-steps", "1000", "-max-depth", "32", "-seed", "99", "-json", "out.json"},
+			check: func(t *testing.T, f *sharedFlags) {
+				if *f.workers != 4 || *f.maxSteps != 1000 || *f.maxDepth != 32 {
+					t.Fatalf("engine knobs: workers=%d steps=%d depth=%d", *f.workers, *f.maxSteps, *f.maxDepth)
+				}
+				if *f.seed != 99 || *f.jsonPath != "out.json" {
+					t.Fatalf("seed=%d json=%q", *f.seed, *f.jsonPath)
+				}
+			},
+		},
+		{
+			name: "obs flags",
+			args: []string{"-metrics-json", "m.json", "-trace", "t.json", "-http", "127.0.0.1:0", "-profile-checks", "-profile-top", "5"},
+			check: func(t *testing.T, f *sharedFlags) {
+				o := f.obs
+				if !o.Enabled() {
+					t.Fatal("obs flags set but Enabled() is false")
+				}
+				if o.MetricsJSON != "m.json" || o.TracePath != "t.json" || o.HTTPAddr != "127.0.0.1:0" {
+					t.Fatalf("obs paths: %+v", *o)
+				}
+				if !o.ProfileChecks || o.ProfileTop != 5 {
+					t.Fatalf("profile knobs: %+v", *o)
+				}
+			},
+		},
+		{
+			name: "single obs flag enables",
+			args: []string{"-metrics-json", "m.json"},
+			check: func(t *testing.T, f *sharedFlags) {
+				if !f.obs.Enabled() {
+					t.Fatal("-metrics-json alone must enable observability")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, f := newFlagSet()
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("parse %v: %v", tc.args, err)
+			}
+			tc.check(t, f)
+		})
+	}
+}
+
+func TestSharedFlagRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "abc"},
+		{"-max-steps", "1.5"},
+		{"-seed", "-1"},
+		{"-profile-top", "x"},
+	} {
+		fs, _ := newFlagSet()
+		if err := fs.Parse(args); err == nil {
+			t.Fatalf("parse %v: expected an error", args)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(3); got != 3 {
+		t.Fatalf("ResolveWorkers(3) = %d", got)
+	}
+	if got := ResolveWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := ResolveWorkers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(-2) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestObsFlagsBuild(t *testing.T) {
+	// No flags: nil observer, nil server — callers pass both straight on.
+	f := &ObsFlags{}
+	o, srv, err := f.Build()
+	if err != nil || o != nil || srv != nil {
+		t.Fatalf("Build() with no flags = %v, %v, %v", o, srv, err)
+	}
+	if err := f.Finish(o, srv, 0); err != nil {
+		t.Fatalf("Finish with nil observer: %v", err)
+	}
+
+	// Trace + profile: the corresponding facilities come enabled.
+	f = &ObsFlags{TracePath: t.TempDir() + "/t.json", ProfileChecks: true}
+	o, srv, err = f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Tracer == nil || o.Sites == nil || srv != nil {
+		t.Fatalf("Build() = %+v, srv=%v", o, srv)
+	}
+	if err := f.Finish(o, srv, 0); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"cecsan/internal/faultinject"
 	"cecsan/internal/instrument"
 	"cecsan/internal/interp"
+	"cecsan/internal/obs"
 	"cecsan/internal/rt"
 	"cecsan/internal/sanitizers"
 	"cecsan/prog"
@@ -100,6 +101,13 @@ type Options struct {
 	Progress func(done, total int)
 	// ProgressEvery is the progress callback stride (<= 0 = 100).
 	ProgressEvery int
+	// Obs, when set, attaches the observability layer: engine counters are
+	// mirrored as registry gauges, pipeline phases (instrument/execute/reset)
+	// are recorded as tracer spans when Obs.Tracer is set, and executed
+	// checks are attributed to their static sites when Obs.Sites is set.
+	// Observability only reads execution state — results are identical with
+	// or without it.
+	Obs *obs.Observer
 }
 
 // Engine runs programs under one sanitizer with cached instrumentation and
@@ -121,8 +129,13 @@ type Engine struct {
 	cacheMisses  atomic.Int64
 	instrumentNS atomic.Int64
 	executeNS    atomic.Int64
-	firstStartNS atomic.Int64 // wall-clock span over all Run calls
-	lastEndNS    atomic.Int64
+
+	// wallMu guards the wall-clock span over all Run calls. A mutex (not a
+	// pair of atomics) so Stats() snapshots first-start and last-end
+	// consistently relative to in-flight runs.
+	wallMu     sync.Mutex
+	firstStart time.Time
+	lastEnd    time.Time
 
 	faults              atomic.Int64
 	faultsDeterministic atomic.Int64
@@ -130,6 +143,16 @@ type Engine struct {
 	faultRetries        atomic.Int64
 	degradedAllocs      atomic.Int64
 	injectedFaults      atomic.Int64
+
+	generationWraps     atomic.Int64
+	indexSpills         atomic.Int64
+	quarantineEvictions atomic.Int64
+	quarantineFlushes   atomic.Int64
+
+	// Observability instruments, resolved once in New when Options.Obs is
+	// set; all nil otherwise so the hot path stays a pair of nil checks.
+	runDurUS  *obs.Histogram // per-run execute wall time, microseconds
+	runChecks *obs.Histogram // per-run executed check count
 }
 
 // cacheEntry is one instrumented program; the Once makes concurrent first
@@ -165,13 +188,55 @@ func New(tool sanitizers.Name, opts Options) (*Engine, error) {
 	if opts.Seed != 0 {
 		iopts.Seed = opts.Seed
 	}
-	return &Engine{
+	e := &Engine{
 		tool:       tool,
 		opts:       opts,
 		profile:    profile,
 		interpOpts: iopts,
 		cache:      make(map[prog.Fingerprint]*cacheEntry),
-	}, nil
+	}
+	if o := opts.Obs; o != nil {
+		if o.Sites != nil {
+			e.interpOpts.CheckObserver = o.Sites.ForTool(string(tool))
+		}
+		e.initObs(o)
+	}
+	return e, nil
+}
+
+// initObs registers the engine's counters as registry series labelled by
+// tool. Func gauges read the live atomics at snapshot time, so re-building
+// an engine for the same tool simply re-points the series at the new engine
+// (GaugeFunc replaces the callback).
+func (e *Engine) initObs(o *obs.Observer) {
+	r := o.Registry
+	tl := obs.L("tool", string(e.tool))
+	for _, g := range []struct {
+		name string
+		fn   func() float64
+	}{
+		{"engine_runs_total", func() float64 { return float64(e.runs.Load()) }},
+		{"engine_cache_hits", func() float64 { return float64(e.cacheHits.Load()) }},
+		{"engine_cache_misses", func() float64 { return float64(e.cacheMisses.Load()) }},
+		{"engine_cache_hit_rate", func() float64 { return e.Stats().CacheHitRate() }},
+		{"engine_cases_per_sec", func() float64 { return e.Stats().CasesPerSec() }},
+		{"engine_execute_seconds", func() float64 { return time.Duration(e.executeNS.Load()).Seconds() }},
+		{"engine_instrument_seconds", func() float64 { return time.Duration(e.instrumentNS.Load()).Seconds() }},
+		{"engine_faults_total", func() float64 { return float64(e.faults.Load()) }},
+		{"engine_faults_deterministic", func() float64 { return float64(e.faultsDeterministic.Load()) }},
+		{"engine_faults_pool_suspect", func() float64 { return float64(e.faultsPoolSuspect.Load()) }},
+		{"engine_fault_retries", func() float64 { return float64(e.faultRetries.Load()) }},
+		{"engine_degraded_allocs", func() float64 { return float64(e.degradedAllocs.Load()) }},
+		{"engine_injected_faults", func() float64 { return float64(e.injectedFaults.Load()) }},
+		{"engine_generation_wraps", func() float64 { return float64(e.generationWraps.Load()) }},
+		{"engine_index_spills", func() float64 { return float64(e.indexSpills.Load()) }},
+		{"engine_quarantine_evictions", func() float64 { return float64(e.quarantineEvictions.Load()) }},
+		{"engine_quarantine_flushes", func() float64 { return float64(e.quarantineFlushes.Load()) }},
+	} {
+		r.GaugeFunc(g.name, g.fn, tl)
+	}
+	e.runDurUS = r.Histogram("engine_run_duration_us", tl)
+	e.runChecks = r.Histogram("engine_run_checks", tl)
 }
 
 // Tool returns the engine's sanitizer name.
@@ -204,7 +269,13 @@ func (e *Engine) Instrument(p *prog.Program) *prog.Program {
 		hit = false
 		start := time.Now()
 		ent.p = instrument.Apply(p, e.profile)
-		e.instrumentNS.Add(time.Since(start).Nanoseconds())
+		dur := time.Since(start)
+		e.instrumentNS.Add(dur.Nanoseconds())
+		if t := e.tracer(); t != nil {
+			lane := t.AcquireLane()
+			t.Record("instrument "+string(e.tool), lane, start, dur)
+			t.ReleaseLane(lane)
+		}
 	})
 	if hit {
 		e.cacheHits.Add(1)
@@ -264,6 +335,17 @@ type Machine struct {
 	recycled bool                  // runtime or resources came from a pool
 	faulted  bool                  // a panic unwound through this machine
 	released bool
+
+	lane    int  // tracer lane held from Run until Release
+	hasLane bool
+}
+
+// tracer returns the attached span recorder, nil when tracing is off.
+func (e *Engine) tracer() *obs.Tracer {
+	if e.opts.Obs == nil {
+		return nil
+	}
+	return e.opts.Obs.Tracer
 }
 
 // planFor resolves the fault-injection plan for one program: the explicit
@@ -359,13 +441,25 @@ func (m *Machine) Run() *interp.Result {
 		m.res.Heap.SetFaultHook(m.inj.OnMalloc)
 		m.res.Space.SetFaultHook(m.inj.OnPageMap)
 	}
+	t := e.tracer()
+	if t != nil {
+		m.lane, m.hasLane = t.AcquireLane(), true
+	}
 	start := time.Now()
 	e.noteStart(start)
 	res := m.runGuarded()
 	end := time.Now()
-	e.executeNS.Add(end.Sub(start).Nanoseconds())
+	dur := end.Sub(start)
+	e.executeNS.Add(dur.Nanoseconds())
 	e.noteEnd(end)
 	e.runs.Add(1)
+	if t != nil {
+		t.Record("execute "+string(e.tool), m.lane, start, dur)
+	}
+	if e.runDurUS != nil {
+		e.runDurUS.Observe(dur.Microseconds())
+		e.runChecks.Observe(res.Stats.ChecksExecuted)
+	}
 	m.classifyFault(res)
 	return res
 }
@@ -401,6 +495,12 @@ func (m *Machine) classifyFault(res *interp.Result) {
 	}
 	if res.Stats.DegradedAllocs > 0 {
 		e.degradedAllocs.Add(res.Stats.DegradedAllocs)
+	}
+	if s := &res.Stats; s.GenerationWraps|s.IndexSpills|s.QuarantineEvictions|s.QuarantineFlushes != 0 {
+		e.generationWraps.Add(s.GenerationWraps)
+		e.indexSpills.Add(s.IndexSpills)
+		e.quarantineEvictions.Add(s.QuarantineEvictions)
+		e.quarantineFlushes.Add(s.QuarantineFlushes)
 	}
 	if res.Err == nil {
 		return
@@ -457,10 +557,20 @@ func (m *Machine) Release() {
 	m.released = true
 	res := m.res
 	m.res = nil
+	t := m.eng.tracer()
+	if m.hasLane {
+		defer t.ReleaseLane(m.lane)
+	}
 	if m.fresh || m.faulted {
 		return
 	}
-	m.eng.release(res) // Reset also clears any fault hooks
+	if t != nil && m.hasLane {
+		start := time.Now()
+		m.eng.release(res) // Reset also clears any fault hooks
+		t.Record("reset "+string(m.eng.tool), m.lane, start, time.Since(start))
+	} else {
+		m.eng.release(res)
+	}
 	m.eng.releaseSanitizer(m.san)
 }
 
@@ -561,18 +671,20 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 
 // noteStart records the wall-clock start of the engine's first run.
 func (e *Engine) noteStart(t time.Time) {
-	e.firstStartNS.CompareAndSwap(0, t.UnixNano())
+	e.wallMu.Lock()
+	if e.firstStart.IsZero() {
+		e.firstStart = t
+	}
+	e.wallMu.Unlock()
 }
 
 // noteEnd advances the wall-clock end of the engine's latest run.
 func (e *Engine) noteEnd(t time.Time) {
-	ns := t.UnixNano()
-	for {
-		cur := e.lastEndNS.Load()
-		if ns <= cur || e.lastEndNS.CompareAndSwap(cur, ns) {
-			return
-		}
+	e.wallMu.Lock()
+	if t.After(e.lastEnd) {
+		e.lastEnd = t
 	}
+	e.wallMu.Unlock()
 }
 
 // Stats is a snapshot of the engine's aggregate counters.
@@ -610,6 +722,12 @@ type Stats struct {
 	// InjectedFaults counts fault-injection trigger firings across all runs;
 	// 0 outside fault mode.
 	InjectedFaults int64
+	// Temporal-hardening degradation totals aggregated across all runs
+	// (rt.TemporalStats); 0 for default profiles.
+	GenerationWraps     int64
+	IndexSpills         int64
+	QuarantineEvictions int64
+	QuarantineFlushes   int64
 }
 
 // CacheHitRate returns the fraction of Instrument requests served from
@@ -644,9 +762,16 @@ func (e *Engine) Stats() Stats {
 		FaultRetries:        e.faultRetries.Load(),
 		DegradedAllocs:      e.degradedAllocs.Load(),
 		InjectedFaults:      e.injectedFaults.Load(),
+		GenerationWraps:     e.generationWraps.Load(),
+		IndexSpills:         e.indexSpills.Load(),
+		QuarantineEvictions: e.quarantineEvictions.Load(),
+		QuarantineFlushes:   e.quarantineFlushes.Load(),
 	}
-	if start, end := e.firstStartNS.Load(), e.lastEndNS.Load(); start != 0 && end > start {
-		s.Wall = time.Duration(end - start)
+	e.wallMu.Lock()
+	start, end := e.firstStart, e.lastEnd
+	e.wallMu.Unlock()
+	if !start.IsZero() && end.After(start) {
+		s.Wall = end.Sub(start)
 	}
 	return s
 }

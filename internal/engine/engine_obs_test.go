@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"testing"
+
+	"cecsan/internal/obs"
+	"cecsan/internal/sanitizers"
+)
+
+// TestStatsWallConcurrent pins the wall-clock snapshot race fix: Stats()
+// reading first-start/last-end while runs are in flight must neither race
+// (caught under -race) nor ever observe a torn span (an end before the
+// start).
+func TestStatsWallConcurrent(t *testing.T) {
+	suite := sampleSuite(t, 1)
+	eng, err := New(sanitizers.CECSan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := eng.Stats()
+			if s.Wall < 0 {
+				t.Error("Stats observed a negative wall span")
+				return
+			}
+		}
+	}()
+	err = eng.ForEach(len(suite), func(i int) error {
+		_, rerr := eng.Run(suite[i].Bad, suite[i].BadInputs...)
+		return rerr
+	})
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.Runs == 0 || s.Wall <= 0 {
+		t.Fatalf("stats after campaign: %+v", s)
+	}
+}
+
+// TestEngineObs drives a small suite through an engine with every
+// observability facility on and checks the plumbing end to end: the site
+// profiler attributes every executed check (the two check opcodes plus the
+// libc entry check are the only ChecksExecuted increments, so attribution
+// is exactly 100%), the
+// per-run histograms count every run, the tracer holds execute spans, and
+// the registry gauges mirror engine stats.
+func TestEngineObs(t *testing.T) {
+	o := obs.New()
+	o.Tracer = obs.NewTracer()
+	o.Sites = obs.NewSiteProfiler()
+	suite := sampleSuite(t, 2)
+	eng, err := New(sanitizers.CECSan, Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checks int64
+	for _, cs := range suite {
+		res, rerr := eng.Run(cs.Bad, cs.BadInputs...)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		checks += res.Stats.ChecksExecuted
+	}
+	if checks == 0 {
+		t.Fatal("suite executed no checks; the attribution test is vacuous")
+	}
+	if fires := o.Sites.TotalFires(); fires != checks {
+		t.Fatalf("site profiler attributed %d fires, ChecksExecuted total is %d", fires, checks)
+	}
+
+	s := eng.Stats()
+	h := o.Registry.Histogram("engine_run_duration_us", obs.L("tool", "CECSan"))
+	if h.Count() != s.Runs {
+		t.Fatalf("run-duration histogram has %d observations, engine ran %d", h.Count(), s.Runs)
+	}
+	hc := o.Registry.Histogram("engine_run_checks", obs.L("tool", "CECSan"))
+	if hc.Sum() != checks {
+		t.Fatalf("run-checks histogram sums to %d, want %d", hc.Sum(), checks)
+	}
+
+	var execs, resets int
+	for _, sp := range o.Tracer.Spans() {
+		switch sp.Name {
+		case "execute CECSan":
+			execs++
+		case "reset CECSan":
+			resets++
+		}
+	}
+	if int64(execs) != s.Runs {
+		t.Fatalf("tracer holds %d execute spans, engine ran %d", execs, s.Runs)
+	}
+	if resets == 0 {
+		t.Fatal("tracer holds no reset spans")
+	}
+
+	if v, ok := o.Registry.Value("engine_runs_total", obs.L("tool", "CECSan")); !ok || int64(v) != s.Runs {
+		t.Fatalf("engine_runs_total gauge = %v, %v; want %d", v, ok, s.Runs)
+	}
+}
+
+// TestGaugeReregistration pins the rebuilt-engine behaviour: a second engine
+// for the same tool takes over the gauge series instead of panicking or
+// leaving the series pointed at the dead engine.
+func TestGaugeReregistration(t *testing.T) {
+	o := obs.New()
+	if _, err := New(sanitizers.CECSan, Options{Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := New(sanitizers.CECSan, Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := sampleSuite(t, 1)
+	if _, err := eng2.Run(suite[0].Bad, suite[0].BadInputs...); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := o.Registry.Value("engine_runs_total", obs.L("tool", "CECSan")); !ok || v != 1 {
+		t.Fatalf("engine_runs_total = %v, %v; want 1 (series must follow the newest engine)", v, ok)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"cecsan/internal/faultinject"
 	"cecsan/internal/harness"
 	"cecsan/internal/interp"
+	"cecsan/internal/obs"
 	"cecsan/internal/rt"
 	"cecsan/internal/sanitizers"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	Hardened bool
 	// Progress, when set, receives (done, total) while the campaign runs.
 	Progress func(done, total int)
+	// Obs, when set, attaches the observability layer to every engine in the
+	// fan-out and registers campaign-level gauges (fuzz_cases_per_sec,
+	// fuzz_cache_hit_rate, fuzz_faults_total, ...). Reports are byte-identical
+	// with or without it.
+	Obs *obs.Observer
 }
 
 // Runner owns one engine per sanitizer and fans generated cases across all
@@ -89,6 +95,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			WallBudget:      cfg.WallBudget,
 			FaultSeed:       cfg.FaultSeed,
 			RuntimeSeed:     cfg.Seed,
+			Obs:             cfg.Obs,
 		}
 		if i == 0 && cfg.Progress != nil {
 			// The first engine doubles as the campaign scheduler.
@@ -100,7 +107,60 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 		r.engines = append(r.engines, eng)
 	}
+	if cfg.Obs != nil {
+		r.registerMetrics(cfg.Obs)
+	}
 	return r, nil
+}
+
+// LiveStats is a campaign-level aggregate over the runner's per-tool
+// engines, cheap enough to poll from a progress line or a metrics snapshot.
+type LiveStats struct {
+	// Runs is total machine runs across all engines (each case fans out to
+	// one run per sanitizer).
+	Runs int64
+	// Faults is total classified harness faults across all engines.
+	Faults int64
+	// CacheHitRate is the pooled instrumentation-cache hit fraction.
+	CacheHitRate float64
+	// CasesPerSec is total runs divided by the widest engine wall span.
+	CasesPerSec float64
+}
+
+// LiveStats aggregates the engines' counters right now.
+func (r *Runner) LiveStats() LiveStats {
+	var ls LiveStats
+	var hits, misses int64
+	var wall time.Duration
+	for _, e := range r.engines {
+		s := e.Stats()
+		ls.Runs += s.Runs
+		ls.Faults += s.Faults
+		hits += s.CacheHits
+		misses += s.CacheMisses
+		if s.Wall > wall {
+			wall = s.Wall
+		}
+	}
+	if hits+misses > 0 {
+		ls.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	if wall > 0 {
+		ls.CasesPerSec = float64(ls.Runs) / wall.Seconds()
+	}
+	return ls
+}
+
+// registerMetrics exposes the campaign-level aggregates as registry func
+// gauges; the per-tool engine series are registered by the engines
+// themselves.
+func (r *Runner) registerMetrics(o *obs.Observer) {
+	reg := o.Registry
+	reg.GaugeFunc("fuzz_runs_total", func() float64 { return float64(r.LiveStats().Runs) })
+	reg.GaugeFunc("fuzz_faults_total", func() float64 { return float64(r.LiveStats().Faults) })
+	reg.GaugeFunc("fuzz_cache_hit_rate", func() float64 { return r.LiveStats().CacheHitRate })
+	reg.GaugeFunc("fuzz_cases_per_sec", func() float64 { return r.LiveStats().CasesPerSec })
+	reg.GaugeFunc("fuzz_tools", func() float64 { return float64(len(r.tools)) })
 }
 
 // Classification buckets for one (case, tool) cell. Anything not in this

@@ -13,6 +13,7 @@ import (
 	"cecsan/internal/engine"
 	"cecsan/internal/interp"
 	"cecsan/internal/juliet"
+	"cecsan/internal/obs"
 	"cecsan/internal/sanitizers"
 	"cecsan/prog"
 )
@@ -135,6 +136,11 @@ var Progress func(tool sanitizers.Name, done, total int)
 // ProgressEvery is the Progress callback stride.
 var ProgressEvery = 200
 
+// Obs, when set, is attached to every engine the harness builds (same
+// package-level-hook convention as Progress). Observability only reads
+// execution state, so evaluation results are identical with or without it.
+var Obs *obs.Observer
+
 // EvaluateJuliet runs the suite under every listed tool, in parallel across
 // cases. workers <= 0 selects GOMAXPROCS.
 func EvaluateJuliet(suite []*juliet.Case, tools []sanitizers.Name, workers int) (*JulietEvaluation, error) {
@@ -162,7 +168,7 @@ func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*Too
 	}
 	tr := &ToolResult{Name: tool, Cases: len(cases), PerCWE: make(map[juliet.CWE]CWEStats)}
 
-	eopts := engine.Options{Workers: workers, ProgressEvery: ProgressEvery}
+	eopts := engine.Options{Workers: workers, ProgressEvery: ProgressEvery, Obs: Obs}
 	if Progress != nil {
 		eopts.Progress = func(done, total int) { Progress(tool, done, total) }
 	}

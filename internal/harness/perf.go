@@ -92,7 +92,7 @@ func EvaluatePerf(ws []specsim.Workload, tools []sanitizers.Name, reps int) (*Pe
 		if _, ok := engines[tool]; ok {
 			continue
 		}
-		eng, err := engine.New(tool, engine.Options{FreshRuntime: true})
+		eng, err := engine.New(tool, engine.Options{FreshRuntime: true, Obs: Obs})
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"cecsan/internal/alloc"
 	"cecsan/internal/mem"
@@ -362,7 +363,15 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 				size = int64(regs[in.B])
 			}
 			th.local.ChecksExecuted++
-			if v := run.Check(regs[in.A], meta, in.Off, size, kind); v != nil {
+			var v *rt.Violation
+			if obsv := m.opts.CheckObserver; obsv != nil {
+				t0 := time.Now()
+				v = run.Check(regs[in.A], meta, in.Off, size, kind)
+				obsv.ObserveCheck(fn.Name, pc, size, time.Since(t0))
+			} else {
+				v = run.Check(regs[in.A], meta, in.Off, size, kind)
+			}
+			if v != nil {
 				epilogue()
 				return 0, rt.PtrMeta{}, th.report(v, fn.Name, pc)
 			}
@@ -389,7 +398,15 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 						meta = metas[in.Args[0]]
 					}
 					th.local.ChecksExecuted++
-					if v := run.Check(regs[in.Args[0]], meta, 0, elems*in.Size, kind); v != nil {
+					var v *rt.Violation
+					if obsv := m.opts.CheckObserver; obsv != nil {
+						t0 := time.Now()
+						v = run.Check(regs[in.Args[0]], meta, 0, elems*in.Size, kind)
+						obsv.ObserveCheck(fn.Name, pc, elems*in.Size, time.Since(t0))
+					} else {
+						v = run.Check(regs[in.Args[0]], meta, 0, elems*in.Size, kind)
+					}
+					if v != nil {
 						epilogue()
 						return 0, rt.PtrMeta{}, th.report(v, fn.Name, pc)
 					}

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"time"
 
 	"cecsan/internal/rt"
 	"cecsan/prog"
@@ -26,7 +27,15 @@ func (th *thread) libcCall(in *prog.Instr, regs []uint64, metas []rt.PtrMeta, fn
 	}
 	check := func(fn string, i int, n int64, k rt.AccessKind) *abort {
 		th.local.ChecksExecuted++
-		if v := m.san.Runtime.LibcCheck(fn, argv(i), argm(i), n, k); v != nil {
+		var v *rt.Violation
+		if obsv := m.opts.CheckObserver; obsv != nil {
+			t0 := time.Now()
+			v = m.san.Runtime.LibcCheck(fn, argv(i), argm(i), n, k)
+			obsv.ObserveCheck(fnName, pc, n, time.Since(t0))
+		} else {
+			v = m.san.Runtime.LibcCheck(fn, argv(i), argm(i), n, k)
+		}
+		if v != nil {
 			return th.report(v, fnName, pc)
 		}
 		return nil

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cecsan/internal/alloc"
 	"cecsan/internal/mem"
@@ -56,6 +57,16 @@ type PanicError struct {
 // Error implements the error interface.
 func (e *PanicError) Error() string { return "interp: recovered panic: " + e.Value }
 
+// CheckObserver receives one callback per executed sanitizer check, keyed by
+// the check's static site (containing function + opcode pc). bytes is the
+// access size the check covered and dur the wall time spent inside the
+// runtime's Check call. Implementations must be safe for concurrent use
+// (parallel-region threads fire checks concurrently). obs.ToolSites
+// satisfies this structurally, keeping interp free of an obs import.
+type CheckObserver interface {
+	ObserveCheck(fn string, pc int, bytes int64, dur time.Duration)
+}
+
 // Options configures a Machine.
 type Options struct {
 	// MaxInstructions bounds the total executed instructions (per run).
@@ -69,6 +80,10 @@ type Options struct {
 	AddrBits uint
 	// Seed seeds the program-visible rand() stream.
 	Seed uint64
+	// CheckObserver, when non-nil, is invoked (with wall timing) around
+	// every executed check opcode. nil keeps the check hot path free of
+	// time.Now calls.
+	CheckObserver CheckObserver
 }
 
 // DefaultOptions returns the standard machine configuration.

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log2 buckets: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. the half-open range [2^(i-1), 2^i). 64
+// buckets cover every non-negative int64.
+const histBuckets = 65
+
+// Histogram is a fixed-layout log2-bucketed histogram. Observe is a pair of
+// atomic adds — no locks, no allocation — so it is safe on the interpreter
+// hot path. Values are whatever unit the caller picks (the engine records
+// microseconds and check counts); negatives clamp to bucket 0.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// snapshot returns count, sum, and the non-empty buckets in ascending
+// upper-bound order. The top bucket's bound saturates at MaxInt64.
+func (h *Histogram) snapshot() (count, sum int64, bs []Bucket) {
+	count = h.count.Load()
+	sum = h.sum.Load()
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(math.MaxInt64)
+		if i < 63 {
+			le = (int64(1) << uint(i)) - 1
+		}
+		bs = append(bs, Bucket{Le: le, Count: n})
+	}
+	return count, sum, bs
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// One value per boundary-interesting spot: zero, bucket edges, a
+	// negative (clamps to the zero bucket), and a huge value.
+	for _, v := range []int64{0, -3, 1, 2, 3, 4, 7, 8, math.MaxInt64} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	_, _, bs := h.snapshot()
+	got := map[int64]int64{}
+	for _, b := range bs {
+		got[b.Le] = b.Count
+	}
+	want := map[int64]int64{
+		0:             2, // 0 and the clamped -3
+		1:             1, // 1
+		3:             2, // 2, 3
+		7:             2, // 4, 7
+		15:            1, // 8
+		math.MaxInt64: 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for le, n := range want {
+		if got[le] != n {
+			t.Fatalf("bucket le=%d count = %d, want %d (all: %v)", le, got[le], n, got)
+		}
+	}
+	var total int64
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want count %d", total, h.Count())
+	}
+}

@@ -1,0 +1,91 @@
+// Byte-identity tests: observability is strictly off the report path, so
+// the differential fuzz report and the Table II rendering must be identical
+// bytes whether an Observer — with every facility on — is attached or not.
+// This is the determinism contract the obs package doc promises; these tests
+// live in an external package because they drive fuzz and harness, which
+// import obs-adjacent packages (obs itself imports nothing from the repo, so
+// no cycle either way).
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cecsan/internal/fuzz"
+	"cecsan/internal/harness"
+	"cecsan/internal/juliet"
+	"cecsan/internal/obs"
+	"cecsan/internal/sanitizers"
+)
+
+// fullObserver returns an Observer with every facility enabled — registry,
+// tracer, site profiler — the configuration with the most opportunities to
+// perturb execution if it ever escaped the read-only contract.
+func fullObserver() *obs.Observer {
+	o := obs.New()
+	o.Tracer = obs.NewTracer()
+	o.Sites = obs.NewSiteProfiler()
+	return o
+}
+
+// campaignBytes runs a small differential campaign and returns the
+// deterministic JSON record.
+func campaignBytes(t *testing.T, o *obs.Observer) []byte {
+	t.Helper()
+	runner, err := fuzz.NewRunner(fuzz.Config{Seed: 11, Count: 25, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFuzzReportByteIdentity(t *testing.T) {
+	plain := campaignBytes(t, nil)
+	observed := campaignBytes(t, fullObserver())
+	if !bytes.Equal(plain, observed) {
+		t.Fatalf("fuzz report changed with observability attached:\n--- without obs ---\n%s\n--- with obs ---\n%s",
+			plain, observed)
+	}
+}
+
+// table2String renders Table II on a small suite, with harness.Obs set to o.
+func table2String(t *testing.T, suite []*juliet.Case, o *obs.Observer) string {
+	t.Helper()
+	harness.Obs = o
+	defer func() { harness.Obs = nil }()
+	tools := []sanitizers.Name{
+		sanitizers.CECSan, sanitizers.PACMem, sanitizers.CryptSan,
+		sanitizers.HWASan, sanitizers.ASan, sanitizers.SoftBound,
+	}
+	eval, err := harness.EvaluateJuliet(suite, tools, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.FormatTable2(eval)
+}
+
+func TestTable2ByteIdentity(t *testing.T) {
+	var suite []*juliet.Case
+	for _, cwe := range juliet.AllCWEs() {
+		cases, err := juliet.Generate(cwe, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, cases...)
+	}
+	plain := table2String(t, suite, nil)
+	observed := table2String(t, suite, fullObserver())
+	if plain != observed {
+		t.Fatalf("Table II changed with observability attached:\n--- without obs ---\n%s\n--- with obs ---\n%s",
+			plain, observed)
+	}
+}

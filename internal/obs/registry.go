@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension on a metric. Metrics with the same name
+// but different label sets are distinct series of one metric family.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelKey renders a sorted, canonical form of a label set, used both as the
+// registry map key and as the Prometheus label block.
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric. Add is a single atomic add —
+// safe for concurrent use on the hot path.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// entry is one registered metric series.
+type entry struct {
+	name   string
+	labels []Label
+	lkey   string
+	kind   string // "counter", "gauge" or "histogram"
+
+	c  *Counter
+	g  *Gauge
+	fn func() float64 // func gauge; read at snapshot time
+	h  *Histogram
+}
+
+// Registry holds metric instruments by (name, label set). Registration takes
+// a mutex; recording on a registered instrument is lock-free. Registering
+// the same (name, labels) again returns the existing instrument (func gauges
+// instead replace their callback, so a rebuilt producer — e.g. a fresh
+// engine for the same tool — takes over the series).
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// lookup returns the series for (name, ls), creating it with mk on first use.
+func (r *Registry) lookup(name, kind string, ls []Label, mk func(*entry)) *entry {
+	key := name + labelKey(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: append([]Label(nil), ls...), lkey: labelKey(ls), kind: kind}
+	mk(e)
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter for (name, ls), registering it on first use.
+func (r *Registry) Counter(name string, ls ...Label) *Counter {
+	e := r.lookup(name, "counter", ls, func(e *entry) { e.c = &Counter{} })
+	return e.c
+}
+
+// Gauge returns the gauge for (name, ls), registering it on first use.
+func (r *Registry) Gauge(name string, ls ...Label) *Gauge {
+	e := r.lookup(name, "gauge", ls, func(e *entry) { e.g = &Gauge{} })
+	return e.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time. Re-registering the same series replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64, ls ...Label) {
+	e := r.lookup(name, "gauge", ls, func(e *entry) {})
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the log-bucketed histogram for (name, ls), registering
+// it on first use.
+func (r *Registry) Histogram(name string, ls ...Label) *Histogram {
+	e := r.lookup(name, "histogram", ls, func(e *entry) { e.h = &Histogram{} })
+	return e.h
+}
+
+// Value returns the current value of a counter or gauge series; ok is false
+// when the series does not exist or is a histogram.
+func (r *Registry) Value(name string, ls ...Label) (float64, bool) {
+	key := name + labelKey(ls)
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case e.c != nil:
+		return float64(e.c.Value()), true
+	case e.g != nil:
+		return float64(e.g.Value()), true
+	case e.fn != nil:
+		return e.fn(), true
+	}
+	return 0, false
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot. Le is the
+// inclusive upper bound of the bucket's value range; Count is the number of
+// observations that landed in this bucket (non-cumulative).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Metric is one series in a snapshot.
+type Metric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counters, gauges and func gauges.
+	Value float64 `json:"value"`
+	// Count, Sum and Buckets carry histograms.
+	Count   int64    `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every series' current value, sorted by (name, labels) so
+// two snapshots of identical state render identically.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].lkey < entries[j].lkey
+	})
+	out := make([]Metric, 0, len(entries))
+	for _, e := range entries {
+		m := Metric{Name: e.name, Type: e.kind}
+		if len(e.labels) > 0 {
+			m.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				m.Labels[l.Key] = l.Value
+			}
+		}
+		switch {
+		case e.c != nil:
+			m.Value = float64(e.c.Value())
+		case e.g != nil:
+			m.Value = float64(e.g.Value())
+		case e.fn != nil:
+			m.Value = e.fn()
+		case e.h != nil:
+			m.Count, m.Sum, m.Buckets = e.h.snapshot()
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as pretty-printed JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (text/plain; version=0.0.4). Histograms render as cumulative
+// _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	lastName := ""
+	for _, m := range snap {
+		if m.Name != lastName {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Type)
+			lastName = m.Name
+		}
+		lb := labelBlock(m.Labels, "", "")
+		switch m.Type {
+		case "histogram":
+			var cum int64
+			for _, bk := range m.Buckets {
+				cum += bk.Count
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.Name, labelBlock(m.Labels, "le", fmt.Sprintf("%d", bk.Le)), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.Name, labelBlock(m.Labels, "le", "+Inf"), m.Count)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", m.Name, lb, m.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.Name, lb, m.Count)
+		default:
+			fmt.Fprintf(&b, "%s%s %v\n", m.Name, lb, m.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelBlock renders a {k="v",...} block from a label map plus an optional
+// extra pair (the histogram "le" bound); empty when there are no labels.
+func labelBlock(labels map[string]string, extraK, extraV string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	if extraK != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraK, extraV))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("c_total"); same != c {
+		t.Fatal("re-registering the same counter must return the existing instrument")
+	}
+	g := r.Gauge("g", L("tool", "CECSan"))
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Same name, different labels: distinct series.
+	g2 := r.Gauge("g", L("tool", "ASan"))
+	if g2 == g {
+		t.Fatal("different label sets must be distinct series")
+	}
+	if v, ok := r.Value("g", L("tool", "CECSan")); !ok || v != 5 {
+		t.Fatalf("Value(g{tool=CECSan}) = %v, %v", v, ok)
+	}
+	if _, ok := r.Value("absent"); ok {
+		t.Fatal("Value must report absent series")
+	}
+}
+
+func TestGaugeFuncOverwrite(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn", func() float64 { return 1 })
+	r.GaugeFunc("fn", func() float64 { return 2 })
+	if v, ok := r.Value("fn"); !ok || v != 2 {
+		t.Fatalf("Value(fn) = %v, %v; want 2 (last registration wins)", v, ok)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("a", L("x", "2")).Set(4)
+	r.Gauge("a", L("x", "1")).Set(3)
+	snap := r.Snapshot()
+	var names []string
+	for _, m := range snap {
+		names = append(names, m.Name+labelKey(labelsOf(m)))
+	}
+	want := []string{`a`, `a{x="1"}`, `a{x="2"}`, `b`}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+	var b1, b2 strings.Builder
+	if err := r.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("two snapshots of identical state must render identically")
+	}
+}
+
+func labelsOf(m Metric) []Label {
+	var ls []Label
+	for k, v := range m.Labels {
+		ls = append(ls, L(k, v))
+	}
+	return ls
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", L("tool", "CECSan")).Add(3)
+	h := r.Histogram("dur_us")
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dur_us histogram",
+		"# TYPE runs_total counter",
+		`runs_total{tool="CECSan"} 3`,
+		`dur_us_bucket{le="1"} 1`,
+		`dur_us_bucket{le="7"} 3`, // cumulative: the le=7 bucket includes le=1
+		`dur_us_bucket{le="+Inf"} 3`,
+		"dur_us_sum 11",
+		"dur_us_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Server is a live introspection endpoint bound to one Observer. It serves
+// metric snapshots in both exposition formats, the check-site table when
+// profiling is on, and the stdlib pprof handlers — so a long-running
+// campaign can be watched and CPU/heap-profiled without stopping it.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is bound. Routes:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  expvar-style JSON snapshot
+//	/checks        check-site table (404 unless -profile-checks)
+//	/debug/pprof/  net/http/pprof index, profile, heap, ...
+func (o *Observer) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/checks", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Sites == nil {
+			http.Error(w, "check-site profiling not enabled (-profile-checks)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.Sites.FormatSites(w, 0, 0)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "obs: http server: %v\n", err)
+		}
+	}()
+	return s, nil
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

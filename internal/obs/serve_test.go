@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServe(t *testing.T) {
+	o := New()
+	o.Registry.Counter("live_total", L("tool", "CECSan")).Add(42)
+	o.Sites = NewSiteProfiler()
+	o.Sites.ForTool("CECSan").ObserveCheck("main", 3, 8, time.Microsecond)
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, `live_total{tool="CECSan"} 42`) {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get(t, base+"/metrics.json"); code != http.StatusOK ||
+		!strings.Contains(body, `"live_total"`) {
+		t.Fatalf("/metrics.json: %d\n%s", code, body)
+	}
+	if code, body := get(t, base+"/checks"); code != http.StatusOK ||
+		!strings.Contains(body, "main") {
+		t.Fatalf("/checks with profiling: %d\n%s", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d\n%s", code, body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr)); err == nil {
+		t.Fatal("server must stop serving after Close")
+	}
+}
+
+func TestServeChecksWithoutProfiler(t *testing.T) {
+	o := New()
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Without a site profiler, /checks explains itself with a 404.
+	if code, _ := get(t, "http://"+srv.Addr+"/checks"); code != http.StatusNotFound {
+		t.Fatalf("/checks without profiling: %d, want 404", code)
+	}
+}

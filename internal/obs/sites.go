@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SiteKey identifies one static check site under one sanitizer: the function
+// containing the check opcode, the opcode's program counter within that
+// function, and the tool whose runtime executed it.
+type SiteKey struct {
+	Tool string
+	Func string
+	PC   int
+}
+
+// SiteStat is the accumulated profile of one check site.
+type SiteStat struct {
+	Key   SiteKey
+	Fires int64         // number of times the check executed
+	Bytes int64         // total bytes the checks covered
+	Cost  time.Duration // cumulative wall time spent inside the checks
+}
+
+// SiteProfiler accumulates per-(sanitizer, check site) fire counts and
+// cumulative cost. Sites are created on first fire under a mutex; subsequent
+// fires on the same site update its stat under the same mutex — check
+// profiling is explicitly opt-in (-profile-checks) and its overhead is
+// accepted, unlike Registry recording which stays lock-free.
+type SiteProfiler struct {
+	mu    sync.Mutex
+	stats map[SiteKey]*SiteStat
+}
+
+// NewSiteProfiler returns an empty profiler.
+func NewSiteProfiler() *SiteProfiler {
+	return &SiteProfiler{stats: make(map[SiteKey]*SiteStat)}
+}
+
+// ToolSites is a SiteProfiler view bound to one sanitizer. It satisfies the
+// interpreter's CheckObserver interface structurally, keeping internal/interp
+// free of an obs import.
+type ToolSites struct {
+	p    *SiteProfiler
+	tool string
+}
+
+// ForTool returns the profiler view for one sanitizer. Returns nil when the
+// profiler itself is nil, so callers can pass it through unconditionally.
+func (p *SiteProfiler) ForTool(tool string) *ToolSites {
+	if p == nil {
+		return nil
+	}
+	return &ToolSites{p: p, tool: tool}
+}
+
+// ObserveCheck records one executed check at (fn, pc) covering bytes and
+// costing dur of wall time.
+func (t *ToolSites) ObserveCheck(fn string, pc int, bytes int64, dur time.Duration) {
+	key := SiteKey{Tool: t.tool, Func: fn, PC: pc}
+	t.p.mu.Lock()
+	s, ok := t.p.stats[key]
+	if !ok {
+		s = &SiteStat{Key: key}
+		t.p.stats[key] = s
+	}
+	s.Fires++
+	s.Bytes += bytes
+	s.Cost += dur
+	t.p.mu.Unlock()
+}
+
+// Sites returns every site's stat, sorted by cumulative cost descending
+// (ties broken by fires, then key) so the hottest sites come first.
+func (p *SiteProfiler) Sites() []SiteStat {
+	p.mu.Lock()
+	out := make([]SiteStat, 0, len(p.stats))
+	for _, s := range p.stats {
+		out = append(out, *s)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		if out[i].Fires != out[j].Fires {
+			return out[i].Fires > out[j].Fires
+		}
+		ki, kj := out[i].Key, out[j].Key
+		if ki.Tool != kj.Tool {
+			return ki.Tool < kj.Tool
+		}
+		if ki.Func != kj.Func {
+			return ki.Func < kj.Func
+		}
+		return ki.PC < kj.PC
+	})
+	return out
+}
+
+// TotalFires returns the total number of observed check executions across
+// all sites. Comparing it against interp.Stats.ChecksExecuted proves the
+// profiler's attribution coverage.
+func (p *SiteProfiler) TotalFires() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, s := range p.stats {
+		n += s.Fires
+	}
+	return n
+}
+
+// FormatSites writes a top-N hottest-check-sites table. totalChecks, when
+// positive, is the denominator for the attribution footer (typically
+// interp.Stats.ChecksExecuted); topN <= 0 means all sites.
+func (p *SiteProfiler) FormatSites(w io.Writer, topN int, totalChecks int64) {
+	sites := p.Sites()
+	shown := sites
+	if topN > 0 && len(shown) > topN {
+		shown = shown[:topN]
+	}
+	fmt.Fprintf(w, "%-16s %-24s %6s %12s %12s %14s\n", "TOOL", "FUNC", "PC", "FIRES", "BYTES", "COST")
+	var fires int64
+	for _, s := range sites {
+		fires += s.Fires
+	}
+	for _, s := range shown {
+		fmt.Fprintf(w, "%-16s %-24s %6d %12d %12d %14s\n",
+			s.Key.Tool, s.Key.Func, s.Key.PC, s.Fires, s.Bytes, s.Cost.Round(time.Microsecond))
+	}
+	if len(sites) > len(shown) {
+		fmt.Fprintf(w, "... %d more sites\n", len(sites)-len(shown))
+	}
+	if totalChecks > 0 {
+		fmt.Fprintf(w, "attributed %d/%d checks (%.1f%%) across %d sites\n",
+			fires, totalChecks, 100*float64(fires)/float64(totalChecks), len(sites))
+	} else {
+		fmt.Fprintf(w, "attributed %d checks across %d sites\n", fires, len(sites))
+	}
+}

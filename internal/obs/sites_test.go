@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSiteProfiler(t *testing.T) {
+	p := NewSiteProfiler()
+	cec := p.ForTool("CECSan")
+	asan := p.ForTool("ASan")
+	cec.ObserveCheck("main", 4, 8, 2*time.Microsecond)
+	cec.ObserveCheck("main", 4, 8, 3*time.Microsecond)
+	cec.ObserveCheck("helper", 9, 16, 10*time.Microsecond)
+	asan.ObserveCheck("main", 4, 8, time.Microsecond)
+
+	if got := p.TotalFires(); got != 4 {
+		t.Fatalf("TotalFires = %d, want 4", got)
+	}
+	sites := p.Sites()
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(sites))
+	}
+	// Sorted by cumulative cost descending.
+	if sites[0].Key != (SiteKey{Tool: "CECSan", Func: "helper", PC: 9}) {
+		t.Fatalf("hottest site = %+v", sites[0].Key)
+	}
+	if sites[0].Cost != 10*time.Microsecond || sites[0].Fires != 1 || sites[0].Bytes != 16 {
+		t.Fatalf("hottest stat = %+v", sites[0])
+	}
+	if sites[1].Fires != 2 || sites[1].Cost != 5*time.Microsecond {
+		t.Fatalf("second site = %+v", sites[1])
+	}
+
+	var b strings.Builder
+	p.FormatSites(&b, 2, 5)
+	out := b.String()
+	if !strings.Contains(out, "helper") || !strings.Contains(out, "... 1 more sites") {
+		t.Fatalf("FormatSites top-2 output:\n%s", out)
+	}
+	if !strings.Contains(out, "attributed 4/5 checks (80.0%)") {
+		t.Fatalf("FormatSites attribution footer:\n%s", out)
+	}
+}
+
+func TestNilProfilerForTool(t *testing.T) {
+	var p *SiteProfiler
+	if ts := p.ForTool("CECSan"); ts != nil {
+		t.Fatal("nil profiler must hand out a nil view")
+	}
+}

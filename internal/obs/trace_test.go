@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerLanes(t *testing.T) {
+	tr := NewTracer()
+	a := tr.AcquireLane()
+	b := tr.AcquireLane()
+	if a == b {
+		t.Fatalf("concurrent lanes must differ, both %d", a)
+	}
+	tr.ReleaseLane(a)
+	if c := tr.AcquireLane(); c != a {
+		t.Fatalf("freed lane %d must be reused, got %d", a, c)
+	}
+	// The lowest free lane wins, keeping flame-chart rows dense.
+	tr.ReleaseLane(b)
+	a2 := tr.AcquireLane() // a is held again; next free is b
+	if a2 != b {
+		t.Fatalf("lowest free lane is %d, got %d", b, a2)
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.AcquireLane()
+	start := time.Now()
+	tr.Record("execute CECSan", lane, start, 1500*time.Microsecond)
+	tr.Record("reset CECSan", lane, start.Add(2*time.Millisecond), 40*time.Microsecond)
+	tr.ReleaseLane(lane)
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "execute CECSan" || ev.Ph != "X" || ev.Dur != 1500 || ev.Tid != lane {
+		t.Fatalf("event = %+v", ev)
+	}
+	if doc.TraceEvents[1].Ts <= ev.Ts {
+		t.Fatalf("timestamps must be relative and increasing: %d then %d", ev.Ts, doc.TraceEvents[1].Ts)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+}
