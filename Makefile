@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate bench-table2 bench-table4 clean
 
 all: build test
 
@@ -65,6 +65,16 @@ bench-smoke:
 		-metrics-json metrics-smoke.json
 	$(GO) run ./cmd/temporalbench -json BENCH_temporal.json
 
+# Performance-trend gate: regenerate the bench-smoke record into a scratch
+# file and compare it against the committed BENCH_table2.json baseline.
+# Throughput gates with a generous machine-variance tolerance; the
+# instrumentation-cache hit rate is machine-independent and must not
+# regress. Run before bench-smoke — bench-smoke overwrites the baseline.
+bench-gate:
+	$(GO) run ./cmd/julietbench -table 2 -scale 0.05 -progress 0 -json BENCH_fresh.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_table2.json -fresh BENCH_fresh.json
+	rm -f BENCH_fresh.json
+
 # Full-scale table regenerations.
 bench-table2:
 	$(GO) run ./cmd/julietbench -table 2 -json BENCH_table2.json
@@ -73,4 +83,4 @@ bench-table4:
 	$(GO) run ./cmd/specbench -suite 2006 -json BENCH_table4.json
 
 clean:
-	rm -f BENCH_*.json metrics-smoke.json trace-smoke.json
+	rm -f BENCH_fresh.json metrics-smoke.json trace-smoke.json

@@ -1,0 +1,143 @@
+// Command benchgate is the CI performance-trend gate: it compares a freshly
+// generated bench-smoke record against the committed baseline
+// (BENCH_table2.json) and exits non-zero on drift.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_table2.json -fresh BENCH_fresh.json
+//	          [-max-slowdown 0.5] [-hit-drop 0.02]
+//
+// Two families of checks run, with different strictness because they have
+// different noise floors:
+//
+//   - cases_per_sec (overall and per tool) is machine-dependent, so it gates
+//     with a generous relative tolerance: the fresh run must reach at least
+//     (1 - max-slowdown) of the baseline throughput.
+//   - cache_hit_rate is machine-independent (it counts requests, not time),
+//     so it must not regress by more than hit-drop absolute — a drop means
+//     the pre-instrumentation or sharding logic stopped covering the run
+//     path, which no amount of hardware variance explains.
+//
+// Structural drift — a tool present in the baseline but missing from the
+// fresh record, or a changed case count at the same scale — also fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// toolRecord mirrors the per-tool fields benchgate reads from the
+// julietbench -json schema; unknown fields are ignored so the gate tolerates
+// schema growth.
+type toolRecord struct {
+	Name         string  `json:"name"`
+	Cases        int     `json:"cases"`
+	CasesPerSec  float64 `json:"cases_per_sec"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// benchRecord mirrors the top-level julietbench -json schema.
+type benchRecord struct {
+	Scale       float64      `json:"scale"`
+	Cases       int          `json:"cases"`
+	CasesPerSec float64      `json:"cases_per_sec"`
+	Tools       []toolRecord `json:"tools"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &benchRecord{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_table2.json", "committed baseline benchmark record")
+	freshPath := flag.String("fresh", "", "freshly generated benchmark record to gate (required)")
+	maxSlowdown := flag.Float64("max-slowdown", 0.5, "maximum tolerated relative cases/sec regression (0.5 = fresh may be half the baseline)")
+	hitDrop := flag.Float64("hit-drop", 0.02, "maximum tolerated absolute cache hit-rate regression")
+	flag.Parse()
+	if *freshPath == "" {
+		return fmt.Errorf("-fresh is required")
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	if base.Scale != fresh.Scale {
+		fail("scale mismatch: baseline %.3f, fresh %.3f (records are not comparable)", base.Scale, fresh.Scale)
+	} else if base.Cases != fresh.Cases {
+		fail("case count drift at scale %.3f: baseline %d, fresh %d", base.Scale, base.Cases, fresh.Cases)
+	}
+
+	floor := base.CasesPerSec * (1 - *maxSlowdown)
+	status := "ok"
+	if fresh.CasesPerSec < floor {
+		status = "FAIL"
+		fail("overall cases/sec %.0f below floor %.0f (baseline %.0f, max slowdown %.0f%%)",
+			fresh.CasesPerSec, floor, base.CasesPerSec, 100**maxSlowdown)
+	}
+	fmt.Printf("%-16s cases/sec %10.0f baseline %10.0f floor %10.0f  %s\n",
+		"overall", fresh.CasesPerSec, base.CasesPerSec, floor, status)
+
+	baseTools := make(map[string]toolRecord, len(base.Tools))
+	for _, t := range base.Tools {
+		baseTools[t.Name] = t
+	}
+	for _, ft := range fresh.Tools {
+		bt, ok := baseTools[ft.Name]
+		if !ok {
+			continue // new tool: nothing to regress against
+		}
+		delete(baseTools, ft.Name)
+		status := "ok"
+		if ft.CacheHitRate < bt.CacheHitRate-*hitDrop {
+			status = "FAIL"
+			fail("%s cache hit rate %.1f%% regressed below baseline %.1f%% (allowed drop %.1f pts)",
+				ft.Name, 100*ft.CacheHitRate, 100*bt.CacheHitRate, 100**hitDrop)
+		}
+		fmt.Printf("%-16s hit rate %12.1f%% baseline %8.1f%%  %s\n",
+			ft.Name, 100*ft.CacheHitRate, 100*bt.CacheHitRate, status)
+	}
+	for name := range baseTools {
+		fail("tool %s present in baseline but missing from fresh record", name)
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Println("DRIFT:", f)
+		}
+		return fmt.Errorf("%d check(s) failed against %s", len(failures), *baselinePath)
+	}
+	fmt.Println("benchgate: no drift")
+	return nil
+}

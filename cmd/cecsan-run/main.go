@@ -11,6 +11,12 @@
 //	cecsan-run -src prog.csc [-input hex] [-sanitizer ASan]
 //	cecsan-run -list
 //
+// The §II.F ablations are measured with the check-site profiler: run once
+// with a pass disabled and -profile-json baseline.json, then run with the
+// pass enabled and -profile-diff baseline.json — the diff table shows
+// exactly which site tables the pass emptied (fires dropping to zero or to
+// the grouped stride).
+//
 // The temporal-hardening knobs apply to the CECSan-family sanitizers only:
 // -hardened turns on every mitigation at its default strength, and the three
 // fine-grained knobs override individual dials (a non-zero value implies the
@@ -29,6 +35,7 @@ import (
 	"cecsan/internal/cliutil"
 	"cecsan/internal/core"
 	"cecsan/internal/engine"
+	"cecsan/internal/obs"
 	"cecsan/internal/rt"
 	"cecsan/internal/sanitizers"
 	"cecsan/internal/specsim"
@@ -61,8 +68,12 @@ func run() error {
 	maxSteps := cliutil.MaxStepsFlag()
 	maxDepth := cliutil.MaxDepthFlag()
 	workers := cliutil.WorkersFlag()
+	profileDiff := flag.String("profile-diff", "", "diff this run's check-site profile against a baseline written by -profile-json (implies -profile-checks)")
 	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
+	if *profileDiff != "" {
+		obsFlags.ProfileChecks = true
+	}
 
 	if *list {
 		for _, w := range append(specsim.Spec2006(), append(specsim.Spec2017(), specsim.Smoke()...)...) {
@@ -197,6 +208,14 @@ func run() error {
 		ts := th.TemporalStats()
 		fmt.Printf("temporal          gen-wraps %d  index-spills %d  quarantine evict %d / flush %d / held %d bytes\n",
 			ts.GenerationWraps, ts.IndexSpills, ts.QuarantineEvictions, ts.QuarantineFlushes, ts.QuarantinedBytes)
+	}
+	if *profileDiff != "" && o != nil && o.Sites != nil {
+		baseline, err := obs.LoadSitesFile(*profileDiff)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncheck-site diff vs %s\n", *profileDiff)
+		obs.FormatSiteDiff(os.Stdout, baseline, o.Sites.Sites())
 	}
 	// The -profile-checks table attributes the observed check fires against
 	// the run's ChecksExecuted total.

@@ -44,6 +44,8 @@ type toolJSON struct {
 	CasesPerSec       float64            `json:"cases_per_sec"`
 	CacheHits         int64              `json:"cache_hits"`
 	CacheMisses       int64              `json:"cache_misses"`
+	CachePrefills     int64              `json:"cache_prefills"`
+	CacheOverflows    int64              `json:"cache_overflows"`
 	CacheHitRate      float64            `json:"cache_hit_rate"`
 	InstrumentSeconds float64            `json:"instrument_seconds"`
 	ExecuteSeconds    float64            `json:"execute_seconds"`
@@ -150,6 +152,8 @@ func run() error {
 				CasesPerSec:       tr.Engine.CasesPerSec(),
 				CacheHits:         tr.Engine.CacheHits,
 				CacheMisses:       tr.Engine.CacheMisses,
+				CachePrefills:     tr.Engine.CachePrefills,
+				CacheOverflows:    tr.Engine.CacheOverflows,
 				CacheHitRate:      tr.Engine.CacheHitRate(),
 				InstrumentSeconds: tr.Engine.InstrumentTime.Seconds(),
 				ExecuteSeconds:    tr.Engine.ExecuteTime.Seconds(),

@@ -103,6 +103,10 @@ type ObsFlags struct {
 	ProfileChecks bool
 	// ProfileTop is -profile-top: how many sites the table shows.
 	ProfileTop int
+	// ProfileJSON is -profile-json: path for the machine-readable site
+	// profile (implies -profile-checks). The file is the baseline input to
+	// cecsan-run's -profile-diff ablation mode.
+	ProfileJSON string
 }
 
 // RegisterObsFlags registers the shared observability flags on fs.
@@ -113,6 +117,7 @@ func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
 	fs.StringVar(&f.HTTPAddr, "http", "", "serve live metric snapshots + pprof on this address (e.g. 127.0.0.1:0)")
 	fs.BoolVar(&f.ProfileChecks, "profile-checks", false, "profile executed checks per (sanitizer, site); print the hottest sites at exit")
 	fs.IntVar(&f.ProfileTop, "profile-top", 10, "rows in the -profile-checks table (0 = all)")
+	fs.StringVar(&f.ProfileJSON, "profile-json", "", "write the full check-site profile as JSON to this path (implies -profile-checks)")
 	return f
 }
 
@@ -122,7 +127,7 @@ func ObsFlagsCmd() *ObsFlags { return RegisterObsFlags(flag.CommandLine) }
 
 // Enabled reports whether any observability flag was set.
 func (f *ObsFlags) Enabled() bool {
-	return f.MetricsJSON != "" || f.TracePath != "" || f.HTTPAddr != "" || f.ProfileChecks
+	return f.MetricsJSON != "" || f.TracePath != "" || f.HTTPAddr != "" || f.ProfileChecks || f.ProfileJSON != ""
 }
 
 // Build constructs the Observer the flags ask for and starts the live
@@ -137,7 +142,7 @@ func (f *ObsFlags) Build() (*obs.Observer, *obs.Server, error) {
 	if f.TracePath != "" {
 		o.Tracer = obs.NewTracer()
 	}
-	if f.ProfileChecks {
+	if f.ProfileChecks || f.ProfileJSON != "" {
 		o.Sites = obs.NewSiteProfiler()
 	}
 	var srv *obs.Server
@@ -174,6 +179,11 @@ func (f *ObsFlags) Finish(o *obs.Observer, srv *obs.Server, totalChecks int64) e
 	if f.ProfileChecks && o.Sites != nil {
 		fmt.Println()
 		o.Sites.FormatSites(os.Stdout, f.ProfileTop, totalChecks)
+	}
+	if f.ProfileJSON != "" && o.Sites != nil {
+		if err := writeTo(f.ProfileJSON, o.Sites.WriteJSON); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if err := srv.Close(); err != nil && firstErr == nil {
 		firstErr = err

@@ -9,10 +9,11 @@
 //   - An instrumentation cache. Instrumentation is deterministic in
 //     (program, profile), and the interpreter never mutates instructions, so
 //     one instrumented program is shared by any number of concurrent
-//     machines. The cache is content-addressed by prog.Fingerprint (the
-//     profile is fixed per engine), which collapses the thousands of
-//     structurally identical Juliet flow variants to one instrumentation
-//     each.
+//     machines. The cache is content-addressed by (profile, Fingerprint),
+//     sharded by fingerprint prefix with single-flight instrumentation (see
+//     Cache), and campaign-global: Options.Cache lets every engine in a
+//     multi-tool campaign share one bounded cache, and Preinstrument warms
+//     it for known case families so the run path never compiles inline.
 //
 //   - Pooled execution resources. Address spaces, heaps and globals layouts
 //     are recycled through a sync.Pool via interp.Resources.Reset, which is
@@ -27,10 +28,11 @@
 //
 // Sanitizer runtimes are per-process state (metadata tables, shadow,
 // quarantine) and are never shared between live machines. Runtimes that
-// implement rt.Resettable (the CECSan family, whose constructor is dominated
-// by the metadata-table allocation) are recycled through a pool after an
-// explicit reset back to post-constructor state; all others — notably HWASan,
-// whose constructor seeds the tag RNG — are built fresh for every machine.
+// implement rt.Resettable — the CECSan family, ASan's shadow, SoftBound's
+// metadata maps, and HWASan (whose reset rewinds the tag RNG to the
+// constructor seed, so the recycled tag stream is byte-identical to a fresh
+// runtime's) — are recycled through a pool after an explicit reset back to
+// post-constructor state; all others are built fresh for every machine.
 // FreshRuntime mode disables both pools.
 package engine
 
@@ -108,6 +110,15 @@ type Options struct {
 	// Observability only reads execution state — results are identical with
 	// or without it.
 	Obs *obs.Observer
+	// Cache, when set, is the campaign-global instrumentation cache this
+	// engine shares with others (typically one Cache across all tools of a
+	// Table II campaign). Nil gives the engine a private cache of
+	// DefaultCacheCapacity — the pre-campaign-cache behaviour.
+	Cache *Cache
+	// DisableFusion turns off the check+access superinstruction fusion pass
+	// for this engine's instrumented programs (equivalence testing; fused
+	// and unfused execution are semantically identical).
+	DisableFusion bool
 }
 
 // Engine runs programs under one sanitizer with cached instrumentation and
@@ -118,17 +129,19 @@ type Engine struct {
 	profile    rt.Profile
 	interpOpts interp.Options
 
-	cacheMu sync.Mutex
-	cache   map[prog.Fingerprint]*cacheEntry
+	cache *Cache
+	pid   uint32 // the engine's profile id within the cache
 
 	pool    sync.Pool // *interp.Resources, Reset between uses
 	sanPool sync.Pool // rt.Sanitizer bundles whose runtime is rt.Resettable
 
-	runs         atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	instrumentNS atomic.Int64
-	executeNS    atomic.Int64
+	runs           atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cachePrefills  atomic.Int64
+	cacheOverflows atomic.Int64
+	instrumentNS   atomic.Int64
+	executeNS      atomic.Int64
 
 	// wallMu guards the wall-clock span over all Run calls. A mutex (not a
 	// pair of atomics) so Stats() snapshots first-start and last-end
@@ -153,13 +166,6 @@ type Engine struct {
 	// set; all nil otherwise so the hot path stays a pair of nil checks.
 	runDurUS  *obs.Histogram // per-run execute wall time, microseconds
 	runChecks *obs.Histogram // per-run executed check count
-}
-
-// cacheEntry is one instrumented program; the Once makes concurrent first
-// requests for the same fingerprint instrument exactly once.
-type cacheEntry struct {
-	once sync.Once
-	p    *prog.Program
 }
 
 // New builds an engine for the named sanitizer. Only the instrumentation
@@ -188,12 +194,17 @@ func New(tool sanitizers.Name, opts Options) (*Engine, error) {
 	if opts.Seed != 0 {
 		iopts.Seed = opts.Seed
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCache(0)
+	}
 	e := &Engine{
 		tool:       tool,
 		opts:       opts,
 		profile:    profile,
 		interpOpts: iopts,
-		cache:      make(map[prog.Fingerprint]*cacheEntry),
+		cache:      cache,
+		pid:        cache.profileID(profile, !opts.DisableFusion),
 	}
 	if o := opts.Obs; o != nil {
 		if o.Sites != nil {
@@ -218,6 +229,8 @@ func (e *Engine) initObs(o *obs.Observer) {
 		{"engine_runs_total", func() float64 { return float64(e.runs.Load()) }},
 		{"engine_cache_hits", func() float64 { return float64(e.cacheHits.Load()) }},
 		{"engine_cache_misses", func() float64 { return float64(e.cacheMisses.Load()) }},
+		{"engine_cache_prefills", func() float64 { return float64(e.cachePrefills.Load()) }},
+		{"engine_cache_overflows", func() float64 { return float64(e.cacheOverflows.Load()) }},
 		{"engine_cache_hit_rate", func() float64 { return e.Stats().CacheHitRate() }},
 		{"engine_cases_per_sec", func() float64 { return e.Stats().CasesPerSec() }},
 		{"engine_execute_seconds", func() float64 { return time.Duration(e.executeNS.Load()).Seconds() }},
@@ -254,35 +267,99 @@ func (e *Engine) newSanitizer() (rt.Sanitizer, error) {
 }
 
 // Instrument returns the instrumented form of p under the engine's profile,
-// from cache when a structurally identical program was seen before.
+// from the (possibly campaign-shared) cache when a structurally identical
+// program was seen before. Cache accounting is per request: every call
+// counts exactly one hit or miss, whatever the sharding or concurrency, so
+// Stats.CacheHitRate stays comparable across cache topologies.
 func (e *Engine) Instrument(p *prog.Program) *prog.Program {
-	fp := p.Fingerprint()
-	e.cacheMu.Lock()
-	ent, ok := e.cache[fp]
-	if !ok {
-		ent = &cacheEntry{}
-		e.cache[fp] = ent
+	return e.instrument(p, false)
+}
+
+// Preinstrument warms the instrumentation cache for the given programs (the
+// known case families of a campaign — e.g. every bad and good variant)
+// before the run loop, fanning out across the engine's worker count. Warm
+// fills count as Stats.CachePrefills, not as run-path hits or misses: after
+// a complete pass, the run loop serves every Instrument request from cache
+// and its hit rate reflects that.
+func (e *Engine) Preinstrument(progs []*prog.Program) {
+	n := len(progs)
+	if n == 0 {
+		return
 	}
-	e.cacheMu.Unlock()
-	hit := true
-	ent.once.Do(func() {
-		hit = false
-		start := time.Now()
-		ent.p = instrument.Apply(p, e.profile)
-		dur := time.Since(start)
-		e.instrumentNS.Add(dur.Nanoseconds())
-		if t := e.tracer(); t != nil {
-			lane := t.AcquireLane()
-			t.Record("instrument "+string(e.tool), lane, start, dur)
-			t.ReleaseLane(lane)
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				e.instrument(progs[i], true)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// instrument is the shared cache path. prefill marks a warm fill from
+// Preinstrument, which is accounted separately from run-path requests.
+func (e *Engine) instrument(p *prog.Program, prefill bool) *prog.Program {
+	fp := p.Fingerprint()
+	ent, full := e.cache.lookup(e.pid, fp)
+	if full {
+		// Shard at capacity: degrade gracefully to uncached instrumentation.
+		e.cacheOverflows.Add(1)
+		if prefill {
+			e.cachePrefills.Add(1)
+		} else {
+			e.cacheMisses.Add(1)
 		}
+		return e.apply(p)
+	}
+	miss := false
+	ent.once.Do(func() {
+		miss = true
+		ent.p = e.apply(p)
 	})
-	if hit {
-		e.cacheHits.Add(1)
-	} else {
+	switch {
+	case prefill:
+		e.cachePrefills.Add(1)
+		if miss {
+			e.cache.prefills.Add(1)
+		}
+	case miss:
 		e.cacheMisses.Add(1)
+	default:
+		e.cacheHits.Add(1)
 	}
 	return ent.p
+}
+
+// apply runs the instrumentation pass, recording time and tracer spans.
+func (e *Engine) apply(p *prog.Program) *prog.Program {
+	start := time.Now()
+	ip := instrument.Apply(p, e.profile)
+	if !e.opts.DisableFusion {
+		instrument.Fuse(ip)
+	}
+	dur := time.Since(start)
+	e.instrumentNS.Add(dur.Nanoseconds())
+	if t := e.tracer(); t != nil {
+		lane := t.AcquireLane()
+		t.Record("instrument "+string(e.tool), lane, start, dur)
+		t.ReleaseLane(lane)
+	}
+	return ip
 }
 
 // acquire hands out a resource bundle: a pooled one (already Reset) when
@@ -691,10 +768,20 @@ func (e *Engine) noteEnd(t time.Time) {
 type Stats struct {
 	// Runs is the number of completed machine runs.
 	Runs int64
-	// CacheHits and CacheMisses count Instrument requests served from /
-	// added to the instrumentation cache.
+	// CacheHits and CacheMisses count run-path Instrument requests served
+	// from / added to the instrumentation cache. Accounting is per request
+	// — a request that waited on another worker's in-flight instrumentation
+	// of the same fingerprint is a hit; the one that performed it is a miss
+	// — so the rate is comparable whether the cache is private or shared,
+	// sharded or not.
 	CacheHits   int64
 	CacheMisses int64
+	// CachePrefills counts Preinstrument warm fills (not part of the hit
+	// rate: they happen before the run loop by design).
+	CachePrefills int64
+	// CacheOverflows counts requests that found their cache shard at
+	// capacity and instrumented inline without caching.
+	CacheOverflows int64
 	// InstrumentTime is total time spent instrumenting (cache misses only).
 	InstrumentTime time.Duration
 	// ExecuteTime is total machine-run time summed over runs (can exceed
@@ -754,6 +841,8 @@ func (e *Engine) Stats() Stats {
 		Runs:                e.runs.Load(),
 		CacheHits:           e.cacheHits.Load(),
 		CacheMisses:         e.cacheMisses.Load(),
+		CachePrefills:       e.cachePrefills.Load(),
+		CacheOverflows:      e.cacheOverflows.Load(),
 		InstrumentTime:      time.Duration(e.instrumentNS.Load()),
 		ExecuteTime:         time.Duration(e.executeNS.Load()),
 		Faults:              e.faults.Load(),

@@ -87,6 +87,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			}
 		}
 	}
+	cache := engine.NewCache(0)
 	for i, tool := range r.tools {
 		opts := engine.Options{
 			Workers:         cfg.Workers,
@@ -96,6 +97,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			FaultSeed:       cfg.FaultSeed,
 			RuntimeSeed:     cfg.Seed,
 			Obs:             cfg.Obs,
+			Cache:           cache,
 		}
 		if i == 0 && cfg.Progress != nil {
 			// The first engine doubles as the campaign scheduler.

@@ -142,11 +142,14 @@ var ProgressEvery = 200
 var Obs *obs.Observer
 
 // EvaluateJuliet runs the suite under every listed tool, in parallel across
-// cases. workers <= 0 selects GOMAXPROCS.
+// cases. workers <= 0 selects GOMAXPROCS. All tools share one campaign-global
+// instrumentation cache, and each tool's case families are pre-instrumented
+// before its run loop, so the run path never compiles inline.
 func EvaluateJuliet(suite []*juliet.Case, tools []sanitizers.Name, workers int) (*JulietEvaluation, error) {
 	eval := &JulietEvaluation{}
+	cache := engine.NewCache(0)
 	for _, tool := range tools {
-		tr, err := evaluateTool(suite, tool, workers)
+		tr, err := evaluateTool(suite, tool, workers, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -156,9 +159,11 @@ func EvaluateJuliet(suite []*juliet.Case, tools []sanitizers.Name, workers int) 
 }
 
 // evaluateTool runs one tool over its subset of the suite through one
-// engine: the tool's cases share an instrumentation cache and resource pool
-// and fan out across the engine's worker scheduler.
-func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*ToolResult, error) {
+// engine: the tool's cases share the campaign's instrumentation cache and
+// the engine's resource pool, and fan out across the worker scheduler. The
+// bad and good variants of every case are pre-instrumented (single-flight,
+// across the worker pool) before the run loop starts.
+func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int, cache *engine.Cache) (*ToolResult, error) {
 	include := subsetFor(tool)
 	var cases []*juliet.Case
 	for _, cs := range suite {
@@ -168,7 +173,7 @@ func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*Too
 	}
 	tr := &ToolResult{Name: tool, Cases: len(cases), PerCWE: make(map[juliet.CWE]CWEStats)}
 
-	eopts := engine.Options{Workers: workers, ProgressEvery: ProgressEvery, Obs: Obs}
+	eopts := engine.Options{Workers: workers, ProgressEvery: ProgressEvery, Obs: Obs, Cache: cache}
 	if Progress != nil {
 		eopts.Progress = func(done, total int) { Progress(tool, done, total) }
 	}
@@ -176,6 +181,12 @@ func evaluateTool(suite []*juliet.Case, tool sanitizers.Name, workers int) (*Too
 	if err != nil {
 		return nil, err
 	}
+
+	progs := make([]*prog.Program, 0, 2*len(cases))
+	for _, cs := range cases {
+		progs = append(progs, cs.Bad, cs.Good)
+	}
+	eng.Preinstrument(progs)
 
 	type caseOut struct {
 		cwe        juliet.CWE

@@ -1,0 +1,41 @@
+package instrument
+
+import "cecsan/prog"
+
+// Fuse populates each function's superinstruction side table: an
+// OpCheckAccess immediately followed by the load or store it guards becomes
+// one fused dispatch (§II.F's mask → metatable lookup → OR → compare
+// sequence plus the access, executed back to back without returning to the
+// interpreter loop). The check-site profiler shows exactly these pairs
+// dominating ChecksExecuted in loop bodies, which is why the pair — not a
+// longer sequence — is the specialization target.
+//
+// Fusion runs after the check-optimization passes (it reads their output)
+// and rewrites nothing: Code, and with it every PC, branch target and
+// violation report, is untouched. A branch into the middle of a pair
+// executes the plain tail instruction, identical to unfused execution, so
+// the pass needs no control-flow analysis.
+func Fuse(p *prog.Program) {
+	for _, f := range p.Funcs {
+		var fused []prog.FuseKind
+		for i := 0; i+1 < len(f.Code); i++ {
+			if f.Code[i].Op != prog.OpCheckAccess {
+				continue
+			}
+			var k prog.FuseKind
+			switch f.Code[i+1].Op {
+			case prog.OpLoad:
+				k = prog.FuseLoad
+			case prog.OpStore:
+				k = prog.FuseStore
+			default:
+				continue
+			}
+			if fused == nil {
+				fused = make([]prog.FuseKind, len(f.Code))
+			}
+			fused[i] = k
+		}
+		f.Fused = fused
+	}
+}

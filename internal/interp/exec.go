@@ -27,7 +27,45 @@ type thread struct {
 	stack  *alloc.Stack
 	budget int64
 
+	// regArena and metaArena back call-frame register windows: each call
+	// carves [frameBase, frameBase+NumRegs) and releases it in its epilogue,
+	// so frame setup is a clear of recycled memory instead of a fresh
+	// allocation per call. Growth reallocates the arena, but live parent
+	// frames keep their slices into the old backing array — every frame only
+	// ever touches its own window, so the windows never alias.
+	regArena  []uint64
+	metaArena []rt.PtrMeta
+	frameBase int
+
 	local Stats
+}
+
+// frame carves a zeroed register window (and, when per-pointer metadata is
+// tracked, a matching metadata window) for one call frame.
+func (th *thread) frame(n int) (regs []uint64, metas []rt.PtrMeta) {
+	base := th.frameBase
+	if base+n > len(th.regArena) {
+		size := 2 * (base + n)
+		if size < 256 {
+			size = 256
+		}
+		grown := make([]uint64, size)
+		copy(grown, th.regArena[:base])
+		th.regArena = grown
+	}
+	regs = th.regArena[base : base+n : base+n]
+	clear(regs)
+	if th.m.trackMeta {
+		if base+n > len(th.metaArena) {
+			grown := make([]rt.PtrMeta, len(th.regArena))
+			copy(grown, th.metaArena[:base])
+			th.metaArena = grown
+		}
+		metas = th.metaArena[base : base+n : base+n]
+		clear(metas)
+	}
+	th.frameBase = base + n
+	return regs, metas
 }
 
 // flushStats merges the thread's counters into the machine.
@@ -58,22 +96,23 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 	run := m.san.Runtime
 	mask := m.addrMask
 
-	regs := make([]uint64, fn.NumRegs)
+	arenaMark := th.frameBase
+	regs, metas := th.frame(fn.NumRegs)
 	copy(regs, args)
-	var metas []rt.PtrMeta
-	if m.trackMeta {
-		metas = make([]rt.PtrMeta, fn.NumRegs)
+	if metas != nil {
 		copy(metas, argMeta)
 	}
 
 	frameMark := th.stack.Mark()
 	var tracked []trackedObj
-	// epilogue releases tracked stack objects' metadata and pops the frame.
+	// epilogue releases tracked stack objects' metadata and pops the frame,
+	// returning the register window to the arena.
 	epilogue := func() {
 		for _, ob := range tracked {
 			run.StackRelease(ob.ptr, ob.size)
 		}
 		th.stack.Release(frameMark)
+		th.frameBase = arenaMark
 	}
 
 	code := fn.Code
@@ -374,6 +413,30 @@ func (th *thread) call(fn *prog.Func, args []uint64, argMeta []rt.PtrMeta, depth
 			if v != nil {
 				epilogue()
 				return 0, rt.PtrMeta{}, th.report(v, fn.Name, pc)
+			}
+			// Fused superinstruction: execute the guarded access in the same
+			// dispatch. Semantics, PCs and step accounting are identical to
+			// the unfused pair — the access instruction is executed verbatim
+			// and counted as its own step.
+			if fn.Fused != nil && fn.Fused[pc] != prog.FuseNone {
+				nin := &code[pc+1]
+				steps++
+				addr := (regs[nin.A] & mask) + uint64(nin.Off)
+				if fn.Fused[pc] == prog.FuseLoad {
+					v, f := m.space.Load(addr, nin.Size)
+					if f != nil {
+						epilogue()
+						return 0, rt.PtrMeta{}, &abort{fault: f}
+					}
+					regs[nin.Dst] = v
+				} else {
+					if f := m.space.Store(addr, nin.Size, regs[nin.B]); f != nil {
+						epilogue()
+						return 0, rt.PtrMeta{}, &abort{fault: f}
+					}
+				}
+				pc += 2
+				continue
 			}
 		case prog.OpCheckPeriodic:
 			// Grouped monotonic check (§II.F.1, Figure 4a): fire every

@@ -81,12 +81,25 @@ type Space struct {
 	chunks  []atomic.Pointer[chunk]
 	touched atomic.Int64 // number of materialized chunks
 
+	// dirtyHi[i] is the exclusive high-water mark of bytes written into
+	// chunk i since the last Reset, maintained with a CAS-max so parallel
+	// regions can store concurrently. Reset zeroes only c[:dirtyHi[i]] —
+	// bytes past the mark were never written and are still zero.
+	dirtyHi []atomic.Int32
+
 	// spare holds zeroed chunks recycled by Reset, so a pooled space
 	// re-materializes pages without fresh 64 KiB allocations. Only touched
 	// by Reset and the (post-Reset, single-goroutine) first faults, but a
 	// mutex keeps concurrent faulting safe anyway.
 	spareMu sync.Mutex
 	spare   []*chunk
+
+	// touchedIdx records the chunk-table index of every materialized chunk
+	// since the last Reset, so Reset walks only the handful of live chunks
+	// instead of all numChunks table slots. Guarded by spareMu;
+	// materialization is rare (first touch per chunk per run), so the lock
+	// is far off the access fast path.
+	touchedIdx []uint32
 
 	// faultHook, when set, is consulted before each first-touch chunk
 	// materialization; returning true fails the mapping (the access gets an
@@ -104,6 +117,7 @@ func NewSpace(addrBits uint) (*Space, error) {
 	return &Space{
 		addrBits: addrBits,
 		chunks:   make([]atomic.Pointer[chunk], numChunks),
+		dirtyHi:  make([]atomic.Int32, numChunks),
 	}, nil
 }
 
@@ -133,6 +147,9 @@ func (s *Space) chunkFor(addr uint64) *chunk {
 	c := s.newChunk()
 	if s.chunks[idx].CompareAndSwap(nil, c) {
 		s.touched.Add(1)
+		s.spareMu.Lock()
+		s.touchedIdx = append(s.touchedIdx, uint32(idx))
+		s.spareMu.Unlock()
 		return c
 	}
 	s.recycle(c)
@@ -165,13 +182,18 @@ func (s *Space) recycle(c *chunk) {
 // still using the space. A reset space behaves byte-for-byte like a new one
 // — including the RSS model, which counts pages from zero again.
 func (s *Space) Reset() {
-	for i := range s.chunks {
-		c := s.chunks[i].Load()
+	s.spareMu.Lock()
+	idxs := s.touchedIdx
+	s.touchedIdx = s.touchedIdx[:0]
+	s.spareMu.Unlock()
+	for _, i := range idxs {
+		c := s.chunks[i].Swap(nil)
 		if c == nil {
 			continue
 		}
-		s.chunks[i].Store(nil)
-		*c = chunk{}
+		if hi := s.dirtyHi[i].Swap(0); hi > 0 {
+			clear(c[:hi])
+		}
 		s.recycle(c)
 	}
 	s.touched.Store(0)
@@ -190,6 +212,22 @@ func (s *Space) SetFaultHook(f func() bool) {
 
 func (s *Space) inSpan(addr uint64, size int64) bool {
 	return addr < SpanSize && size >= 0 && addr+uint64(size) <= SpanSize
+}
+
+// noteDirty raises chunk idx's dirty high-water mark to at least end (an
+// in-chunk byte offset, exclusive). The common case — the mark already
+// covers end — is one atomic load.
+func (s *Space) noteDirty(idx uint64, end int64) {
+	h := &s.dirtyHi[idx]
+	for {
+		cur := h.Load()
+		if int64(cur) >= end {
+			return
+		}
+		if h.CompareAndSwap(cur, int32(end)) {
+			return
+		}
+	}
 }
 
 // Load reads size bytes (1, 2, 4 or 8) at addr, little-endian, zero-extended.
@@ -238,6 +276,7 @@ func (s *Space) Store(addr uint64, size int64, val uint64) *Fault {
 		if c == nil {
 			return &Fault{Addr: addr, Size: size, Wr: true, Injected: true}
 		}
+		s.noteDirty(addr>>ChunkBits, int64(off)+size)
 		switch size {
 		case 1:
 			c[off] = byte(val)
@@ -255,11 +294,13 @@ func (s *Space) Store(addr uint64, size int64, val uint64) *Fault {
 		}
 	}
 	for i := int64(0); i < size; i++ {
-		c := s.chunkFor(addr + uint64(i))
+		a := addr + uint64(i)
+		c := s.chunkFor(a)
 		if c == nil {
-			return &Fault{Addr: addr + uint64(i), Size: size, Wr: true, Injected: true}
+			return &Fault{Addr: a, Size: size, Wr: true, Injected: true}
 		}
-		c[(addr+uint64(i))&chunkMask] = byte(val >> (8 * uint(i)))
+		s.noteDirty(a>>ChunkBits, int64(a&chunkMask)+1)
+		c[a&chunkMask] = byte(val >> (8 * uint(i)))
 	}
 	return nil
 }
@@ -295,7 +336,9 @@ func (s *Space) WriteBytes(addr uint64, b []byte) *Fault {
 		if c == nil {
 			return &Fault{Addr: a, Size: n, Wr: true, Injected: true}
 		}
-		done += int64(copy(c[a&chunkMask:], b[done:]))
+		w := int64(copy(c[a&chunkMask:], b[done:]))
+		s.noteDirty(a>>ChunkBits, int64(a&chunkMask)+w)
+		done += w
 	}
 	return nil
 }
@@ -330,6 +373,7 @@ func (s *Space) Set(addr uint64, v byte, n int64) *Fault {
 		if end > n-done {
 			end = n - done
 		}
+		s.noteDirty(a>>ChunkBits, int64(off)+end)
 		seg := c[off : int64(off)+end]
 		for i := range seg {
 			seg[i] = v

@@ -79,6 +79,15 @@ type Runtime struct {
 	mu     sync.Mutex
 	shadow []atomic.Pointer[shadowChunk] // lazily materialized shadow chunks
 
+	// spareMu guards the shadow-chunk recycling state. touchedIdx records
+	// the index of every materialized shadow chunk since the last reset and
+	// spare holds zeroed chunks ResetRuntime reclaimed, so a pooled runtime
+	// re-materializes shadow without fresh 64 KiB allocations and resets in
+	// O(touched) instead of O(span).
+	spareMu    sync.Mutex
+	touchedIdx []uint32
+	spare      []*shadowChunk
+
 	// chunkInfo tracks ASan's allocator metadata per user pointer.
 	chunkInfo map[uint64]asanChunk
 
@@ -100,7 +109,10 @@ type asanChunk struct {
 	rz   int64  // redzone on each side
 }
 
-var _ rt.Runtime = (*Runtime)(nil)
+var (
+	_ rt.Runtime    = (*Runtime)(nil)
+	_ rt.Resettable = (*Runtime)(nil)
+)
 
 // New constructs an ASan model runtime.
 func New(opts Options) *Runtime {
@@ -146,12 +158,67 @@ func Sanitizer(opts Options) rt.Sanitizer {
 // Name implements rt.Runtime.
 func (r *Runtime) Name() string { return r.opts.Name }
 
-// Attach implements rt.Runtime: reserve the (lazy) shadow.
+// Attach implements rt.Runtime: reserve the (lazy) shadow. A pooled runtime
+// keeps its (reset) shadow table across attaches.
 func (r *Runtime) Attach(env *rt.Env) error {
 	r.env = *env
-	nChunks := (mem.SpanSize / granule) >> shadowChunkBits
-	r.shadow = make([]atomic.Pointer[shadowChunk], nChunks)
+	if r.shadow == nil {
+		nChunks := (mem.SpanSize / granule) >> shadowChunkBits
+		r.shadow = make([]atomic.Pointer[shadowChunk], nChunks)
+	}
 	return nil
+}
+
+// ResetRuntime implements rt.Resettable: drop every materialized shadow
+// chunk (zeroed and kept for reuse), forget allocator metadata and the
+// quarantine, and zero the overhead gauges — byte-for-byte the state of a
+// freshly constructed runtime with the same options.
+func (r *Runtime) ResetRuntime() {
+	r.spareMu.Lock()
+	idxs := r.touchedIdx
+	r.touchedIdx = r.touchedIdx[:0]
+	r.spareMu.Unlock()
+	for _, ci := range idxs {
+		c := r.shadow[ci].Swap(nil)
+		if c == nil {
+			continue
+		}
+		*c = shadowChunk{}
+		r.spareMu.Lock()
+		r.spare = append(r.spare, c)
+		r.spareMu.Unlock()
+	}
+	r.shadowTouched.Store(0)
+	r.mu.Lock()
+	clear(r.chunkInfo)
+	r.quarantine = r.quarantine[:0]
+	r.quarantineBytes = 0
+	r.redzoneBytes = 0
+	r.mu.Unlock()
+}
+
+// materialize installs a chunk at shadow-chunk index ci, reusing a spare.
+func (r *Runtime) materialize(ci uint64) *shadowChunk {
+	r.spareMu.Lock()
+	var c *shadowChunk
+	if n := len(r.spare); n > 0 {
+		c = r.spare[n-1]
+		r.spare = r.spare[:n-1]
+	} else {
+		c = new(shadowChunk)
+	}
+	r.spareMu.Unlock()
+	if r.shadow[ci].CompareAndSwap(nil, c) {
+		r.shadowTouched.Add(shadowChunkSize)
+		r.spareMu.Lock()
+		r.touchedIdx = append(r.touchedIdx, uint32(ci))
+		r.spareMu.Unlock()
+		return c
+	}
+	r.spareMu.Lock()
+	r.spare = append(r.spare, c)
+	r.spareMu.Unlock()
+	return r.shadow[ci].Load()
 }
 
 // shadowByte returns a pointer to the shadow byte for addr, materializing
@@ -161,30 +228,51 @@ func (r *Runtime) shadowByte(addr uint64) *byte {
 	ci := s >> shadowChunkBits
 	c := r.shadow[ci].Load()
 	if c == nil {
-		c = new(shadowChunk)
-		if r.shadow[ci].CompareAndSwap(nil, c) {
-			r.shadowTouched.Add(shadowChunkSize)
-		} else {
-			c = r.shadow[ci].Load()
-		}
+		c = r.materialize(ci)
 	}
 	return &c[s&(shadowChunkSize-1)]
 }
 
-// poison marks [addr, addr+n) with the given shadow value (granule-aligned
-// regions only).
-func (r *Runtime) poison(addr uint64, n int64, val byte) {
-	for o := int64(0); o < n; o += granule {
-		*r.shadowByte(addr + uint64(o)) = val
+// shadowFill writes val to count consecutive shadow bytes starting at shadow
+// index s0, resolving each shadow chunk once and filling the in-chunk span,
+// instead of a full table lookup per granule.
+func (r *Runtime) shadowFill(s0 uint64, count int64, val byte) {
+	for count > 0 {
+		ci := s0 >> shadowChunkBits
+		c := r.shadow[ci].Load()
+		if c == nil {
+			c = r.materialize(ci)
+		}
+		off := int64(s0 & (shadowChunkSize - 1))
+		n := shadowChunkSize - off
+		if n > count {
+			n = count
+		}
+		seg := c[off : off+n]
+		for i := range seg {
+			seg[i] = val
+		}
+		s0 += uint64(n)
+		count -= n
 	}
+}
+
+// poison marks [addr, addr+n) with the given shadow value (granule-aligned
+// regions only). The shadow bytes of successive granules are consecutive,
+// so the region is one contiguous shadow fill.
+func (r *Runtime) poison(addr uint64, n int64, val byte) {
+	if n <= 0 {
+		return
+	}
+	r.shadowFill(addr/granule, (n+granule-1)/granule, val)
 }
 
 // unpoison marks [addr, addr+n) addressable, including the partial last
 // granule encoding.
 func (r *Runtime) unpoison(addr uint64, n int64) {
 	full := n / granule * granule
-	for o := int64(0); o < full; o += granule {
-		*r.shadowByte(addr + uint64(o)) = shadowOK
+	if full > 0 {
+		r.shadowFill(addr/granule, full/granule, shadowOK)
 	}
 	if rem := n - full; rem > 0 {
 		*r.shadowByte(addr + uint64(full)) = byte(rem)

@@ -42,21 +42,32 @@ type Runtime struct {
 	tags        []atomic.Pointer[tagChunk]
 	tagsTouched atomic.Int64
 
-	mu  sync.Mutex
-	rng uint64
+	mu   sync.Mutex
+	rng  uint64
+	seed uint64 // constructor seed; ResetRuntime rewinds rng to it
+
+	// spareMu guards tag-chunk recycling: touchedIdx records materialized
+	// chunk indices since the last reset, spare holds zeroed chunks
+	// ResetRuntime reclaimed for reuse.
+	spareMu    sync.Mutex
+	touchedIdx []uint32
+	spare      []*tagChunk
 
 	// chunkSize remembers allocation sizes for retag-on-free.
 	chunkSize map[uint64]int64
 }
 
-var _ rt.Runtime = (*Runtime)(nil)
+var (
+	_ rt.Runtime    = (*Runtime)(nil)
+	_ rt.Resettable = (*Runtime)(nil)
+)
 
 // New constructs an HWASan model runtime with a deterministic tag stream.
 func New(seed uint64) *Runtime {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &Runtime{rng: seed, chunkSize: make(map[uint64]int64)}
+	return &Runtime{rng: seed, seed: seed, chunkSize: make(map[uint64]int64)}
 }
 
 // Sanitizer returns the HWASan bundle: checked loads/stores, interceptor
@@ -84,11 +95,64 @@ func ProfileFor() rt.Profile {
 // Name implements rt.Runtime.
 func (r *Runtime) Name() string { return "HWASan" }
 
-// Attach implements rt.Runtime.
+// Attach implements rt.Runtime. A pooled runtime keeps its (reset) tag
+// table across attaches.
 func (r *Runtime) Attach(env *rt.Env) error {
 	r.env = *env
-	r.tags = make([]atomic.Pointer[tagChunk], (mem.SpanSize/tagGranule)>>tagChunkBits)
+	if r.tags == nil {
+		r.tags = make([]atomic.Pointer[tagChunk], (mem.SpanSize/tagGranule)>>tagChunkBits)
+	}
 	return nil
+}
+
+// ResetRuntime implements rt.Resettable: drop every materialized tag chunk
+// (zeroed and kept for reuse), forget allocation sizes, and rewind the tag
+// RNG to the constructor seed — byte-for-byte the state New(seed) returns,
+// including the deterministic tag stream.
+func (r *Runtime) ResetRuntime() {
+	r.spareMu.Lock()
+	idxs := r.touchedIdx
+	r.touchedIdx = r.touchedIdx[:0]
+	r.spareMu.Unlock()
+	for _, ci := range idxs {
+		c := r.tags[ci].Swap(nil)
+		if c == nil {
+			continue
+		}
+		*c = tagChunk{}
+		r.spareMu.Lock()
+		r.spare = append(r.spare, c)
+		r.spareMu.Unlock()
+	}
+	r.tagsTouched.Store(0)
+	r.mu.Lock()
+	r.rng = r.seed
+	clear(r.chunkSize)
+	r.mu.Unlock()
+}
+
+// materialize installs a tag chunk at index ci, reusing a spare.
+func (r *Runtime) materialize(ci uint64) *tagChunk {
+	r.spareMu.Lock()
+	var c *tagChunk
+	if n := len(r.spare); n > 0 {
+		c = r.spare[n-1]
+		r.spare = r.spare[:n-1]
+	} else {
+		c = new(tagChunk)
+	}
+	r.spareMu.Unlock()
+	if r.tags[ci].CompareAndSwap(nil, c) {
+		r.tagsTouched.Add(tagChunkSize)
+		r.spareMu.Lock()
+		r.touchedIdx = append(r.touchedIdx, uint32(ci))
+		r.spareMu.Unlock()
+		return c
+	}
+	r.spareMu.Lock()
+	r.spare = append(r.spare, c)
+	r.spareMu.Unlock()
+	return r.tags[ci].Load()
 }
 
 // nextTag draws a uniformly random non-zero 8-bit tag.
@@ -110,20 +174,37 @@ func (r *Runtime) tagByte(addr uint64) *byte {
 	ci := g >> tagChunkBits
 	c := r.tags[ci].Load()
 	if c == nil {
-		c = new(tagChunk)
-		if r.tags[ci].CompareAndSwap(nil, c) {
-			r.tagsTouched.Add(tagChunkSize)
-		} else {
-			c = r.tags[ci].Load()
-		}
+		c = r.materialize(ci)
 	}
 	return &c[g&(tagChunkSize-1)]
 }
 
-// setTags tags the granules covering [addr, addr+size).
+// setTags tags the granules covering [addr, addr+size). The tag bytes of
+// successive granules are consecutive, so the region is one contiguous fill
+// resolving each tag chunk once.
 func (r *Runtime) setTags(addr uint64, size int64, tag byte) {
-	for o := int64(0); o < size; o += tagGranule {
-		*r.tagByte(addr + uint64(o)) = tag
+	if size <= 0 {
+		return
+	}
+	g := addr / tagGranule
+	count := (size + tagGranule - 1) / tagGranule
+	for count > 0 {
+		ci := g >> tagChunkBits
+		c := r.tags[ci].Load()
+		if c == nil {
+			c = r.materialize(ci)
+		}
+		off := int64(g & (tagChunkSize - 1))
+		n := tagChunkSize - off
+		if n > count {
+			n = count
+		}
+		seg := c[off : off+n]
+		for i := range seg {
+			seg[i] = tag
+		}
+		g += uint64(n)
+		count -= n
 	}
 }
 

@@ -37,11 +37,27 @@ type Runtime struct {
 	shadowPeak int64
 }
 
-var _ rt.Runtime = (*Runtime)(nil)
+var (
+	_ rt.Runtime    = (*Runtime)(nil)
+	_ rt.Resettable = (*Runtime)(nil)
+)
 
 // New constructs a SoftBound+CETS model runtime.
 func New() *Runtime {
 	return &Runtime{nextKey: 1, shadow: make(map[uint64]rt.PtrMeta)}
+}
+
+// ResetRuntime implements rt.Resettable: forget all pointer metadata, lock
+// cells and gauges — the state New returns, so pooled reuse is byte-identical
+// to fresh construction.
+func (r *Runtime) ResetRuntime() {
+	r.mu.Lock()
+	r.nextKey = 1
+	clear(r.shadow)
+	r.freeLocks = nil
+	r.liveLocks = 0
+	r.shadowPeak = 0
+	r.mu.Unlock()
 }
 
 // Sanitizer returns the SoftBound+CETS bundle: per-pointer metadata

@@ -113,8 +113,19 @@ func (w *fpWriter) operand(o Operand) {
 	w.int(int64(o.Reg))
 }
 
-// Fingerprint computes the structural hash of the program.
+// Fingerprint computes the structural hash of the program. The result is
+// memoized on first call (programs are immutable after Build); a program
+// must not be mutated after its first Fingerprint call.
 func (p *Program) Fingerprint() Fingerprint {
+	if fp := p.fp.Load(); fp != nil {
+		return *fp
+	}
+	fp := p.fingerprint()
+	p.fp.Store(&fp)
+	return fp
+}
+
+func (p *Program) fingerprint() Fingerprint {
 	w := &fpWriter{h: fnv.New128a(), typeIDs: make(map[*Type]uint64)}
 	w.str(p.Entry)
 	w.uint(uint64(len(p.Globals)))
