@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate serve-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -73,7 +73,21 @@ bench-smoke:
 bench-gate:
 	$(GO) run ./cmd/julietbench -table 2 -scale 0.05 -progress 0 -json BENCH_fresh.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_table2.json -fresh BENCH_fresh.json
-	rm -f BENCH_fresh.json
+	$(GO) run ./cmd/serve -spec examples/workloads/interactive-batch.yaml \
+		-max-requests 2000 -min-completed 1 -json BENCH_serve_fresh.json
+	$(GO) run ./cmd/benchgate -serve-baseline BENCH_serve.json -serve-fresh BENCH_serve_fresh.json
+	rm -f BENCH_fresh.json BENCH_serve_fresh.json
+
+# Traffic-campaign smoke: a bounded closed-loop run of the shipped
+# interactive/batch spec through cmd/serve. -min-completed 1 asserts every
+# class made progress; the JSON record is the committed serve baseline and
+# the CI artifact. Runs after bench-gate — it overwrites the baseline.
+serve-smoke:
+	$(GO) run ./cmd/serve -spec examples/workloads/interactive-batch.yaml \
+		-max-requests 2000 -min-completed 1 -json BENCH_serve.json \
+		-metrics-json metrics-serve-smoke.json
+	test -s BENCH_serve.json
+	test -s metrics-serve-smoke.json
 
 # Full-scale table regenerations.
 bench-table2:
@@ -83,4 +97,5 @@ bench-table4:
 	$(GO) run ./cmd/specbench -suite 2006 -json BENCH_table4.json
 
 clean:
-	rm -f BENCH_fresh.json metrics-smoke.json trace-smoke.json
+	rm -f BENCH_fresh.json BENCH_serve_fresh.json metrics-smoke.json \
+		metrics-serve-smoke.json trace-smoke.json

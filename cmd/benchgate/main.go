@@ -20,6 +20,15 @@
 //
 // Structural drift — a tool present in the baseline but missing from the
 // fresh record, or a changed case count at the same scale — also fails.
+//
+// With -serve-baseline/-serve-fresh the gate also (or instead) compares
+// cmd/serve campaign records (BENCH_serve.json): requests/sec gates with
+// the same max-slowdown tolerance, the stream digest must match exactly
+// (it is a pure function of (spec, seed) — a mismatch means the traffic
+// generator changed without a baseline regen), and every baseline class
+// must still complete requests. A missing serve baseline file skips the
+// serve checks with a note instead of failing, so the gate can be wired
+// into CI before the first baseline is committed.
 package main
 
 import (
@@ -49,6 +58,23 @@ type benchRecord struct {
 	Tools       []toolRecord `json:"tools"`
 }
 
+// serveClassRecord mirrors the per-class fields benchgate reads from the
+// cmd/serve -json schema.
+type serveClassRecord struct {
+	Class     string `json:"class"`
+	Completed int64  `json:"completed"`
+}
+
+// serveRecord mirrors the top-level cmd/serve -json schema.
+type serveRecord struct {
+	Seed           uint64             `json:"seed"`
+	Generated      int64              `json:"generated"`
+	Completed      int64              `json:"completed"`
+	RequestsPerSec float64            `json:"requests_per_sec"`
+	StreamDigest   string             `json:"stream_digest"`
+	Classes        []serveClassRecord `json:"classes"`
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -73,9 +99,19 @@ func run() error {
 	freshPath := flag.String("fresh", "", "freshly generated benchmark record to gate (required)")
 	maxSlowdown := flag.Float64("max-slowdown", 0.5, "maximum tolerated relative cases/sec regression (0.5 = fresh may be half the baseline)")
 	hitDrop := flag.Float64("hit-drop", 0.02, "maximum tolerated absolute cache hit-rate regression")
+	serveBaselinePath := flag.String("serve-baseline", "", "committed cmd/serve baseline record (BENCH_serve.json)")
+	serveFreshPath := flag.String("serve-fresh", "", "freshly generated cmd/serve record to gate")
 	flag.Parse()
-	if *freshPath == "" {
-		return fmt.Errorf("-fresh is required")
+	if *freshPath == "" && *serveFreshPath == "" {
+		return fmt.Errorf("one of -fresh / -serve-fresh is required")
+	}
+	if *serveFreshPath != "" {
+		if err := gateServe(*serveBaselinePath, *serveFreshPath, *maxSlowdown); err != nil {
+			return err
+		}
+		if *freshPath == "" {
+			return nil
+		}
 	}
 
 	base, err := load(*baselinePath)
@@ -139,5 +175,91 @@ func run() error {
 		return fmt.Errorf("%d check(s) failed against %s", len(failures), *baselinePath)
 	}
 	fmt.Println("benchgate: no drift")
+	return nil
+}
+
+// loadServe reads a cmd/serve campaign record.
+func loadServe(path string) (*serveRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &serveRecord{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// gateServe compares a fresh cmd/serve record against the committed
+// baseline. A missing baseline file skips with a note (first-run
+// bootstrap); everything else gates.
+func gateServe(baselinePath, freshPath string, maxSlowdown float64) error {
+	fresh, err := loadServe(freshPath)
+	if err != nil {
+		return err
+	}
+	if fresh.Completed == 0 {
+		return fmt.Errorf("fresh serve record %s completed 0 requests", freshPath)
+	}
+	if baselinePath == "" {
+		fmt.Println("serve: no -serve-baseline given, record is well-formed; skipping trend checks")
+		return nil
+	}
+	base, err := loadServe(baselinePath)
+	if os.IsNotExist(err) {
+		fmt.Printf("serve: baseline %s does not exist yet; skipping trend checks\n", baselinePath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	// The stream digest is a pure function of (spec, seed) — byte-equal
+	// across machines and worker counts. Drift means the traffic generator
+	// changed semantically without a baseline regen.
+	if base.Seed == fresh.Seed && base.StreamDigest != fresh.StreamDigest {
+		fail("stream digest drift at seed %d: baseline %s, fresh %s",
+			base.Seed, base.StreamDigest, fresh.StreamDigest)
+	}
+
+	floor := base.RequestsPerSec * (1 - maxSlowdown)
+	status := "ok"
+	if fresh.RequestsPerSec < floor {
+		status = "FAIL"
+		fail("serve requests/sec %.0f below floor %.0f (baseline %.0f, max slowdown %.0f%%)",
+			fresh.RequestsPerSec, floor, base.RequestsPerSec, 100*maxSlowdown)
+	}
+	fmt.Printf("%-16s req/sec   %10.0f baseline %10.0f floor %10.0f  %s\n",
+		"serve", fresh.RequestsPerSec, base.RequestsPerSec, floor, status)
+
+	freshClasses := make(map[string]serveClassRecord, len(fresh.Classes))
+	for _, c := range fresh.Classes {
+		freshClasses[c.Class] = c
+	}
+	for _, bc := range base.Classes {
+		fc, ok := freshClasses[bc.Class]
+		if !ok {
+			fail("class %q present in serve baseline but missing from fresh record", bc.Class)
+			continue
+		}
+		if fc.Completed == 0 {
+			fail("class %q completed 0 requests (baseline %d)", bc.Class, bc.Completed)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Println("DRIFT:", f)
+		}
+		return fmt.Errorf("%d serve check(s) failed against %s", len(failures), baselinePath)
+	}
+	fmt.Println("serve: no drift")
 	return nil
 }

@@ -1,0 +1,162 @@
+// Command serve runs a long-lived traffic campaign: a YAML workload spec
+// (internal/traffic) is expanded into a deterministic request stream of
+// heterogeneous client classes, admitted through a bounded queue into
+// per-class engine pools, with deadline-miss, shed and per-class latency
+// percentile accounting.
+//
+// Usage:
+//
+//	serve -spec examples/workloads/interactive-batch.yaml
+//	      [-seed N] [-workers N] [-max-requests N] [-duration 30s]
+//	      [-speedup X] [-queue N] [-min-completed N]
+//	      [-json BENCH_serve.json] [-progress]
+//	      [-metrics-json m.json] [-trace t.json] [-http 127.0.0.1:0]
+//
+// With -speedup X the spec's virtual arrival schedule replays compressed
+// X-fold on the wall clock (open loop: a full admission queue sheds).
+// Without it the campaign runs closed-loop — requests are admitted as
+// fast as the workers drain them — which is the throughput-measurement
+// mode CI gates on.
+//
+// The request stream (and the stream_digest in the summary) depends only
+// on (spec, seed): rerunning with a different -workers or -speedup
+// changes scheduling and latency, never the traffic.
+//
+// Exit status:
+//
+//	0  campaign completed
+//	1  -min-completed violated (some class completed fewer requests)
+//	2  spec or internal error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cecsan/internal/cliutil"
+	"cecsan/internal/traffic"
+)
+
+const (
+	exitOK       = 0
+	exitShort    = 1
+	exitInternal = 2
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+	}
+	os.Exit(code)
+}
+
+// benchRecord is the BENCH_serve.json payload: run metadata plus the
+// campaign summary.
+type benchRecord struct {
+	Bench string `json:"bench"`
+	Spec  string `json:"spec"`
+	*traffic.ServeResult
+}
+
+func run() (int, error) {
+	specPath := flag.String("spec", "", "workload spec YAML (required)")
+	seed := cliutil.SeedFlag(0, "override the spec's campaign seed (0 = use spec)")
+	workers := cliutil.WorkersFlag()
+	maxRequests := flag.Int("max-requests", 0, "stop after N requests (0 = spec's max_requests)")
+	duration := flag.Duration("duration", 0, "stop admission after this wall time (0 = until stream ends)")
+	speedup := flag.Float64("speedup", 0, "replay the virtual arrival schedule compressed X-fold (0 = closed loop)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	minCompleted := flag.Int("min-completed", 0, "exit 1 unless every class completes at least N requests")
+	jsonPath := cliutil.JSONFlag("write the BENCH_serve.json campaign summary to this path")
+	progress := flag.Bool("progress", false, "print a progress line every 256 processed requests")
+	obsFlags := cliutil.ObsFlagsCmd()
+	flag.Parse()
+
+	if *specPath == "" {
+		flag.Usage()
+		return exitInternal, fmt.Errorf("-spec is required")
+	}
+	spec, err := traffic.Load(*specPath)
+	if err != nil {
+		return exitInternal, err
+	}
+	if spec.MaxRequests == 0 && *maxRequests == 0 && *duration == 0 {
+		fmt.Fprintln(os.Stderr, "serve: unbounded campaign (no -duration / -max-requests); stop with ^C")
+	}
+
+	observer, srv, err := obsFlags.Build()
+	if err != nil {
+		return exitInternal, err
+	}
+
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "serve: stopping (signal)")
+		close(stop)
+		signal.Stop(sigCh)
+	}()
+
+	cfg := traffic.ServeConfig{
+		Spec:        spec,
+		Seed:        *seed,
+		Workers:     cliutil.ResolveWorkers(*workers),
+		MaxRequests: *maxRequests,
+		Duration:    *duration,
+		QueueDepth:  *queue,
+		Speedup:     *speedup,
+		Obs:         observer,
+		Stop:        stop,
+	}
+	if *progress {
+		start := time.Now()
+		cfg.Progress = func(done int) {
+			fmt.Fprintf(os.Stderr, "serve: %d requests processed (%.0f/sec)\n",
+				done, float64(done)/time.Since(start).Seconds())
+		}
+	}
+
+	res, err := traffic.Serve(cfg)
+	if err != nil {
+		return exitInternal, err
+	}
+	if ferr := obsFlags.Finish(observer, srv, 0); ferr != nil && err == nil {
+		err = ferr
+	}
+
+	fmt.Printf("serve: %s workers=%d elapsed=%.2fs generated=%d completed=%d faults=%d shed=%d misses=%d (%.0f req/sec, cache hit %.3f)\n",
+		*specPath, res.Workers, res.ElapsedSec, res.Generated, res.Completed,
+		res.Faults, res.Shed, res.DeadlineMisses, res.RequestsPerSec, res.CacheHitRate)
+	for _, cs := range res.Classes {
+		fmt.Printf("  class %-14s tool=%-16s completed=%-6d detected=%-4d shed=%-5d misses=%-5d p50=%dus p95=%dus p99=%dus\n",
+			cs.Class, cs.Tool, cs.Completed, cs.Detected, cs.Shed, cs.DeadlineMisses,
+			cs.P50us, cs.P95us, cs.P99us)
+	}
+	fmt.Printf("  stream digest %s\n", res.StreamDigest)
+
+	if *jsonPath != "" {
+		rec := benchRecord{Bench: "serve", Spec: *specPath, ServeResult: res}
+		if werr := cliutil.WriteJSON(*jsonPath, rec); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return exitInternal, err
+	}
+	if *minCompleted > 0 {
+		for _, cs := range res.Classes {
+			if cs.Completed < int64(*minCompleted) {
+				return exitShort, fmt.Errorf("class %q completed %d < %d requests",
+					cs.Class, cs.Completed, *minCompleted)
+			}
+		}
+	}
+	return exitOK, nil
+}

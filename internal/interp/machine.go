@@ -159,6 +159,14 @@ type Resources struct {
 	Space   *mem.Space
 	Heap    *alloc.Heap
 	Globals *alloc.Globals
+
+	// globalPtr/globalMeta back the machine's Global Pointer Table. They
+	// live here — not on the machine — so pooled reuse recycles the map
+	// storage: NewOn repopulates the cleared maps instead of allocating two
+	// fresh ones per run, which was the dominant setup cost left in the
+	// machine-construction path.
+	globalPtr  map[string]uint64
+	globalMeta map[string]rt.PtrMeta
 }
 
 // NewResources allocates a fresh resource bundle for the given canonical
@@ -168,7 +176,13 @@ func NewResources(addrBits uint) (*Resources, error) {
 	if err != nil {
 		return nil, fmt.Errorf("interp: %w", err)
 	}
-	return &Resources{Space: space, Heap: alloc.NewHeap(), Globals: alloc.NewGlobals()}, nil
+	return &Resources{
+		Space:      space,
+		Heap:       alloc.NewHeap(),
+		Globals:    alloc.NewGlobals(),
+		globalPtr:  make(map[string]uint64, 8),
+		globalMeta: make(map[string]rt.PtrMeta, 8),
+	}, nil
 }
 
 // Reset rewinds the bundle for reuse by a new machine. The caller must
@@ -177,6 +191,8 @@ func (r *Resources) Reset() {
 	r.Space.Reset()
 	r.Heap.Reset()
 	r.Globals.Reset()
+	clear(r.globalPtr)
+	clear(r.globalMeta)
 }
 
 // Machine executes one instrumented program under one sanitizer runtime.
@@ -267,14 +283,20 @@ func NewOn(res *Resources, p *prog.Program, san rt.Sanitizer, opts Options) (*Ma
 	if got := res.Space.AddrBits(); got != opts.AddrBits {
 		return nil, fmt.Errorf("interp: resource space has %d address bits, machine wants %d", got, opts.AddrBits)
 	}
+	if res.globalPtr == nil {
+		// Bundles predating the pooled maps (zero-value Resources): behave
+		// like a fresh bundle.
+		res.globalPtr = make(map[string]uint64, len(p.Globals))
+		res.globalMeta = make(map[string]rt.PtrMeta, len(p.Globals))
+	}
 	m := &Machine{
 		program:    p,
 		san:        san,
 		space:      res.Space,
 		heap:       res.Heap,
 		globals:    res.Globals,
-		globalPtr:  make(map[string]uint64, len(p.Globals)),
-		globalMeta: make(map[string]rt.PtrMeta, len(p.Globals)),
+		globalPtr:  res.globalPtr,
+		globalMeta: res.globalMeta,
 		opts:       opts,
 	}
 	m.rngState.Store(opts.Seed)

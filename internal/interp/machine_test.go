@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"errors"
 	"strings"
 	"testing"
@@ -596,5 +597,76 @@ func TestNewOnResetReproducesFreshRun(t *testing.T) {
 	narrow.AddrBits = 48
 	if _, err := NewOn(res, p, nosan.Sanitizer(), narrow); err == nil {
 		t.Fatal("NewOn accepted a 47-bit space for 48-bit options")
+	}
+}
+
+// TestPooledResourcesGlobalTableIsolation pins the map-pooling contract of
+// Resources: the Global Pointer Table maps live on the bundle and are
+// recycled across machines, so a machine built on freshly Reset resources
+// must see exactly its own program's globals — never stale entries from the
+// previous occupant.
+func TestPooledResourcesGlobalTableIsolation(t *testing.T) {
+	pb1 := prog.NewProgram()
+	pb1.GlobalInit("only_in_p1", prog.Int(), 11)
+	f1 := pb1.Function("main", 0)
+	f1.Ret(f1.Load(f1.GlobalAddr("only_in_p1"), 0, prog.Int()))
+	p1 := pb1.MustBuild()
+
+	pb2 := prog.NewProgram()
+	pb2.GlobalInit("only_in_p2", prog.Int(), 22)
+	f2 := pb2.Function("main", 0)
+	f2.Ret(f2.Load(f2.GlobalAddr("only_in_p2"), 0, prog.Int()))
+	p2 := pb2.MustBuild()
+
+	res, err := NewResources(47)
+	if err != nil {
+		t.Fatalf("NewResources: %v", err)
+	}
+	m1, err := NewOn(res, p1, nosan.Sanitizer(), DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewOn p1: %v", err)
+	}
+	if got := m1.Run(); got.Ret != 11 {
+		t.Fatalf("p1 Ret = %d, want 11", got.Ret)
+	}
+	res.Reset()
+	m2, err := NewOn(res, p2, nosan.Sanitizer(), DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewOn p2: %v", err)
+	}
+	if _, stale := m2.globalPtr["only_in_p1"]; stale {
+		t.Fatal("global table leaked an entry from the previous pooled machine")
+	}
+	if got := m2.Run(); got.Ret != 22 {
+		t.Fatalf("p2 Ret = %d, want 22", got.Ret)
+	}
+}
+
+// BenchmarkNewOnPooled measures the pooled machine-construction path the
+// engine pays once per case: Reset plus NewOn on a recycled bundle, for a
+// program with a realistic global count. The global-map pooling keeps this
+// allocation-flat in the number of globals.
+func BenchmarkNewOnPooled(b *testing.B) {
+	pb := prog.NewProgram()
+	for i := 0; i < 16; i++ {
+		pb.GlobalInit(fmt.Sprintf("g%d", i), prog.Int(), int64(i))
+	}
+	f := pb.Function("main", 0)
+	f.Ret(f.Const(0))
+	p := pb.MustBuild()
+	res, err := NewResources(47)
+	if err != nil {
+		b.Fatalf("NewResources: %v", err)
+	}
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewOn(res, p, nosan.Sanitizer(), opts)
+		if err != nil {
+			b.Fatalf("NewOn: %v", err)
+		}
+		_ = m
+		res.Reset()
 	}
 }

@@ -38,6 +38,35 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) of the
+// observed values, interpolating linearly inside the log2 bucket that
+// holds the rank. With ~2x-wide buckets the estimate is coarse but
+// monotone and cheap — good enough for p50/p95/p99 latency gauges.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	count, _, bs := h.snapshot()
+	if count == 0 || len(bs) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range bs {
+		if seen+b.Count < rank {
+			seen += b.Count
+			continue
+		}
+		// The rank lands in this bucket: interpolate between the bucket's
+		// lower bound (half its upper bound, by the log2 layout) and Le.
+		lo := b.Le / 2
+		frac := float64(rank-seen) / float64(b.Count)
+		return lo + int64(frac*float64(b.Le-lo))
+	}
+	return bs[len(bs)-1].Le
+}
+
 // snapshot returns count, sum, and the non-empty buckets in ascending
 // upper-bound order. The top bucket's bound saturates at MaxInt64.
 func (h *Histogram) snapshot() (count, sum int64, bs []Bucket) {

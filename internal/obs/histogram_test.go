@@ -44,3 +44,36 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Fatalf("bucket counts sum to %d, want count %d", total, h.Count())
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 100 observations of 100: every quantile lands in the [64,127]
+	// bucket that holds them.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < 64 || v > 127 {
+			t.Fatalf("q=%v = %d, want within [64,127]", q, v)
+		}
+	}
+	// Add a small tail of much larger values: p50 stays in the low
+	// bucket, p99 moves to the high one, and quantiles are monotone.
+	for i := 0; i < 2; i++ {
+		h.Observe(100000)
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 > 127 {
+		t.Fatalf("p50 = %d, want low bucket", p50)
+	}
+	if p99 < 65536 {
+		t.Fatalf("p99 = %d, want high bucket", p99)
+	}
+	if p95 > p99 || p50 > p95 {
+		t.Fatalf("quantiles not monotone: %d %d %d", p50, p95, p99)
+	}
+}

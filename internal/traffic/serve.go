@@ -1,0 +1,345 @@
+package traffic
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cecsan/internal/engine"
+	"cecsan/internal/obs"
+	"cecsan/internal/sanitizers"
+	"cecsan/prog"
+)
+
+// ServeConfig configures one campaign run.
+type ServeConfig struct {
+	// Spec is the validated workload spec.
+	Spec *Spec
+	// Seed, when nonzero, overrides the spec's seed.
+	Seed uint64
+	// Workers sizes the execution pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// MaxRequests, when nonzero, overrides the spec's max_requests bound.
+	MaxRequests int
+	// Duration, when nonzero, stops admission after this much wall time —
+	// the bounded campaign mode CI smokes use.
+	Duration time.Duration
+	// QueueDepth sizes the admission queue (<= 0 = 4x workers). When the
+	// producer runs open-loop (Speedup > 0) a full queue sheds the
+	// request; closed-loop the producer blocks instead.
+	QueueDepth int
+	// Speedup > 0 replays the spec's virtual arrival schedule compressed
+	// by that factor (open-loop: overload sheds). <= 0 runs closed-loop:
+	// requests are admitted as fast as workers drain them, which is the
+	// throughput-measurement mode.
+	Speedup float64
+	// Obs, when set, registers per-class latency histograms, percentile
+	// gauges and deadline/shed counters, and is passed to the engines.
+	Obs *obs.Observer
+	// Stop, when set, ends admission early (signal handling in cmd/serve).
+	Stop <-chan struct{}
+	// Progress, when set, is called with the processed-request count every
+	// 256 completions.
+	Progress func(done int)
+}
+
+// ClassStats is one class's campaign accounting.
+type ClassStats struct {
+	Class          string  `json:"class"`
+	Tool           string  `json:"tool"`
+	Generated      int64   `json:"generated"`
+	Admitted       int64   `json:"admitted"`
+	Shed           int64   `json:"shed"`
+	Completed      int64   `json:"completed"`
+	Faults         int64   `json:"faults"`
+	Detected       int64   `json:"detected"`
+	DeadlineMisses int64   `json:"deadline_misses"`
+	P50us          int64   `json:"p50_us"`
+	P95us          int64   `json:"p95_us"`
+	P99us          int64   `json:"p99_us"`
+	MeanLatencyUS  float64 `json:"mean_latency_us"`
+}
+
+// ServeResult is the campaign summary (the BENCH_serve.json payload,
+// minus the run metadata cmd/serve adds).
+type ServeResult struct {
+	Seed           uint64        `json:"seed"`
+	Workers        int           `json:"workers"`
+	Speedup        float64       `json:"speedup"`
+	Elapsed        time.Duration `json:"-"`
+	ElapsedSec     float64       `json:"elapsed_sec"`
+	Generated      int64         `json:"generated"`
+	Admitted       int64         `json:"admitted"`
+	Shed           int64         `json:"shed"`
+	Completed      int64         `json:"completed"`
+	Faults         int64         `json:"faults"`
+	Detected       int64         `json:"detected"`
+	DeadlineMisses int64         `json:"deadline_misses"`
+	RequestsPerSec float64       `json:"requests_per_sec"`
+	CacheHitRate   float64       `json:"cache_hit_rate"`
+	StreamDigest   string        `json:"stream_digest"`
+	Classes        []ClassStats  `json:"classes"`
+}
+
+// classCounters is one class's live accounting. Counters are atomics
+// because workers of every class share the pool; the histogram is the
+// lock-free obs histogram.
+type classCounters struct {
+	generated      atomic.Int64
+	admitted       atomic.Int64
+	shed           atomic.Int64
+	completed      atomic.Int64
+	faults         atomic.Int64
+	detected       atomic.Int64
+	deadlineMisses atomic.Int64
+	lat            *obs.Histogram
+}
+
+// queued is one admitted request plus its admission timestamp; latency is
+// measured from admission, so queue wait counts against the deadline the
+// way it would in a real serving system.
+type queued struct {
+	req *Request
+	at  time.Time
+}
+
+// Serve runs a campaign: a single producer walks the deterministic
+// request stream and admits into a bounded queue; Workers goroutines
+// drain it through per-class engines sharing one instrumentation cache.
+// The request stream (and its digest) is independent of Workers,
+// QueueDepth and Speedup — only scheduling and latency vary.
+func Serve(cfg ServeConfig) (*ServeResult, error) {
+	spec := cfg.Spec
+	stream, err := NewStream(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxRequests > 0 {
+		stream.SetLimit(cfg.MaxRequests)
+	}
+	seed := spec.Seed
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+
+	// One engine per class carries that class's budgets; all classes share
+	// one campaign cache so cross-class variants of the same program (if
+	// any) and repeat requests hit instrumentation cache.
+	cache := engine.NewCache(0)
+	engines := make([]*engine.Engine, len(spec.Clients))
+	counters := make([]*classCounters, len(spec.Clients))
+	for i := range spec.Clients {
+		c := &spec.Clients[i]
+		eng, err := engine.New(sanitizers.Name(c.Tool), engine.Options{
+			Workers:         workers,
+			MaxInstructions: c.Budget.MaxSteps,
+			WallBudget:      time.Duration(c.Budget.WallMS * float64(time.Millisecond)),
+			HeapBudget:      c.Budget.HeapBytes,
+			Seed:            seed,
+			RuntimeSeed:     seed,
+			Obs:             cfg.Obs,
+			Cache:           cache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("traffic: client %q: %w", c.ID, err)
+		}
+		engines[i] = eng
+		cc := &classCounters{}
+		if cfg.Obs != nil {
+			cc.lat = cfg.Obs.Registry.Histogram("traffic_latency_us", obs.L("class", c.ID))
+			registerClassGauges(cfg.Obs, c.ID, cc)
+		} else {
+			cc.lat = &obs.Histogram{}
+		}
+		counters[i] = cc
+
+		// Warm the instrumentation cache with the class's whole variant
+		// family before admission starts, like a service pre-loading its
+		// handlers.
+		progs := make([]*prog.Program, 0, c.Program.Variants)
+		for _, v := range stream.Variants(i) {
+			progs = append(progs, v.Program)
+		}
+		eng.Preinstrument(progs)
+	}
+
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	stop := func() { closeOnce.Do(func() { close(done) }) }
+	if cfg.Duration > 0 {
+		t := time.AfterFunc(cfg.Duration, stop)
+		defer t.Stop()
+	}
+	if cfg.Stop != nil {
+		go func() {
+			select {
+			case <-cfg.Stop:
+				stop()
+			case <-done:
+			}
+		}()
+	}
+
+	reqCh := make(chan queued, depth)
+	var processed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range reqCh {
+				runOne(engines[q.req.ClassIndex], counters[q.req.ClassIndex], q)
+				n := processed.Add(1)
+				if cfg.Progress != nil && n%256 == 0 {
+					cfg.Progress(int(n))
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+producer:
+	for {
+		select {
+		case <-done:
+			break producer
+		default:
+		}
+		req := stream.Next()
+		if req == nil {
+			break
+		}
+		cc := counters[req.ClassIndex]
+		cc.generated.Add(1)
+		if cfg.Speedup > 0 {
+			target := start.Add(time.Duration(float64(req.Arrival) / cfg.Speedup))
+			if d := time.Until(target); d > 0 {
+				select {
+				case <-done:
+					break producer
+				case <-time.After(d):
+				}
+			}
+			select {
+			case reqCh <- queued{req: req, at: time.Now()}:
+				cc.admitted.Add(1)
+			default:
+				// Queue full under overload: shed instead of building an
+				// unbounded backlog.
+				cc.shed.Add(1)
+			}
+		} else {
+			select {
+			case reqCh <- queued{req: req, at: time.Now()}:
+				cc.admitted.Add(1)
+			case <-done:
+				break producer
+			}
+		}
+	}
+	close(reqCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+	stop()
+
+	res := &ServeResult{
+		Seed:         seed,
+		Workers:      workers,
+		Speedup:      cfg.Speedup,
+		Elapsed:      elapsed,
+		ElapsedSec:   elapsed.Seconds(),
+		StreamDigest: stream.Digest(),
+	}
+	var hits, misses int64
+	for _, eng := range engines {
+		st := eng.Stats()
+		hits += st.CacheHits
+		misses += st.CacheMisses
+	}
+	if hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	for i := range spec.Clients {
+		c := &spec.Clients[i]
+		cc := counters[i]
+		cs := ClassStats{
+			Class:          c.ID,
+			Tool:           c.Tool,
+			Generated:      cc.generated.Load(),
+			Admitted:       cc.admitted.Load(),
+			Shed:           cc.shed.Load(),
+			Completed:      cc.completed.Load(),
+			Faults:         cc.faults.Load(),
+			Detected:       cc.detected.Load(),
+			DeadlineMisses: cc.deadlineMisses.Load(),
+			P50us:          cc.lat.Quantile(0.50),
+			P95us:          cc.lat.Quantile(0.95),
+			P99us:          cc.lat.Quantile(0.99),
+		}
+		if n := cc.lat.Count(); n > 0 {
+			cs.MeanLatencyUS = float64(cc.lat.Sum()) / float64(n)
+		}
+		res.Classes = append(res.Classes, cs)
+		res.Generated += cs.Generated
+		res.Admitted += cs.Admitted
+		res.Shed += cs.Shed
+		res.Completed += cs.Completed
+		res.Faults += cs.Faults
+		res.Detected += cs.Detected
+		res.DeadlineMisses += cs.DeadlineMisses
+	}
+	if elapsed > 0 {
+		res.RequestsPerSec = float64(res.Completed+res.Faults) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runOne executes one admitted request and accounts it. A sanitizer
+// detection still counts as completed (the service answered); only
+// harness faults (panic, budget exhaustion) and engine errors do not.
+func runOne(eng *engine.Engine, cc *classCounters, q queued) {
+	res, err := eng.Run(q.req.Program, q.req.Inputs...)
+	lat := time.Since(q.at)
+	cc.lat.Observe(lat.Microseconds())
+	if q.req.Deadline > 0 && lat > q.req.Deadline {
+		cc.deadlineMisses.Add(1)
+	}
+	if err != nil || engine.AsFault(res.Err) != nil || res.Err != nil {
+		cc.faults.Add(1)
+		return
+	}
+	cc.completed.Add(1)
+	if res.Violation != nil {
+		cc.detected.Add(1)
+	}
+}
+
+// registerClassGauges mirrors a class's counters and latency percentiles
+// into the obs registry, so a live /metrics scrape sees the campaign.
+func registerClassGauges(o *obs.Observer, id string, cc *classCounters) {
+	l := obs.L("class", id)
+	reg := o.Registry
+	gauge := func(name string, fn func() int64) {
+		reg.GaugeFunc(name, func() float64 { return float64(fn()) }, l)
+	}
+	gauge("traffic_generated", cc.generated.Load)
+	gauge("traffic_admitted", cc.admitted.Load)
+	gauge("traffic_shed", cc.shed.Load)
+	gauge("traffic_completed", cc.completed.Load)
+	gauge("traffic_faults", cc.faults.Load)
+	gauge("traffic_detected", cc.detected.Load)
+	gauge("traffic_deadline_misses", cc.deadlineMisses.Load)
+	gauge("traffic_latency_p50_us", func() int64 { return cc.lat.Quantile(0.50) })
+	gauge("traffic_latency_p95_us", func() int64 { return cc.lat.Quantile(0.95) })
+	gauge("traffic_latency_p99_us", func() int64 { return cc.lat.Quantile(0.99) })
+}

@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"testing"
+
+	"cecsan/internal/obs"
+)
+
+const serveSpec = `
+version: "1"
+seed: 21
+aggregate_rate: 5000
+clients:
+  - id: interactive
+    rate_fraction: 0.6
+    deadline_ms: 200
+    program:
+      kind: spatial
+      variants: 2
+  - id: batch
+    rate_fraction: 0.4
+    arrival:
+      process: gamma
+      cv: 2.0
+    program:
+      kind: churn
+      variants: 2
+    budget:
+      max_steps: 500000
+`
+
+// TestServeBounded runs a small closed-loop campaign and checks the
+// accounting invariants: every generated request is admitted (closed
+// loop never sheds), every admitted request completes or faults, and
+// both classes make progress.
+func TestServeBounded(t *testing.T) {
+	spec := mustParse(t, serveSpec)
+	res, err := Serve(ServeConfig{Spec: spec, Workers: 2, MaxRequests: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 60 {
+		t.Fatalf("generated %d, want 60", res.Generated)
+	}
+	if res.Shed != 0 || res.Admitted != res.Generated {
+		t.Fatalf("closed loop shed %d / admitted %d of %d", res.Shed, res.Admitted, res.Generated)
+	}
+	if res.Completed+res.Faults != res.Admitted {
+		t.Fatalf("completed %d + faults %d != admitted %d", res.Completed, res.Faults, res.Admitted)
+	}
+	if res.Faults != 0 {
+		t.Fatalf("clean generated programs faulted %d times", res.Faults)
+	}
+	if len(res.Classes) != 2 {
+		t.Fatalf("classes: %+v", res.Classes)
+	}
+	for _, cs := range res.Classes {
+		if cs.Completed == 0 {
+			t.Fatalf("class %s completed nothing: %+v", cs.Class, cs)
+		}
+		if cs.P50us <= 0 || cs.P99us < cs.P50us {
+			t.Fatalf("class %s percentiles: %+v", cs.Class, cs)
+		}
+	}
+	if res.StreamDigest == "" || res.RequestsPerSec <= 0 {
+		t.Fatalf("summary: %+v", res)
+	}
+}
+
+// TestServeDigestWorkerIndependence is the acceptance check: the stream
+// digest is byte-identical whatever the worker count.
+func TestServeDigestWorkerIndependence(t *testing.T) {
+	spec := mustParse(t, serveSpec)
+	var digest string
+	for _, workers := range []int{1, 3, 8} {
+		res, err := Serve(ServeConfig{Spec: spec, Workers: workers, MaxRequests: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digest == "" {
+			digest = res.StreamDigest
+		} else if res.StreamDigest != digest {
+			t.Fatalf("workers=%d digest %s != %s", workers, res.StreamDigest, digest)
+		}
+	}
+}
+
+// TestServeMetrics checks the per-class counters and percentile gauges
+// land in the obs registry.
+func TestServeMetrics(t *testing.T) {
+	spec := mustParse(t, serveSpec)
+	o := obs.New()
+	res, err := Serve(ServeConfig{Spec: spec, Workers: 2, MaxRequests: 40, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Registry.Snapshot()
+	found := map[string]bool{}
+	for _, m := range snap {
+		if class, ok := m.Labels["class"]; ok {
+			found[m.Name+"|"+class] = true
+		}
+	}
+	for _, class := range []string{"interactive", "batch"} {
+		for _, name := range []string{
+			"traffic_completed", "traffic_shed", "traffic_deadline_misses",
+			"traffic_latency_p50_us", "traffic_latency_p95_us", "traffic_latency_p99_us",
+			"traffic_latency_us",
+		} {
+			if !found[name+"|"+class] {
+				t.Fatalf("metric %s{class=%s} missing from registry snapshot", name, class)
+			}
+		}
+	}
+	_ = res
+}

@@ -1,0 +1,346 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"cecsan/internal/sanitizers"
+)
+
+// Spec is a parsed workload specification: the traffic a campaign serves,
+// decomposed into heterogeneous client classes the way serving-system
+// workload generators model real populations (rate fractions, per-class
+// arrival processes, per-class request shapes).
+type Spec struct {
+	// Version is the spec format version; "1" (or empty) today.
+	Version string
+	// Seed is the campaign base seed; every client stream derives from it.
+	Seed uint64
+	// AggregateRate is the total arrival rate across all clients, in
+	// requests per second of virtual time.
+	AggregateRate float64
+	// MaxRequests bounds the generated stream; 0 means unbounded (the
+	// long-running service mode — cmd/serve then bounds by -duration or a
+	// signal).
+	MaxRequests int
+	// Clients are the traffic classes, in spec order. Spec order is part of
+	// the determinism contract: it breaks arrival-time ties.
+	Clients []ClientSpec
+}
+
+// ClientSpec is one traffic class.
+type ClientSpec struct {
+	// ID names the class; unique within a spec.
+	ID string
+	// RateFraction is this class's share of AggregateRate; fractions sum
+	// to 1 (±1e-6).
+	RateFraction float64
+	// Tool is the sanitizer profile requests of this class run under — a
+	// sanitizers registry name ("CECSan", "CECSan-hardened", "ASan", ...).
+	Tool string
+	// DeadlineMS is the per-request latency SLO in wall-clock milliseconds,
+	// measured from admission to completion; 0 disables deadline-miss
+	// accounting for the class.
+	DeadlineMS float64
+	// Arrival selects the inter-arrival process.
+	Arrival ArrivalSpec
+	// Program selects the request-shape generator.
+	Program ProgramSpec
+	// Budget bounds each request's execution (the PR 3 fault machinery).
+	Budget BudgetSpec
+}
+
+// ArrivalSpec selects and parameterizes an inter-arrival process.
+type ArrivalSpec struct {
+	// Process is "poisson", "gamma" or "weibull".
+	Process string
+	// CV is the gamma process's coefficient of variation (CV > 1 = bursty,
+	// CV < 1 = regular); default 2.0. Ignored by the other processes.
+	CV float64
+	// Shape is the weibull shape parameter; default 1.5. Ignored by the
+	// other processes.
+	Shape float64
+}
+
+// ProgramSpec selects the per-request program generator for a class.
+type ProgramSpec struct {
+	// Kind is "spatial" (short check-heavy programs), "churn" (alloc-churn /
+	// temporal programs), "mixed" (both in one program) or "fuzz" (the full
+	// differential-fuzzing generator, taxonomy bugs included).
+	Kind string
+	// Variants is how many distinct programs the class draws from (like a
+	// production service replaying a bounded family of handlers); requests
+	// pick uniformly among them, so the instrumentation cache converges to
+	// run-path hits. Default 8.
+	Variants int
+}
+
+// BudgetSpec bounds one request's execution.
+type BudgetSpec struct {
+	// MaxSteps is the per-request instruction budget (0 = engine default).
+	MaxSteps int64
+	// WallMS is the per-request wall-clock watchdog in milliseconds
+	// (0 = none).
+	WallMS float64
+	// HeapBytes is the per-request live-heap bound (0 = none).
+	HeapBytes int64
+}
+
+// Arrival process names.
+const (
+	ProcessPoisson = "poisson"
+	ProcessGamma   = "gamma"
+	ProcessWeibull = "weibull"
+)
+
+// Program generator kinds.
+const (
+	KindSpatial = "spatial"
+	KindChurn   = "churn"
+	KindMixed   = "mixed"
+	KindFuzz    = "fuzz"
+)
+
+// DefaultVariants is the per-class program-variant count when the spec does
+// not set one.
+const DefaultVariants = 8
+
+// Load reads and parses a workload spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	s, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse parses a workload spec from YAML source and validates it.
+func Parse(src string) (*Spec, error) {
+	root, err := parseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	top, ok := root.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("spec root must be a mapping")
+	}
+	d := &decoder{}
+	spec := &Spec{
+		Version:       d.str(top, "version", ""),
+		Seed:          d.uint64(top, "seed", 1),
+		AggregateRate: d.float(top, "aggregate_rate", 0),
+		MaxRequests:   int(d.int64(top, "max_requests", 0)),
+	}
+	clients, ok := top["clients"].([]any)
+	if top["clients"] != nil && !ok {
+		d.errf("clients: must be a sequence")
+	}
+	for i, cv := range clients {
+		cm, ok := cv.(map[string]any)
+		if !ok {
+			d.errf("clients[%d]: must be a mapping", i)
+			continue
+		}
+		c := ClientSpec{
+			ID:           d.str(cm, "id", ""),
+			RateFraction: d.float(cm, "rate_fraction", 0),
+			Tool:         d.str(cm, "profile", string(sanitizers.CECSan)),
+			DeadlineMS:   d.float(cm, "deadline_ms", 0),
+			Arrival:      ArrivalSpec{Process: ProcessPoisson, CV: 2.0, Shape: 1.5},
+			Program:      ProgramSpec{Kind: KindSpatial, Variants: DefaultVariants},
+		}
+		if am := d.section(cm, "arrival", i); am != nil {
+			c.Arrival.Process = d.str(am, "process", ProcessPoisson)
+			c.Arrival.CV = d.float(am, "cv", 2.0)
+			c.Arrival.Shape = d.float(am, "shape", 1.5)
+		}
+		if pm := d.section(cm, "program", i); pm != nil {
+			c.Program.Kind = d.str(pm, "kind", KindSpatial)
+			c.Program.Variants = int(d.int64(pm, "variants", DefaultVariants))
+		}
+		if bm := d.section(cm, "budget", i); bm != nil {
+			c.Budget.MaxSteps = d.int64(bm, "max_steps", 0)
+			c.Budget.WallMS = d.float(bm, "wall_ms", 0)
+			c.Budget.HeapBytes = d.int64(bm, "heap_bytes", 0)
+		}
+		spec.Clients = append(spec.Clients, c)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// decoder accumulates type errors while pulling fields out of the generic
+// parse tree, so one Parse call reports the first real problem with its
+// field path.
+type decoder struct{ err error }
+
+func (d *decoder) errf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) section(m map[string]any, key string, client int) map[string]any {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	sm, ok := v.(map[string]any)
+	if !ok {
+		d.errf("clients[%d].%s: must be a mapping", client, key)
+		return nil
+	}
+	return sm
+}
+
+func (d *decoder) str(m map[string]any, key, def string) string {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.errf("%s: expected a string, got %T", key, v)
+		return def
+	}
+	return s
+}
+
+func (d *decoder) float(m map[string]any, key string, def float64) float64 {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	switch n := v.(type) {
+	case float64:
+		return n
+	case int64:
+		return float64(n)
+	case uint64:
+		return float64(n)
+	}
+	d.errf("%s: expected a number, got %T", key, v)
+	return def
+}
+
+func (d *decoder) int64(m map[string]any, key string, def int64) int64 {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	switch n := v.(type) {
+	case int64:
+		return n
+	case uint64:
+		if n <= math.MaxInt64 {
+			return int64(n)
+		}
+	}
+	d.errf("%s: expected an integer, got %T", key, v)
+	return def
+}
+
+func (d *decoder) uint64(m map[string]any, key string, def uint64) uint64 {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	switch n := v.(type) {
+	case int64:
+		if n >= 0 {
+			return uint64(n)
+		}
+	case uint64:
+		return n
+	}
+	d.errf("%s: expected a non-negative integer, got %T", key, v)
+	return def
+}
+
+// Validate checks the spec's cross-field invariants.
+func (s *Spec) Validate() error {
+	if s.Version != "" && s.Version != "1" {
+		return fmt.Errorf("unsupported spec version %q (want \"1\")", s.Version)
+	}
+	if s.AggregateRate <= 0 {
+		return fmt.Errorf("aggregate_rate must be > 0")
+	}
+	if s.MaxRequests < 0 {
+		return fmt.Errorf("max_requests must be >= 0")
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("spec needs at least one client")
+	}
+	seen := map[string]bool{}
+	var fracSum float64
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		where := fmt.Sprintf("clients[%d]", i)
+		if c.ID != "" {
+			where = fmt.Sprintf("client %q", c.ID)
+		}
+		if c.ID == "" {
+			return fmt.Errorf("%s: id is required", where)
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("duplicate client id %q", c.ID)
+		}
+		seen[c.ID] = true
+		if c.RateFraction <= 0 || c.RateFraction > 1 {
+			return fmt.Errorf("%s: rate_fraction must be in (0, 1]", where)
+		}
+		fracSum += c.RateFraction
+		if _, err := sanitizers.ProfileFor(sanitizers.Name(c.Tool)); err != nil {
+			return fmt.Errorf("%s: unknown profile %q", where, c.Tool)
+		}
+		switch c.Arrival.Process {
+		case ProcessPoisson:
+		case ProcessGamma:
+			if c.Arrival.CV <= 0 {
+				return fmt.Errorf("%s: gamma cv must be > 0", where)
+			}
+		case ProcessWeibull:
+			if c.Arrival.Shape <= 0 {
+				return fmt.Errorf("%s: weibull shape must be > 0", where)
+			}
+		default:
+			return fmt.Errorf("%s: unknown arrival process %q (want %s)", where,
+				c.Arrival.Process, processNames())
+		}
+		switch c.Program.Kind {
+		case KindSpatial, KindChurn, KindMixed, KindFuzz:
+		default:
+			return fmt.Errorf("%s: unknown program kind %q (want %s)", where,
+				c.Program.Kind, kindNames())
+		}
+		if c.Program.Variants < 1 {
+			return fmt.Errorf("%s: program variants must be >= 1", where)
+		}
+		if c.DeadlineMS < 0 || c.Budget.WallMS < 0 || c.Budget.MaxSteps < 0 || c.Budget.HeapBytes < 0 {
+			return fmt.Errorf("%s: deadlines and budgets must be >= 0", where)
+		}
+	}
+	if math.Abs(fracSum-1) > 1e-6 {
+		return fmt.Errorf("rate_fractions sum to %.6f, want 1", fracSum)
+	}
+	return nil
+}
+
+func processNames() string { return ProcessPoisson + "|" + ProcessGamma + "|" + ProcessWeibull }
+
+func kindNames() string {
+	names := []string{KindSpatial, KindChurn, KindMixed, KindFuzz}
+	sort.Strings(names)
+	return names[0] + "|" + names[1] + "|" + names[2] + "|" + names[3]
+}

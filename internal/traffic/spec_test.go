@@ -1,0 +1,144 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseExampleSpecs loads both shipped example specs and checks the
+// fields that define their semantics round-trip.
+func TestParseExampleSpecs(t *testing.T) {
+	s, err := Load("../../examples/workloads/interactive-batch.yaml")
+	if err != nil {
+		t.Fatalf("interactive-batch: %v", err)
+	}
+	if s.Seed != 42 || s.AggregateRate != 2000 || s.MaxRequests != 0 {
+		t.Fatalf("top-level fields: %+v", s)
+	}
+	if len(s.Clients) != 2 {
+		t.Fatalf("want 2 clients, got %d", len(s.Clients))
+	}
+	ia, batch := s.Clients[0], s.Clients[1]
+	if ia.ID != "interactive" || ia.RateFraction != 0.6 || ia.Tool != "CECSan" ||
+		ia.DeadlineMS != 50 || ia.Arrival.Process != ProcessPoisson ||
+		ia.Program.Kind != KindSpatial || ia.Program.Variants != 8 ||
+		ia.Budget.MaxSteps != 200000 || ia.Budget.WallMS != 200 {
+		t.Fatalf("interactive client: %+v", ia)
+	}
+	if batch.ID != "batch" || batch.RateFraction != 0.4 || batch.Tool != "CECSan-hardened" ||
+		batch.Arrival.Process != ProcessGamma || batch.Arrival.CV != 2.0 ||
+		batch.Program.Kind != KindChurn || batch.Budget.HeapBytes != 33554432 {
+		t.Fatalf("batch client: %+v", batch)
+	}
+
+	m, err := Load("../../examples/workloads/single.yaml")
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	if len(m.Clients) != 1 || m.MaxRequests != 256 {
+		t.Fatalf("single spec: %+v", m)
+	}
+	c := m.Clients[0]
+	if c.Tool != "CECSan" { // defaulted
+		t.Fatalf("default profile: %q", c.Tool)
+	}
+	if c.Arrival.Process != ProcessWeibull || c.Arrival.Shape != 1.5 ||
+		c.Program.Kind != KindMixed || c.Program.Variants != 4 {
+		t.Fatalf("single client: %+v", c)
+	}
+}
+
+const minimalSpec = `
+version: "1"
+aggregate_rate: 100
+clients:
+  - id: a
+    rate_fraction: 1.0
+`
+
+// TestParseDefaults checks defaulted fields on a minimal spec.
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse(minimalSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clients[0]
+	if s.Seed != 1 || c.Tool != "CECSan" || c.Arrival.Process != ProcessPoisson ||
+		c.Arrival.CV != 2.0 || c.Program.Kind != KindSpatial ||
+		c.Program.Variants != DefaultVariants || c.DeadlineMS != 0 {
+		t.Fatalf("defaults: spec=%+v client=%+v", s, c)
+	}
+}
+
+// TestParseErrors feeds malformed specs and checks each fails with a
+// message naming the problem.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "empty document"},
+		{"tab indent", "clients:\n\t- id: a\n", "tab in indentation"},
+		{"bad version", `version: "9"` + "\naggregate_rate: 1\nclients:\n  - id: a\n    rate_fraction: 1.0\n", "unsupported spec version"},
+		{"no rate", "clients:\n  - id: a\n    rate_fraction: 1.0\n", "aggregate_rate"},
+		{"no clients", "aggregate_rate: 5\n", "at least one client"},
+		{"dup key", "aggregate_rate: 5\naggregate_rate: 6\nclients:\n  - id: a\n    rate_fraction: 1.0\n", "duplicate key"},
+		{"dup id", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 0.5\n  - id: a\n    rate_fraction: 0.5\n", "duplicate client id"},
+		{"fraction sum", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 0.5\n  - id: b\n    rate_fraction: 0.4\n", "rate_fractions sum"},
+		{"fraction range", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.5\n", "rate_fraction must be in"},
+		{"bad profile", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    profile: NopeSan\n", "unknown profile"},
+		{"bad process", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    arrival:\n      process: lognormal\n", "unknown arrival process"},
+		{"bad kind", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    program:\n      kind: quantum\n", "unknown program kind"},
+		{"bad variants", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    program:\n      kind: spatial\n      variants: 0\n", "variants must be >= 1"},
+		{"type error", "aggregate_rate: fast\nclients:\n  - id: a\n    rate_fraction: 1.0\n", "expected a number"},
+		{"clients not seq", "aggregate_rate: 5\nclients: 3\n", "must be a sequence"},
+		{"negative budget", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    budget:\n      max_steps: -4\n", "must be >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("accepted malformed spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestYAMLSubset exercises the parser's corners directly.
+func TestYAMLSubset(t *testing.T) {
+	v, err := parseYAML(`
+# top comment
+a: 1
+b: "x # not a comment"
+c:
+  - 1
+  - two
+  - true
+d:
+  nested: 2.5   # trailing comment
+e: -3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["a"] != int64(1) || m["b"] != "x # not a comment" || m["e"] != int64(-3) {
+		t.Fatalf("scalars: %#v", m)
+	}
+	seq := m["c"].([]any)
+	if len(seq) != 3 || seq[0] != int64(1) || seq[1] != "two" || seq[2] != true {
+		t.Fatalf("sequence: %#v", seq)
+	}
+	if m["d"].(map[string]any)["nested"] != 2.5 {
+		t.Fatalf("nested: %#v", m["d"])
+	}
+
+	if _, err := parseYAML("a: 1\n  b: 2\n"); err == nil {
+		t.Fatal("accepted inconsistent indent")
+	}
+	if _, err := parseYAML("a:\n  - x\n- y\n"); err == nil {
+		t.Fatal("accepted outdented sequence continuation")
+	}
+}

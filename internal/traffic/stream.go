@@ -1,0 +1,168 @@
+package traffic
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"time"
+
+	"cecsan/internal/sanitizers"
+	"cecsan/prog"
+)
+
+// Request is one generated unit of traffic: a program to run under a
+// sanitizer profile, stamped with its virtual arrival time, class and
+// deadline. Requests carry everything a worker needs, so consumers can
+// fan them out freely without touching generator state.
+type Request struct {
+	// Index is the request's position in the merged stream (0-based).
+	Index int
+	// Class is the client class ID from the spec.
+	Class string
+	// ClassIndex is the class's position in spec order.
+	ClassIndex int
+	// Tool is the sanitizer profile to run under.
+	Tool sanitizers.Name
+	// Arrival is the request's virtual arrival offset from campaign start.
+	Arrival time.Duration
+	// Deadline is the class latency SLO (0 = none).
+	Deadline time.Duration
+	// Variant is which of the class's program variants this request uses.
+	Variant int
+	// ProgSeed is the variant's generator seed.
+	ProgSeed uint64
+	// Program is the compiled program (shared across requests of the same
+	// variant; programs are immutable once built).
+	Program *prog.Program
+	// Inputs are the recv payloads, if the variant consumes any.
+	Inputs [][]byte
+	// Source is the variant's csrc source.
+	Source string
+}
+
+// Stream generates the merged request stream for a (spec, seed) pair.
+//
+// Determinism contract: the stream is a pure function of the spec content
+// and the seed. Each client owns three independent splitmix64 streams
+// derived from mix(spec seed, client index) — arrivals, variant picks and
+// variant program seeds — and the per-client streams are merged by
+// (virtual arrival time, spec order) with spec order breaking ties.
+// Nothing consults wall clocks, worker counts or map iteration order, so
+// two Streams with the same inputs yield byte-identical request sequences
+// no matter how the consumer schedules them.
+type Stream struct {
+	spec  *Spec
+	limit int
+	count int
+
+	clients []*clientState
+	digest  hashState
+}
+
+// hashState accumulates the canonical per-request records that define
+// stream identity.
+type hashState struct{ h hash.Hash }
+
+func (hs *hashState) add(req *Request) {
+	fmt.Fprintf(hs.h, "%d|%s|%d|%d|%s|%d|%d|%s\n",
+		req.Index, req.Class, req.Arrival.Nanoseconds(), req.Deadline.Nanoseconds(),
+		req.Tool, req.Variant, req.ProgSeed, req.Program.Fingerprint())
+}
+
+// clientState is one client's generator position in the merge.
+type clientState struct {
+	spec     *ClientSpec
+	index    int
+	arrivals *arrivalSampler
+	picker   *rng
+	variants []*Variant
+	nextAt   time.Duration
+}
+
+// NewStream builds the generator. seedOverride, when nonzero, replaces
+// the spec's seed (the cmd/serve -seed flag). Variant programs for every
+// class are compiled up front; the error covers generator bugs only, not
+// request execution.
+func NewStream(spec *Spec, seedOverride uint64) (*Stream, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seedOverride != 0 {
+		seed = seedOverride
+	}
+	s := &Stream{spec: spec, limit: spec.MaxRequests, digest: hashState{h: sha256.New()}}
+	for i := range spec.Clients {
+		c := &spec.Clients[i]
+		clientSeed := mix(seed, uint64(i)+1)
+		cs := &clientState{
+			spec:     c,
+			index:    i,
+			arrivals: newArrivalSampler(c.Arrival, spec.AggregateRate*c.RateFraction, mix(clientSeed, 1)),
+			picker:   newRNG(mix(clientSeed, 2)),
+		}
+		for j := 0; j < c.Program.Variants; j++ {
+			v, err := buildVariant(c.Program.Kind, mix(clientSeed, 3+uint64(j)))
+			if err != nil {
+				return nil, err
+			}
+			cs.variants = append(cs.variants, v)
+		}
+		cs.nextAt = cs.arrivals.next()
+		s.clients = append(s.clients, cs)
+	}
+	return s, nil
+}
+
+// SetLimit overrides the spec's max_requests bound (0 = unbounded).
+func (s *Stream) SetLimit(n int) { s.limit = n }
+
+// Variants returns the compiled variant programs for class i, for
+// engine warmup via Preinstrument.
+func (s *Stream) Variants(i int) []*Variant { return s.clients[i].variants }
+
+// Next returns the next request in virtual-time order, or nil when the
+// stream's request bound is reached. Single-producer by design: the
+// merge is a stateful k-way walk.
+func (s *Stream) Next() *Request {
+	if s.limit > 0 && s.count >= s.limit {
+		return nil
+	}
+	best := -1
+	for i, cs := range s.clients {
+		if best < 0 || cs.nextAt < s.clients[best].nextAt {
+			best = i
+		}
+	}
+	cs := s.clients[best]
+	vi := cs.picker.intn(len(cs.variants))
+	v := cs.variants[vi]
+	req := &Request{
+		Index:      s.count,
+		Class:      cs.spec.ID,
+		ClassIndex: cs.index,
+		Tool:       sanitizers.Name(cs.spec.Tool),
+		Arrival:    cs.nextAt,
+		Deadline:   time.Duration(cs.spec.DeadlineMS * float64(time.Millisecond)),
+		Variant:    vi,
+		ProgSeed:   v.Seed,
+		Program:    v.Program,
+		Inputs:     v.Inputs,
+		Source:     v.Source,
+	}
+	cs.nextAt += cs.arrivals.next()
+	s.count++
+	s.digest.add(req)
+	return req
+}
+
+// Count returns how many requests have been generated so far.
+func (s *Stream) Count() int { return s.count }
+
+// Digest returns the hex SHA-256 over the canonical records of every
+// request generated so far — the byte-determinism witness two runs (or
+// two worker counts) can compare.
+func (s *Stream) Digest() string {
+	return hex.EncodeToString(s.digest.h.Sum(nil))
+}

@@ -1,0 +1,270 @@
+package traffic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-rolled parser for the YAML subset workload specs use,
+// in the repository's dependency-free style. The subset is deliberately
+// small and fully documented (DESIGN.md "Traffic engine & serving"):
+//
+//   - block mappings:   key: value   /   key: (nested block on deeper indent)
+//   - block sequences:  "- " items — scalar items, or mappings whose first
+//     key rides inline on the dash line ("- id: interactive")
+//   - scalars: double-quoted strings, bare strings, ints, floats, booleans
+//   - comments ("#" at line start or after whitespace, outside quotes) and
+//     blank lines are ignored
+//   - indentation is spaces only; tabs are a parse error
+//
+// Anchors, aliases, flow syntax ({...}, [...]), multi-line scalars and
+// multiple documents are out of scope: a spec that needs them fails loudly
+// here instead of being half-understood.
+
+// yamlLine is one significant source line: indentation stripped, comments
+// removed, 1-based line number retained for error messages.
+type yamlLine struct {
+	indent int
+	text   string
+	n      int
+}
+
+// stripComment removes a trailing comment from s, respecting double quotes.
+// A '#' starts a comment at the beginning of the content or after a space.
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// splitLines turns the source into significant lines, rejecting tab
+// indentation (the classic silent YAML killer).
+func splitLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for n, raw := range strings.Split(src, "\n") {
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, fmt.Errorf("line %d: tab in indentation (spaces only)", n+1)
+		}
+		text := strings.TrimSpace(stripComment(raw[indent:]))
+		if text == "" {
+			continue
+		}
+		out = append(out, yamlLine{indent: indent, text: text, n: n + 1})
+	}
+	return out, nil
+}
+
+// parseYAML parses the whole document into nested map[string]any /
+// []any / scalar values.
+func parseYAML(src string) (any, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	v, next, err := parseBlock(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("line %d: content outdented past the document root", lines[next].n)
+	}
+	return v, nil
+}
+
+// parseBlock parses the sequence or mapping starting at lines[i], whose
+// first line sets the block indent (which must be >= min).
+func parseBlock(lines []yamlLine, i, min int) (any, int, error) {
+	if i >= len(lines) || lines[i].indent < min {
+		return nil, i, fmt.Errorf("line %d: expected an indented block", blockErrLine(lines, i))
+	}
+	if isSeqItem(lines[i].text) {
+		return parseSeq(lines, i, lines[i].indent)
+	}
+	return parseMap(lines, i, lines[i].indent)
+}
+
+func blockErrLine(lines []yamlLine, i int) int {
+	if i < len(lines) {
+		return lines[i].n
+	}
+	if len(lines) > 0 {
+		return lines[len(lines)-1].n
+	}
+	return 0
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// parseMap parses consecutive "key: ..." lines at exactly indent base.
+func parseMap(lines []yamlLine, i, base int) (map[string]any, int, error) {
+	m := make(map[string]any)
+	for i < len(lines) {
+		l := lines[i]
+		if l.indent < base {
+			break
+		}
+		if l.indent > base {
+			return nil, i, fmt.Errorf("line %d: unexpected indent", l.n)
+		}
+		if isSeqItem(l.text) {
+			return nil, i, fmt.Errorf("line %d: sequence item in a mapping block", l.n)
+		}
+		key, rest, found := cutKey(l.text)
+		if !found {
+			return nil, i, fmt.Errorf("line %d: expected \"key: value\"", l.n)
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("line %d: duplicate key %q", l.n, key)
+		}
+		if rest == "" {
+			if i+1 < len(lines) && lines[i+1].indent > base {
+				v, next, err := parseBlock(lines, i+1, base+1)
+				if err != nil {
+					return nil, i, err
+				}
+				m[key] = v
+				i = next
+				continue
+			}
+			m[key] = nil
+			i++
+			continue
+		}
+		m[key] = parseScalar(rest)
+		i++
+	}
+	return m, i, nil
+}
+
+// parseSeq parses consecutive "- ..." items at exactly indent base.
+func parseSeq(lines []yamlLine, i, base int) ([]any, int, error) {
+	var seq []any
+	for i < len(lines) {
+		l := lines[i]
+		if l.indent < base {
+			break
+		}
+		if l.indent > base {
+			return nil, i, fmt.Errorf("line %d: unexpected indent", l.n)
+		}
+		if !isSeqItem(l.text) {
+			return nil, i, fmt.Errorf("line %d: expected a \"- \" sequence item", l.n)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		// Continuation lines of this item are everything indented deeper
+		// than the dash.
+		j := i + 1
+		for j < len(lines) && lines[j].indent > base {
+			j++
+		}
+		switch {
+		case rest == "":
+			if j == i+1 {
+				return nil, i, fmt.Errorf("line %d: empty sequence item", l.n)
+			}
+			v, next, err := parseBlock(lines, i+1, base+1)
+			if err != nil {
+				return nil, i, err
+			}
+			if next != j {
+				return nil, i, fmt.Errorf("line %d: inconsistent indentation in sequence item", lines[next].n)
+			}
+			seq = append(seq, v)
+		case hasKey(rest):
+			// Mapping item with its first pair inline on the dash line:
+			// rewrite the dash line as a mapping line at the continuation
+			// indent and parse the whole item as one mapping block.
+			itemIndent := base + 2
+			if j > i+1 {
+				itemIndent = lines[i+1].indent
+			}
+			sub := make([]yamlLine, 0, j-i)
+			sub = append(sub, yamlLine{indent: itemIndent, text: rest, n: l.n})
+			sub = append(sub, lines[i+1:j]...)
+			v, next, err := parseMap(sub, 0, itemIndent)
+			if err != nil {
+				return nil, i, err
+			}
+			if next != len(sub) {
+				return nil, i, fmt.Errorf("line %d: inconsistent indentation in sequence item", sub[next].n)
+			}
+			seq = append(seq, v)
+		default:
+			if j != i+1 {
+				return nil, i, fmt.Errorf("line %d: scalar sequence item has indented continuation", lines[i+1].n)
+			}
+			seq = append(seq, parseScalar(rest))
+		}
+		i = j
+	}
+	return seq, i, nil
+}
+
+// cutKey splits "key: value" (or "key:") at the first colon outside quotes.
+func cutKey(s string) (key, rest string, found bool) {
+	if strings.HasPrefix(s, "\"") {
+		return "", "", false // quoted keys are out of the subset
+	}
+	idx := strings.IndexByte(s, ':')
+	if idx <= 0 {
+		return "", "", false
+	}
+	after := s[idx+1:]
+	if after != "" && after[0] != ' ' {
+		return "", "", false // "12:30"-style scalars are not key/value pairs
+	}
+	return strings.TrimSpace(s[:idx]), strings.TrimSpace(after), true
+}
+
+// hasKey reports whether a dash-line remainder looks like an inline
+// mapping pair rather than a scalar item.
+func hasKey(s string) bool {
+	_, _, found := cutKey(s)
+	return found
+}
+
+// parseScalar types a scalar token: quoted string, bool, int, float, or
+// bare string, in that order.
+func parseScalar(s string) any {
+	if strings.HasPrefix(s, "\"") && strings.HasSuffix(s, "\"") && len(s) >= 2 {
+		if uq, err := strconv.Unquote(s); err == nil {
+			return uq
+		}
+		return strings.Trim(s, "\"")
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v
+	}
+	return s
+}
