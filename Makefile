@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate serve-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate serve-smoke overload-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -89,6 +89,41 @@ serve-smoke:
 	test -s BENCH_serve.json
 	test -s metrics-serve-smoke.json
 
+# Overload-resilience smoke, three gates in one target:
+#
+#  1. Chaos determinism: the same seeded chaos campaign (3 storm/calm
+#     phases = 1152 requests) at two worker counts must produce
+#     byte-identical chaos digests, and both runs must actually exercise
+#     the machinery — breaker trips, ladder step-downs AND recoveries.
+#  2. Zero-flap clean run: with resilience armed but no chaos, a healthy
+#     closed-loop campaign must not trip a single breaker — the overload
+#     layer must be invisible when nothing is wrong.
+#  3. Overload trend gate: a fresh calibrate-and-sweep record against the
+#     committed BENCH_overload.json baseline — capacity and per-point
+#     goodput floors, plus no ladder degradation at a multiple where the
+#     baseline held full hardening. The fresh record then replaces the
+#     local baseline file, becoming the CI artifact (like serve-smoke).
+overload-smoke:
+	$(GO) run ./cmd/serve -spec examples/workloads/interactive-batch.yaml \
+		-seed 42 -chaos-seed 11 -max-requests 1152 -workers 2 \
+		-min-breaker-trips 1 -min-degradations 1 -min-recoveries 1 \
+		-json chaos-a.json
+	$(GO) run ./cmd/serve -spec examples/workloads/interactive-batch.yaml \
+		-seed 42 -chaos-seed 11 -max-requests 1152 -workers 7 \
+		-min-breaker-trips 1 -min-degradations 1 -min-recoveries 1 \
+		-json chaos-b.json
+	grep '"chaos_digest"' chaos-a.json > chaos-a.digest
+	grep '"chaos_digest"' chaos-b.json > chaos-b.digest
+	cmp chaos-a.digest chaos-b.digest
+	$(GO) run ./cmd/serve -spec examples/workloads/interactive-batch.yaml \
+		-max-requests 2000 -resilience -min-completed 1 -max-breaker-trips 0
+	$(GO) run ./cmd/serve -spec examples/workloads/interactive-batch.yaml \
+		-overload -json BENCH_overload_fresh.json
+	$(GO) run ./cmd/benchgate -overload-baseline BENCH_overload.json \
+		-overload-fresh BENCH_overload_fresh.json
+	mv BENCH_overload_fresh.json BENCH_overload.json
+	rm -f chaos-a.json chaos-b.json chaos-a.digest chaos-b.digest
+
 # Full-scale table regenerations.
 bench-table2:
 	$(GO) run ./cmd/julietbench -table 2 -json BENCH_table2.json
@@ -97,5 +132,6 @@ bench-table4:
 	$(GO) run ./cmd/specbench -suite 2006 -json BENCH_table4.json
 
 clean:
-	rm -f BENCH_fresh.json BENCH_serve_fresh.json metrics-smoke.json \
-		metrics-serve-smoke.json trace-smoke.json
+	rm -f BENCH_fresh.json BENCH_serve_fresh.json BENCH_overload_fresh.json \
+		metrics-smoke.json metrics-serve-smoke.json trace-smoke.json \
+		chaos-a.json chaos-b.json chaos-a.digest chaos-b.digest

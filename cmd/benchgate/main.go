@@ -29,6 +29,14 @@
 // must still complete requests. A missing serve baseline file skips the
 // serve checks with a note instead of failing, so the gate can be wired
 // into CI before the first baseline is committed.
+//
+// With -overload-baseline/-overload-fresh the gate also (or instead)
+// compares cmd/serve -overload sweep records (BENCH_overload.json):
+// per-point goodput gates with the max-slowdown tolerance, and a point
+// that degrades (ladder step-downs > 0) where the baseline point did not
+// fails outright — degradation under a load the deployment used to absorb
+// at full hardening is a resilience regression no hardware variance
+// explains. A missing overload baseline skips with a note, like serve.
 package main
 
 import (
@@ -75,6 +83,24 @@ type serveRecord struct {
 	Classes        []serveClassRecord `json:"classes"`
 }
 
+// overloadPointRecord mirrors the per-point fields benchgate reads from
+// the cmd/serve -overload schema.
+type overloadPointRecord struct {
+	Multiple float64 `json:"multiple"`
+	Result   struct {
+		Completed     int64   `json:"completed"`
+		GoodputPerSec float64 `json:"goodput_per_sec"`
+		Degradations  int64   `json:"degradations"`
+		BreakerTrips  int64   `json:"breaker_trips"`
+	} `json:"result"`
+}
+
+// overloadRecord mirrors the top-level cmd/serve -overload schema.
+type overloadRecord struct {
+	CapacityPerSec float64               `json:"capacity_per_sec"`
+	Points         []overloadPointRecord `json:"points"`
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -101,17 +127,24 @@ func run() error {
 	hitDrop := flag.Float64("hit-drop", 0.02, "maximum tolerated absolute cache hit-rate regression")
 	serveBaselinePath := flag.String("serve-baseline", "", "committed cmd/serve baseline record (BENCH_serve.json)")
 	serveFreshPath := flag.String("serve-fresh", "", "freshly generated cmd/serve record to gate")
+	overloadBaselinePath := flag.String("overload-baseline", "", "committed cmd/serve -overload baseline record (BENCH_overload.json)")
+	overloadFreshPath := flag.String("overload-fresh", "", "freshly generated cmd/serve -overload record to gate")
 	flag.Parse()
-	if *freshPath == "" && *serveFreshPath == "" {
-		return fmt.Errorf("one of -fresh / -serve-fresh is required")
+	if *freshPath == "" && *serveFreshPath == "" && *overloadFreshPath == "" {
+		return fmt.Errorf("one of -fresh / -serve-fresh / -overload-fresh is required")
 	}
 	if *serveFreshPath != "" {
 		if err := gateServe(*serveBaselinePath, *serveFreshPath, *maxSlowdown); err != nil {
 			return err
 		}
-		if *freshPath == "" {
-			return nil
+	}
+	if *overloadFreshPath != "" {
+		if err := gateOverload(*overloadBaselinePath, *overloadFreshPath, *maxSlowdown); err != nil {
+			return err
 		}
+	}
+	if *freshPath == "" {
+		return nil
 	}
 
 	base, err := load(*baselinePath)
@@ -261,5 +294,105 @@ func gateServe(baselinePath, freshPath string, maxSlowdown float64) error {
 		return fmt.Errorf("%d serve check(s) failed against %s", len(failures), baselinePath)
 	}
 	fmt.Println("serve: no drift")
+	return nil
+}
+
+// loadOverload reads a cmd/serve -overload sweep record.
+func loadOverload(path string) (*overloadRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &overloadRecord{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// gateOverload compares a fresh overload-sweep record against the committed
+// baseline. Goodput (deadline-meeting completions per second) gates with the
+// relative max-slowdown tolerance, per point and for calibrated capacity. A
+// fresh point that steps down the degradation ladder where the baseline
+// point stayed at full hardening fails outright: that is the resilience
+// layer reporting the same offered multiple now exceeds what full hardening
+// can absorb, which is a code regression, not machine noise (the multiple is
+// relative to each machine's own calibrated capacity). A missing baseline
+// file skips with a note (first-run bootstrap); everything else gates.
+func gateOverload(baselinePath, freshPath string, maxSlowdown float64) error {
+	fresh, err := loadOverload(freshPath)
+	if err != nil {
+		return err
+	}
+	if len(fresh.Points) == 0 {
+		return fmt.Errorf("fresh overload record %s has no sweep points", freshPath)
+	}
+	for _, p := range fresh.Points {
+		if p.Result.Completed == 0 {
+			return fmt.Errorf("fresh overload record %s point %gx completed 0 requests", freshPath, p.Multiple)
+		}
+	}
+	if baselinePath == "" {
+		fmt.Println("overload: no -overload-baseline given, record is well-formed; skipping trend checks")
+		return nil
+	}
+	base, err := loadOverload(baselinePath)
+	if os.IsNotExist(err) {
+		fmt.Printf("overload: baseline %s does not exist yet; skipping trend checks\n", baselinePath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	capFloor := base.CapacityPerSec * (1 - maxSlowdown)
+	status := "ok"
+	if fresh.CapacityPerSec < capFloor {
+		status = "FAIL"
+		fail("overload capacity %.0f req/s below floor %.0f (baseline %.0f, max slowdown %.0f%%)",
+			fresh.CapacityPerSec, capFloor, base.CapacityPerSec, 100*maxSlowdown)
+	}
+	fmt.Printf("%-16s capacity  %10.0f baseline %10.0f floor %10.0f  %s\n",
+		"overload", fresh.CapacityPerSec, base.CapacityPerSec, capFloor, status)
+
+	freshPoints := make(map[float64]overloadPointRecord, len(fresh.Points))
+	for _, p := range fresh.Points {
+		freshPoints[p.Multiple] = p
+	}
+	for _, bp := range base.Points {
+		fp, ok := freshPoints[bp.Multiple]
+		if !ok {
+			fail("sweep point %gx present in overload baseline but missing from fresh record", bp.Multiple)
+			continue
+		}
+		floor := bp.Result.GoodputPerSec * (1 - maxSlowdown)
+		status := "ok"
+		if fp.Result.GoodputPerSec < floor {
+			status = "FAIL"
+			fail("point %gx goodput %.0f req/s below floor %.0f (baseline %.0f, max slowdown %.0f%%)",
+				bp.Multiple, fp.Result.GoodputPerSec, floor, bp.Result.GoodputPerSec, 100*maxSlowdown)
+		}
+		if bp.Result.Degradations == 0 && fp.Result.Degradations > 0 {
+			status = "FAIL"
+			fail("point %gx stepped down the degradation ladder %d time(s); baseline held full hardening",
+				bp.Multiple, fp.Result.Degradations)
+		}
+		fmt.Printf("%-16s goodput   %10.0f baseline %10.0f floor %10.0f  %s\n",
+			fmt.Sprintf("point %gx", bp.Multiple), fp.Result.GoodputPerSec, bp.Result.GoodputPerSec, floor, status)
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Println("DRIFT:", f)
+		}
+		return fmt.Errorf("%d overload check(s) failed against %s", len(failures), baselinePath)
+	}
+	fmt.Println("overload: no drift")
 	return nil
 }

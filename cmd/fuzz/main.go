@@ -27,7 +27,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -138,14 +137,9 @@ func run() (int, error) {
 	}
 
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
+		if err := cliutil.WriteJSON(*jsonPath, rep); err != nil {
 			return exitHarness, err
 		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			return exitHarness, err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 	if *benchPath != "" {
 		if err := cliutil.WriteJSON(*benchPath, benchRecord(rep, runner)); err != nil {

@@ -9,6 +9,12 @@
 //	serve -spec examples/workloads/interactive-batch.yaml
 //	      [-seed N] [-workers N] [-max-requests N] [-duration 30s]
 //	      [-speedup X] [-queue N] [-min-completed N]
+//	      [-resilience] [-chaos-seed N]
+//	      [-breaker-window N] [-breaker-threshold X] [-breaker-cooldown N]
+//	      [-retry-max N] [-ladder-trips N] [-ladder-recovery N]
+//	      [-max-breaker-trips N] [-min-breaker-trips N]
+//	      [-min-degradations N] [-min-recoveries N]
+//	      [-overload] [-overload-multiples 1,2,4] [-overload-requests N]
 //	      [-json BENCH_serve.json] [-progress]
 //	      [-metrics-json m.json] [-trace t.json] [-http 127.0.0.1:0]
 //
@@ -18,14 +24,28 @@
 // fast as the workers drain them — which is the throughput-measurement
 // mode CI gates on.
 //
+// -resilience arms the overload layer: CoDel-style delay shedding,
+// per-class token buckets, bounded retries with seeded backoff, per-class
+// circuit breakers and the graceful-degradation ladder. -chaos-seed N
+// additionally arms the chaos campaign (implies -resilience): injections
+// derive from (chaos seed, stream index), execution switches to per-class
+// ordered consumers, and the summary's chaos_digest is byte-identical at
+// any -workers for a closed-loop run.
+//
+// -overload replaces the single campaign with a sweep: one closed-loop
+// calibration run measures capacity, then each -overload-multiples point
+// replays the stream open-loop at that multiple of capacity with
+// resilience armed, emitting the BENCH_overload.json payload.
+//
 // The request stream (and the stream_digest in the summary) depends only
-// on (spec, seed): rerunning with a different -workers or -speedup
-// changes scheduling and latency, never the traffic.
+// on (spec, seed): rerunning with a different -workers, -speedup or any
+// resilience knob changes scheduling and latency, never the traffic.
 //
 // Exit status:
 //
 //	0  campaign completed
-//	1  -min-completed violated (some class completed fewer requests)
+//	1  -min-completed, -max/min-breaker-trips, -min-degradations or
+//	   -min-recoveries violated
 //	2  spec or internal error
 package main
 
@@ -34,10 +54,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"cecsan/internal/cliutil"
+	"cecsan/internal/obs"
 	"cecsan/internal/traffic"
 )
 
@@ -63,6 +86,13 @@ type benchRecord struct {
 	*traffic.ServeResult
 }
 
+// overloadRecord is the BENCH_overload.json payload.
+type overloadRecord struct {
+	Bench string `json:"bench"`
+	Spec  string `json:"spec"`
+	*traffic.OverloadResult
+}
+
 func run() (int, error) {
 	specPath := flag.String("spec", "", "workload spec YAML (required)")
 	seed := cliutil.SeedFlag(0, "override the spec's campaign seed (0 = use spec)")
@@ -72,7 +102,22 @@ func run() (int, error) {
 	speedup := flag.Float64("speedup", 0, "replay the virtual arrival schedule compressed X-fold (0 = closed loop)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
 	minCompleted := flag.Int("min-completed", 0, "exit 1 unless every class completes at least N requests")
-	jsonPath := cliutil.JSONFlag("write the BENCH_serve.json campaign summary to this path")
+	resilience := flag.Bool("resilience", false, "arm the overload-resilience layer (admission control, retries, breakers, degradation ladder)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "arm the chaos campaign with this seed (implies -resilience; 0 = off)")
+	breakerWindow := flag.Int("breaker-window", 0, "circuit-breaker sliding window, attempts (0 = default)")
+	breakerThreshold := flag.Float64("breaker-threshold", 0, "circuit-breaker fault-rate trip threshold (0 = default)")
+	breakerCooldown := flag.Int("breaker-cooldown", 0, "rejected requests while open before a half-open probe (0 = default, -1 disables breakers)")
+	retryMax := flag.Int("retry-max", 0, "max retries per request (0 = default, -1 disables)")
+	ladderTrips := flag.Int("ladder-trips", 0, "breaker trips per degradation-ladder step (0 = default, -1 freezes the ladder)")
+	ladderRecovery := flag.Int("ladder-recovery", 0, "consecutive clean completions to step back up (0 = default)")
+	maxBreakerTrips := flag.Int("max-breaker-trips", -1, "exit 1 if total breaker trips exceed N (-1 = no assertion)")
+	minBreakerTrips := flag.Int("min-breaker-trips", 0, "exit 1 unless total breaker trips reach N")
+	minDegradations := flag.Int("min-degradations", 0, "exit 1 unless total ladder step-downs reach N")
+	minRecoveries := flag.Int("min-recoveries", 0, "exit 1 unless total ladder recoveries reach N")
+	overload := flag.Bool("overload", false, "run the overload sweep (calibrate, then open-loop points past saturation)")
+	overloadMultiples := flag.String("overload-multiples", "1,2,4", "comma-separated capacity multiples for -overload")
+	overloadRequests := flag.Int("overload-requests", 0, "requests per overload point (0 = 5000)")
+	jsonPath := cliutil.JSONFlag("write the BENCH_serve.json (or BENCH_overload.json) summary to this path")
 	progress := flag.Bool("progress", false, "print a progress line every 256 processed requests")
 	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
@@ -85,13 +130,45 @@ func run() (int, error) {
 	if err != nil {
 		return exitInternal, err
 	}
-	if spec.MaxRequests == 0 && *maxRequests == 0 && *duration == 0 {
-		fmt.Fprintln(os.Stderr, "serve: unbounded campaign (no -duration / -max-requests); stop with ^C")
+
+	var resCfg *traffic.ResilienceConfig
+	if *resilience || *chaosSeed != 0 || *overload {
+		resCfg = &traffic.ResilienceConfig{
+			BreakerWindow:    *breakerWindow,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			RetryMax:         *retryMax,
+			LadderTrips:      *ladderTrips,
+			LadderRecovery:   *ladderRecovery,
+		}
 	}
 
 	observer, srv, err := obsFlags.Build()
 	if err != nil {
 		return exitInternal, err
+	}
+
+	if *overload {
+		multiples, merr := parseMultiples(*overloadMultiples)
+		if merr != nil {
+			return exitInternal, merr
+		}
+		return runOverload(spec, observer, srv, obsFlags, overloadOpts{
+			specPath:  *specPath,
+			seed:      *seed,
+			workers:   cliutil.ResolveWorkers(*workers),
+			requests:  *overloadRequests,
+			multiples: multiples,
+			res:       resCfg,
+			chaosSeed: *chaosSeed,
+			queue:     *queue,
+			jsonPath:  *jsonPath,
+			progress:  *progress,
+		})
+	}
+
+	if spec.MaxRequests == 0 && *maxRequests == 0 && *duration == 0 {
+		fmt.Fprintln(os.Stderr, "serve: unbounded campaign (no -duration / -max-requests); stop with ^C")
 	}
 
 	stop := make(chan struct{})
@@ -112,6 +189,8 @@ func run() (int, error) {
 		Duration:    *duration,
 		QueueDepth:  *queue,
 		Speedup:     *speedup,
+		Resilience:  resCfg,
+		ChaosSeed:   *chaosSeed,
 		Obs:         observer,
 		Stop:        stop,
 	}
@@ -131,15 +210,7 @@ func run() (int, error) {
 		err = ferr
 	}
 
-	fmt.Printf("serve: %s workers=%d elapsed=%.2fs generated=%d completed=%d faults=%d shed=%d misses=%d (%.0f req/sec, cache hit %.3f)\n",
-		*specPath, res.Workers, res.ElapsedSec, res.Generated, res.Completed,
-		res.Faults, res.Shed, res.DeadlineMisses, res.RequestsPerSec, res.CacheHitRate)
-	for _, cs := range res.Classes {
-		fmt.Printf("  class %-14s tool=%-16s completed=%-6d detected=%-4d shed=%-5d misses=%-5d p50=%dus p95=%dus p99=%dus\n",
-			cs.Class, cs.Tool, cs.Completed, cs.Detected, cs.Shed, cs.DeadlineMisses,
-			cs.P50us, cs.P95us, cs.P99us)
-	}
-	fmt.Printf("  stream digest %s\n", res.StreamDigest)
+	printServe(*specPath, res)
 
 	if *jsonPath != "" {
 		rec := benchRecord{Bench: "serve", Spec: *specPath, ServeResult: res}
@@ -158,5 +229,131 @@ func run() (int, error) {
 			}
 		}
 	}
+	if *maxBreakerTrips >= 0 && res.BreakerTrips > int64(*maxBreakerTrips) {
+		return exitShort, fmt.Errorf("breaker trips %d > -max-breaker-trips %d (unexpected flapping)",
+			res.BreakerTrips, *maxBreakerTrips)
+	}
+	if *minBreakerTrips > 0 && res.BreakerTrips < int64(*minBreakerTrips) {
+		return exitShort, fmt.Errorf("breaker trips %d < -min-breaker-trips %d",
+			res.BreakerTrips, *minBreakerTrips)
+	}
+	if *minDegradations > 0 && res.Degradations < int64(*minDegradations) {
+		return exitShort, fmt.Errorf("ladder degradations %d < -min-degradations %d",
+			res.Degradations, *minDegradations)
+	}
+	if *minRecoveries > 0 && res.Recoveries < int64(*minRecoveries) {
+		return exitShort, fmt.Errorf("ladder recoveries %d < -min-recoveries %d",
+			res.Recoveries, *minRecoveries)
+	}
 	return exitOK, nil
+}
+
+// printServe writes the human summary: the legacy line, a resilience line
+// when that layer did anything, and the per-class table.
+func printServe(specPath string, res *traffic.ServeResult) {
+	fmt.Printf("serve: %s workers=%d elapsed=%.2fs generated=%d completed=%d faults=%d shed=%d misses=%d (%.0f req/sec, cache hit %.3f)\n",
+		specPath, res.Workers, res.ElapsedSec, res.Generated, res.Completed,
+		res.Faults, res.Shed, res.DeadlineMisses, res.RequestsPerSec, res.CacheHitRate)
+	if res.Retries+res.BreakerTrips+res.Degradations+res.ShedDelay+res.ShedBucket+res.ChaosInjected+res.Abandoned > 0 {
+		fmt.Printf("  resilience: goodput=%.0f/sec retries=%d (ok %d) breaker trips=%d rejected=%d degradations=%d recoveries=%d shed delay=%d bucket=%d abandoned=%d chaos=%d\n",
+			res.GoodputPerSec, res.Retries, res.RetrySuccesses, res.BreakerTrips,
+			res.BreakerRejected, res.Degradations, res.Recoveries,
+			res.ShedDelay, res.ShedBucket, res.Abandoned, res.ChaosInjected)
+	}
+	for _, cs := range res.Classes {
+		fmt.Printf("  class %-14s tool=%-16s completed=%-6d detected=%-4d shed=%-5d misses=%-5d p50=%dus p95=%dus p99=%dus\n",
+			cs.Class, cs.Tool, cs.Completed, cs.Detected, cs.Shed, cs.DeadlineMisses,
+			cs.P50us, cs.P95us, cs.P99us)
+		if cs.Retries+cs.BreakerTrips+cs.Degradations > 0 || cs.DegradationLevel > 0 {
+			fmt.Printf("        %-14s retries=%-4d trips=%-3d rejected=%-4d level=%d (down %d, up %d)\n",
+				"", cs.Retries, cs.BreakerTrips, cs.BreakerRejected,
+				cs.DegradationLevel, cs.Degradations, cs.Recoveries)
+		}
+	}
+	fmt.Printf("  stream digest %s\n", res.StreamDigest)
+	if res.ChaosDigest != "" {
+		fmt.Printf("  chaos digest %s (seed %d)\n", res.ChaosDigest, res.ChaosSeed)
+	}
+}
+
+type overloadOpts struct {
+	specPath  string
+	seed      uint64
+	workers   int
+	requests  int
+	multiples []float64
+	res       *traffic.ResilienceConfig
+	chaosSeed uint64
+	queue     int
+	jsonPath  string
+	progress  bool
+}
+
+// runOverload drives the calibrate-and-sweep campaign and writes the
+// BENCH_overload.json payload.
+func runOverload(spec *traffic.Spec, observer *obs.Observer, srv *obs.Server, obsFlags *cliutil.ObsFlags, o overloadOpts) (int, error) {
+	cfg := traffic.OverloadConfig{
+		Spec:       spec,
+		Seed:       o.seed,
+		Workers:    o.workers,
+		Requests:   o.requests,
+		Multiples:  o.multiples,
+		Resilience: o.res,
+		ChaosSeed:  o.chaosSeed,
+		QueueDepth: o.queue,
+		Obs:        observer,
+	}
+	if o.progress {
+		cfg.Progress = func(stage string) {
+			fmt.Fprintf(os.Stderr, "serve: overload %s\n", stage)
+		}
+	}
+	res, err := traffic.RunOverload(cfg)
+	if err != nil {
+		return exitInternal, err
+	}
+	if ferr := obsFlags.Finish(observer, srv, 0); ferr != nil && err == nil {
+		err = ferr
+	}
+
+	fmt.Printf("overload: %s workers=%d capacity=%.0f req/sec (%d requests/point)\n",
+		o.specPath, res.Workers, res.CapacityPerSec, res.Requests)
+	for _, p := range res.Points {
+		r := p.Result
+		fmt.Printf("  %4gx offered=%-6.0f goodput=%-6.0f completed=%-5d shed=%-5d (delay %d, bucket %d) retries=%-4d trips=%-3d degradations=%d recoveries=%d\n",
+			p.Multiple, p.OfferedPerSec, r.GoodputPerSec, r.Completed,
+			r.Shed+r.ShedBucket+r.ShedDelay, r.ShedDelay, r.ShedBucket,
+			r.Retries, r.BreakerTrips, r.Degradations, r.Recoveries)
+	}
+
+	if o.jsonPath != "" {
+		rec := overloadRecord{Bench: "overload", Spec: o.specPath, OverloadResult: res}
+		if werr := cliutil.WriteJSON(o.jsonPath, rec); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return exitInternal, err
+	}
+	return exitOK, nil
+}
+
+// parseMultiples parses the -overload-multiples list.
+func parseMultiples(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-overload-multiples: bad multiple %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-overload-multiples: empty list")
+	}
+	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"cecsan/internal/obs"
@@ -74,17 +75,19 @@ func ResolveWorkers(n int) int {
 	return n
 }
 
-// WriteJSON writes v, pretty-printed, to path.
+// WriteJSON writes v, pretty-printed, to path. The write is atomic: a
+// concurrent reader (CI collecting artifacts, a watcher tailing BENCH
+// records) sees either the previous complete file or the new one, never a
+// torn prefix, and a crash mid-write cannot destroy an existing record.
 func WriteJSON(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	return writeTo(path, func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
 		return err
-	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-	return nil
+	})
 }
 
 // ObsFlags is the shared observability flag set. Every cmd/ tool registers
@@ -191,17 +194,35 @@ func (f *ObsFlags) Finish(o *obs.Observer, srv *obs.Server, totalChecks int64) e
 	return firstErr
 }
 
-// writeTo creates path and streams write into it.
+// writeTo streams write into path atomically: the content lands in a
+// temporary file in the same directory (same filesystem, so the rename is
+// atomic) and replaces path only after a successful write and close. On any
+// failure the temporary file is removed and the previous path contents are
+// left untouched.
 func writeTo(path string, write func(w io.Writer) error) error {
-	fh, err := os.Create(path)
+	dir := filepath.Dir(path)
+	fh, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := write(fh); err != nil {
+	tmp := fh.Name()
+	cleanup := func(err error) error {
 		fh.Close()
+		os.Remove(tmp)
 		return err
 	}
+	if err := write(fh); err != nil {
+		return cleanup(err)
+	}
+	if err := fh.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
 	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)

@@ -1,8 +1,12 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 )
@@ -130,6 +134,75 @@ func TestResolveWorkers(t *testing.T) {
 	}
 	if got := ResolveWorkers(-2); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("ResolveWorkers(-2) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestWriteJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteJSON(path, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]int
+	if err := json.Unmarshal(first, &v); err != nil || v["a"] != 1 {
+		t.Fatalf("first write round-trip: %v %v", v, err)
+	}
+
+	// Overwrite: the replacement must be complete and the directory must not
+	// accumulate temporary files.
+	if err := WriteJSON(path, map[string]int{"a": 2}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &v); err != nil || v["a"] != 2 {
+		t.Fatalf("second write round-trip: %v %v", v, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.json" {
+		t.Fatalf("directory holds %v, want only out.json (no temp-file litter)", entries)
+	}
+
+	// A failed write must leave the existing file untouched.
+	if err := WriteJSON(path, map[string]any{"bad": func() {}}); err == nil {
+		t.Fatal("marshaling a func must fail")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(second) {
+		t.Fatalf("failed write corrupted the previous file:\n%s", after)
+	}
+}
+
+func TestWriteToFailureLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := writeTo(path, func(w io.Writer) error {
+		return fmt.Errorf("stream failed")
+	}); err == nil {
+		t.Fatal("writeTo must propagate the stream error")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed writeTo must not create %s", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("directory holds %v, want empty (temp removed on failure)", entries)
 	}
 }
 

@@ -51,7 +51,10 @@ type Options struct {
 	// re-handed-out until this many others have been freed (0 selects
 	// DefaultIndexDelay when TemporalGenerations is set). A non-zero value
 	// is honored on its own — delayed reuse without generation stamps is a
-	// valid, cheaper configuration.
+	// valid, cheaper configuration. A negative value explicitly disables
+	// delayed reuse even under TemporalGenerations — the configuration the
+	// serving degradation ladder steps a hardened class down to before
+	// abandoning hardening entirely.
 	IndexDelay int
 	// QuarantineBytes enables the second temporal-hardening mode: a
 	// bounded FIFO under the stock allocator that delays chunk-address
@@ -182,6 +185,9 @@ func New(opts Options) (*Runtime, error) {
 		if delay == 0 {
 			delay = DefaultIndexDelay
 		}
+	}
+	if delay < 0 {
+		delay = 0 // explicit opt-out, distinct from "use the default"
 	}
 	table, err := NewHardenedTable(opts.Arch, genBits, delay)
 	if err != nil {

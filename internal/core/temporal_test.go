@@ -184,3 +184,27 @@ func TestHardenedResetByteIdentity(t *testing.T) {
 		t.Errorf("Stats after replay = %+v, want %+v", got, want)
 	}
 }
+
+// A negative IndexDelay is the serving ladder's "no delayed reuse" sentinel:
+// New must clamp it to 0 instead of letting TemporalGenerations re-default it
+// (or NewHardenedTable reject it).
+func TestNegativeIndexDelayDisablesReuse(t *testing.T) {
+	opts := HardenedOptions()
+	opts.IndexDelay = -1
+	r, err := New(opts)
+	if err != nil {
+		t.Fatalf("New(IndexDelay=-1): %v", err)
+	}
+	if got := r.Table().IndexDelay(); got != 0 {
+		t.Fatalf("IndexDelay() = %d, want 0 (sentinel disables delayed reuse)", got)
+	}
+	// Sanity: the same options with delay 0 re-default under generations.
+	opts.IndexDelay = 0
+	r, err = New(opts)
+	if err != nil {
+		t.Fatalf("New(IndexDelay=0): %v", err)
+	}
+	if got := r.Table().IndexDelay(); got != DefaultIndexDelay {
+		t.Fatalf("IndexDelay() = %d, want DefaultIndexDelay %d", got, DefaultIndexDelay)
+	}
+}

@@ -140,6 +140,7 @@ type Engine struct {
 	cacheMisses    atomic.Int64
 	cachePrefills  atomic.Int64
 	cacheOverflows atomic.Int64
+	cacheBypasses  atomic.Int64
 	instrumentNS   atomic.Int64
 	executeNS      atomic.Int64
 
@@ -231,6 +232,7 @@ func (e *Engine) initObs(o *obs.Observer) {
 		{"engine_cache_misses", func() float64 { return float64(e.cacheMisses.Load()) }},
 		{"engine_cache_prefills", func() float64 { return float64(e.cachePrefills.Load()) }},
 		{"engine_cache_overflows", func() float64 { return float64(e.cacheOverflows.Load()) }},
+		{"engine_cache_bypasses", func() float64 { return float64(e.cacheBypasses.Load()) }},
 		{"engine_cache_hit_rate", func() float64 { return e.Stats().CacheHitRate() }},
 		{"engine_cases_per_sec", func() float64 { return e.Stats().CasesPerSec() }},
 		{"engine_execute_seconds", func() float64 { return time.Duration(e.executeNS.Load()).Seconds() }},
@@ -446,11 +448,38 @@ func (e *Engine) NewMachine(p *prog.Program) (*Machine, error) {
 	return e.newMachine(p, e.opts.FreshRuntime)
 }
 
+// machineConfig is the full construction policy for one machine. The zero
+// value is the ordinary pooled path under the engine's own fault policy.
+type machineConfig struct {
+	// fresh builds on never-pooled runtime and resources (FreshRuntime mode
+	// and the fault-retry path, which must rule out pool-state corruption).
+	fresh bool
+	// plan, when non-nil, overrides the engine's fault policy (FaultPlanFor /
+	// FaultSeed) with an explicit per-run plan — the serving chaos mode's
+	// per-request injection.
+	plan *faultinject.Plan
+	// bypassCache instruments inline without consulting the cache, modelling
+	// a cache-fill failure.
+	bypassCache bool
+}
+
 // newMachine builds a machine, on fresh (never-pooled) runtime and resources
 // when fresh is set, on pooled ones otherwise. The fault-retry path forces
 // fresh to rule out pool-state corruption.
 func (e *Engine) newMachine(p *prog.Program, fresh bool) (*Machine, error) {
-	ip := e.Instrument(p)
+	return e.newMachineCfg(p, machineConfig{fresh: fresh})
+}
+
+// newMachineCfg builds a machine under an explicit construction policy.
+func (e *Engine) newMachineCfg(p *prog.Program, mc machineConfig) (*Machine, error) {
+	fresh := mc.fresh
+	var ip *prog.Program
+	if mc.bypassCache {
+		e.cacheBypasses.Add(1)
+		ip = e.apply(p)
+	} else {
+		ip = e.Instrument(p)
+	}
 	var (
 		san      rt.Sanitizer
 		res      *interp.Resources
@@ -480,7 +509,11 @@ func (e *Engine) newMachine(p *prog.Program, fresh bool) (*Machine, error) {
 		recycled = sanPooled || resPooled
 	}
 	m := &Machine{eng: e, san: san, res: res, fresh: fresh, recycled: recycled}
-	if plan := e.planFor(p); !plan.Zero() {
+	plan := e.planFor(p)
+	if mc.plan != nil {
+		plan = *mc.plan
+	}
+	if !plan.Zero() {
 		m.inj = faultinject.New(plan)
 		if plan.MetatableCap > 0 {
 			if c, ok := san.Runtime.(rt.MetaTableClamper); ok {
@@ -694,6 +727,37 @@ func (e *Engine) Run(p *prog.Program, inputs ...[]byte) (*interp.Result, error) 
 	return res2, nil
 }
 
+// PlannedRun configures one RunPlanned execution.
+type PlannedRun struct {
+	// Plan is the explicit fault-injection schedule armed on the machine.
+	// The zero plan injects nothing but still overrides the engine's own
+	// fault policy (FaultSeed / FaultPlanFor are not consulted).
+	Plan faultinject.Plan
+	// BypassCache makes instrumentation skip the cache entirely — the
+	// cache-fill-failure chaos mode. The inline result is not cached.
+	BypassCache bool
+}
+
+// RunPlanned executes p exactly once under an explicit per-run fault plan.
+// Unlike Run it never auto-retries a panic on recycled state: callers that
+// inject faults on purpose (the serving layer's chaos mode) own the retry
+// policy themselves, and a retry under the same plan would just reproduce
+// the injection. Panicked machines are still dropped from the pools.
+func (e *Engine) RunPlanned(p *prog.Program, pr PlannedRun, inputs ...[]byte) (*interp.Result, error) {
+	m, err := e.newMachineCfg(p, machineConfig{
+		fresh:       e.opts.FreshRuntime,
+		plan:        &pr.Plan,
+		bypassCache: pr.BypassCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Feed(inputs...)
+	res := m.Run()
+	m.Release()
+	return res, nil
+}
+
 // ForEach runs fn(0..n-1) across the engine's worker pool. All items run
 // even when some fail; the error for the lowest-indexed failing item is
 // returned, making error reporting deterministic under concurrency. The
@@ -782,6 +846,10 @@ type Stats struct {
 	// CacheOverflows counts requests that found their cache shard at
 	// capacity and instrumented inline without caching.
 	CacheOverflows int64
+	// CacheBypasses counts RunPlanned executions that skipped the cache on
+	// purpose (injected cache-fill failures). Like prefills and overflows
+	// they are kept out of the hit rate, which stays a run-path measure.
+	CacheBypasses int64
 	// InstrumentTime is total time spent instrumenting (cache misses only).
 	InstrumentTime time.Duration
 	// ExecuteTime is total machine-run time summed over runs (can exceed
@@ -843,6 +911,7 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:         e.cacheMisses.Load(),
 		CachePrefills:       e.cachePrefills.Load(),
 		CacheOverflows:      e.cacheOverflows.Load(),
+		CacheBypasses:       e.cacheBypasses.Load(),
 		InstrumentTime:      time.Duration(e.instrumentNS.Load()),
 		ExecuteTime:         time.Duration(e.executeNS.Load()),
 		Faults:              e.faults.Load(),

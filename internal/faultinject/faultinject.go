@@ -37,9 +37,16 @@ type Plan struct {
 	// MallocFailNth makes the nth heap allocation return ErrInjectedOOM
 	// (0 = never).
 	MallocFailNth int64
+	// MallocFailBurst widens the allocation failure into a burst: the
+	// MallocFailNth-th through (MallocFailNth+MallocFailBurst-1)-th
+	// allocations all fail, modelling a sustained memory-pressure episode
+	// rather than a single unlucky call. 0 and 1 both mean a single
+	// failure; the field is meaningless without MallocFailNth.
+	MallocFailBurst int64
 	// MallocPanicNth makes the nth heap allocation panic with PanicValue
-	// (0 = never). Schedule never sets it; it exists so tests can exercise
-	// the engine's panic recovery without planting a bug in a runtime.
+	// (0 = never). Schedule never sets it; it exists so tests and the
+	// serving chaos mode can exercise the engine's panic recovery without
+	// planting a bug in a runtime.
 	MallocPanicNth int64
 	// MetatableCap clamps the metadata table to this many allocatable
 	// entries (excluding the reserved entry 0), forcing the §V exhaustion
@@ -123,9 +130,15 @@ func (in *Injector) OnMalloc() error {
 		in.triggered.Add(1)
 		panic(PanicValue)
 	}
-	if in.plan.MallocFailNth != 0 && n == in.plan.MallocFailNth {
-		in.triggered.Add(1)
-		return ErrInjectedOOM
+	if in.plan.MallocFailNth != 0 {
+		burst := in.plan.MallocFailBurst
+		if burst < 1 {
+			burst = 1
+		}
+		if n >= in.plan.MallocFailNth && n < in.plan.MallocFailNth+burst {
+			in.triggered.Add(1)
+			return ErrInjectedOOM
+		}
 	}
 	return nil
 }
@@ -146,3 +159,71 @@ func (in *Injector) OnPageMap() bool {
 // A plan can trigger zero times (the program never reached the nth event);
 // the classifier uses this to tell pressure-affected runs from controls.
 func (in *Injector) Triggered() int64 { return in.triggered.Load() }
+
+// ChaosPlan is one request's campaign-level chaos schedule: what the serving
+// layer injects against itself while processing that request. Unlike Plan —
+// which targets a single machine run and is keyed by program fingerprint —
+// a ChaosPlan is keyed by the request's position in the deterministic
+// traffic stream, so the same (chaos seed, request index) pair always maps
+// to the same injection whatever the worker count or program mix.
+type ChaosPlan struct {
+	// Run is the machine-level fault plan armed for the request's first
+	// execution attempt (worker panic or malloc OOM burst). Retries run
+	// with the plan dropped, the way a real transient fault clears.
+	Run Plan
+	// SlowdownUS stalls the worker this many microseconds before the run —
+	// the nth-request slow-down that drives queue delay into the admission
+	// controller.
+	SlowdownUS int64
+	// CacheBypass makes the request's instrumentation-cache fill "fail":
+	// the engine instruments inline without caching, paying the cold-path
+	// cost a real cache eviction or fill error would impose.
+	CacheBypass bool
+}
+
+// Zero reports whether the chaos plan injects nothing.
+func (c ChaosPlan) Zero() bool { return c == ChaosPlan{} }
+
+// ChaosPhase is the storm/calm alternation period of the chaos schedule, in
+// requests: indices [0, ChaosPhase) of every 2*ChaosPhase-long cycle are a
+// fault storm, the rest are calm. The calm half is what lets circuit
+// breakers close and the degradation ladder step back up, so recovery paths
+// are exercised deterministically instead of only under permanent pressure.
+const ChaosPhase = 192
+
+// ChaosSchedule derives the chaos plan for the reqIndex-th request of a
+// campaign from the campaign chaos seed. Like Schedule, the mapping is pure:
+// byte-deterministic accounting at any worker count falls out of keying by
+// stream position. A chaosSeed of 0 disables chaos entirely. During storm
+// phases roughly half the requests draw an injection (panic, OOM burst,
+// slow-down or cache bypass); calm phases draw nothing.
+func ChaosSchedule(chaosSeed, reqIndex uint64) ChaosPlan {
+	if chaosSeed == 0 {
+		return ChaosPlan{}
+	}
+	if reqIndex%(2*ChaosPhase) >= ChaosPhase {
+		return ChaosPlan{} // calm half-cycle: let the resilience machinery recover
+	}
+	x := chaosSeed ^ ((reqIndex + 1) * 0x9e3779b97f4a7c15)
+	r := splitmix64(&x)
+	switch r & 7 {
+	case 0, 1:
+		// Seeded worker panic: the nth allocation of the request's run
+		// panics, exercising the engine's recovery and the retry policy.
+		return ChaosPlan{Run: Plan{MallocPanicNth: 1 + int64(splitmix64(&x)%4)}}
+	case 2, 3:
+		// Injected malloc OOM burst: several consecutive allocations fail.
+		return ChaosPlan{Run: Plan{
+			MallocFailNth:   1 + int64(splitmix64(&x)%6),
+			MallocFailBurst: 1 + int64(splitmix64(&x)%4),
+		}}
+	case 4:
+		// Nth-request slow-down: 200µs–2ms of injected queue pressure.
+		return ChaosPlan{SlowdownUS: 200 + int64(splitmix64(&x)%1800)}
+	case 5:
+		// Instrumentation cache-fill failure.
+		return ChaosPlan{CacheBypass: true}
+	default:
+		return ChaosPlan{} // in-storm control: no injection
+	}
+}

@@ -109,6 +109,81 @@ func TestInjectorPageMapFailNth(t *testing.T) {
 	}
 }
 
+func TestInjectorMallocFailBurst(t *testing.T) {
+	in := New(Plan{MallocFailNth: 2, MallocFailBurst: 3})
+	for i := 1; i <= 6; i++ {
+		err := in.OnMalloc()
+		wantFail := i >= 2 && i <= 4
+		if wantFail != errors.Is(err, ErrInjectedOOM) {
+			t.Fatalf("malloc %d: err=%v, want failure=%v", i, err, wantFail)
+		}
+	}
+	if got := in.Triggered(); got != 3 {
+		t.Fatalf("Triggered = %d, want 3 (one per burst failure)", got)
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		for idx := uint64(0); idx < 200; idx++ {
+			a, b := ChaosSchedule(seed, idx), ChaosSchedule(seed, idx)
+			if a != b {
+				t.Fatalf("ChaosSchedule(%d,%d) not deterministic: %+v vs %+v", seed, idx, a, b)
+			}
+		}
+	}
+}
+
+func TestChaosScheduleSeedZeroDisables(t *testing.T) {
+	for idx := uint64(0); idx < 500; idx++ {
+		if c := ChaosSchedule(0, idx); !c.Zero() {
+			t.Fatalf("ChaosSchedule(0,%d) = %+v, want zero", idx, c)
+		}
+	}
+}
+
+// Calm half-cycles must inject nothing: that is what lets breakers close and
+// the degradation ladder recover between storms.
+func TestChaosScheduleCalmPhases(t *testing.T) {
+	for seed := uint64(1); seed < 5; seed++ {
+		for idx := uint64(0); idx < 4*ChaosPhase; idx++ {
+			c := ChaosSchedule(seed, idx)
+			if idx%(2*ChaosPhase) >= ChaosPhase && !c.Zero() {
+				t.Fatalf("seed %d idx %d is in a calm phase but drew %+v", seed, idx, c)
+			}
+		}
+	}
+}
+
+// Storm phases should draw every chaos family.
+func TestChaosScheduleCoversFamilies(t *testing.T) {
+	var panics, ooms, slow, bypass, control int
+	for idx := uint64(0); idx < ChaosPhase; idx++ {
+		for seed := uint64(1); seed < 6; seed++ {
+			c := ChaosSchedule(seed, idx)
+			switch {
+			case c.Run.MallocPanicNth > 0:
+				panics++
+			case c.Run.MallocFailNth > 0:
+				ooms++
+				if c.Run.MallocFailBurst < 1 {
+					t.Fatalf("OOM plan without burst width: %+v", c)
+				}
+			case c.SlowdownUS > 0:
+				slow++
+			case c.CacheBypass:
+				bypass++
+			default:
+				control++
+			}
+		}
+	}
+	if panics == 0 || ooms == 0 || slow == 0 || bypass == 0 || control == 0 {
+		t.Fatalf("chaos family coverage panics=%d ooms=%d slow=%d bypass=%d control=%d",
+			panics, ooms, slow, bypass, control)
+	}
+}
+
 func TestInjectorZeroPlanNeverFires(t *testing.T) {
 	in := New(Plan{})
 	for i := 0; i < 100; i++ {

@@ -77,3 +77,59 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatalf("quantiles not monotone: %d %d %d", p50, p95, p99)
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	// An empty histogram answers 0 for every q, including the boundaries:
+	// latency gauges read this before the first observation lands.
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 1.0} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	// With one observation every quantile resolves to the same rank, so
+	// every q must answer identically, and the estimate must stay inside
+	// the log2 bucket that holds the value (here (3, 7] for 5).
+	want := h.Quantile(0.5)
+	if want < 4 || want > 7 {
+		t.Fatalf("single-observation quantile = %d, want within (3, 7]", want)
+	}
+	for _, q := range []float64{0.001, 0.25, 0.99, 1.0} {
+		if v := h.Quantile(q); v != want {
+			t.Fatalf("Quantile(%v) = %d, want %d (single observation)", q, v, want)
+		}
+	}
+}
+
+func TestHistogramQuantileFullRange(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	// q=1.0 is the maximum-rank estimate: it must land in the bucket
+	// holding the largest observation ((511, 1023] for 1000) and never
+	// exceed its upper bound.
+	top := h.Quantile(1.0)
+	if top < 512 || top > 1023 {
+		t.Fatalf("Quantile(1.0) = %d, want within (511, 1023]", top)
+	}
+	// q<=0 clamps to rank 1 (the minimum), same as the smallest positive q.
+	if h.Quantile(0) != h.Quantile(0.0001) {
+		t.Fatalf("Quantile(0) = %d, Quantile(0.0001) = %d; q<=0 must clamp to rank 1",
+			h.Quantile(0), h.Quantile(0.0001))
+	}
+	// Quantile estimates are monotone non-decreasing across a fine q sweep.
+	prev := int64(-1)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < Quantile(%v) = %d: not monotone", q, v, q-0.05, prev)
+		}
+		prev = v
+	}
+}

@@ -62,6 +62,21 @@ func Hardened(n Name) (Name, bool) {
 	return n, false
 }
 
+// Base maps a hardened registry name back to its default-profile base —
+// the bottom rung of the serving degradation ladder. ok is false for names
+// that are not hardened variants (they have nothing to step down to).
+func Base(n Name) (Name, bool) {
+	switch n {
+	case CECSanHardened:
+		return CECSan, true
+	case PACMemHardened:
+		return PACMem, true
+	case CryptSanHardened:
+		return CryptSan, true
+	}
+	return n, false
+}
+
 // ProfileFor returns the instrumentation profile a sanitizer would use,
 // without constructing its runtime. Profiles are cheap static descriptions;
 // runtimes allocate real state (CECSan's metadata table alone is megabytes),

@@ -468,3 +468,24 @@ func TestProfileForMatchesConstructedBundles(t *testing.T) {
 		t.Error("ProfileFor accepted an unknown name")
 	}
 }
+
+// Base must invert Hardened exactly: every hardened variant steps back down
+// to its default-profile base, and nothing else claims to.
+func TestBaseInvertsHardened(t *testing.T) {
+	for _, n := range All() {
+		h, ok := Hardened(n)
+		if !ok {
+			if b, down := Base(n); down || b != n {
+				t.Errorf("Base(%s) = (%s, %v), want identity for unhardened tool", n, b, down)
+			}
+			continue
+		}
+		b, down := Base(h)
+		if !down || b != n {
+			t.Errorf("Base(Hardened(%s)) = (%s, %v), want (%s, true)", n, b, down, n)
+		}
+	}
+	if b, down := Base(CECSan); down || b != CECSan {
+		t.Errorf("Base(CECSan) = (%s, %v), want identity", b, down)
+	}
+}

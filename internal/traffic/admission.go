@@ -1,0 +1,118 @@
+package traffic
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// codel is a CoDel-style adaptive admission controller. It sheds on
+// sustained queue *delay*, not depth: a deep queue that drains fast is
+// healthy, a shallow one whose head has waited past the target is not. A
+// request's sojourn time is measured at dequeue; only when sojourn stays
+// above the target for a full control interval does the controller enter a
+// dropping episode, and within one it sheds at a rate growing with the
+// square root of the drop count (the control law that drives a standing
+// queue back to the target without oscillating). Any sub-target sojourn
+// ends the episode immediately.
+type codel struct {
+	target   time.Duration
+	interval time.Duration
+
+	mu         sync.Mutex
+	firstAbove time.Time // when the current above-target excursion would mature; zero = below
+	dropNext   time.Time
+	dropping   bool
+	count      int
+}
+
+func newCoDel(cfg ResilienceConfig) *codel {
+	if cfg.CoDelTargetUS < 0 {
+		return nil
+	}
+	return &codel{
+		target:   time.Duration(cfg.CoDelTargetUS) * time.Microsecond,
+		interval: time.Duration(cfg.CoDelIntervalUS) * time.Microsecond,
+	}
+}
+
+// shed reports whether the request dequeued at now after waiting delay
+// should be shed instead of served.
+func (c *codel) shed(now time.Time, delay time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if delay < c.target {
+		c.firstAbove = time.Time{}
+		c.dropping = false
+		return false
+	}
+	if c.firstAbove.IsZero() {
+		c.firstAbove = now.Add(c.interval)
+		return false
+	}
+	if !c.dropping {
+		if now.Before(c.firstAbove) {
+			return false
+		}
+		// Delay has stayed above target for a whole interval: start
+		// shedding.
+		c.dropping = true
+		c.count = 1
+		c.dropNext = now.Add(c.nextInterval())
+		return true
+	}
+	if now.Before(c.dropNext) {
+		return false
+	}
+	c.count++
+	c.dropNext = now.Add(c.nextInterval())
+	return true
+}
+
+// nextInterval is the CoDel control law: interval / sqrt(count).
+func (c *codel) nextInterval() time.Duration {
+	return time.Duration(float64(c.interval) / math.Sqrt(float64(c.count)))
+}
+
+// tokenBucket rate-limits one class's open-loop admission. Each class gets
+// rate = its offered share x BucketHeadroom, so a class bursting past its
+// fair share (the one failure mode depth- or delay-based shedding cannot
+// attribute) is shed at its own bucket instead of squeezing every other
+// class through the shared queue.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket starts full so a campaign's opening burst is not penalized
+// before the refill clock has any history.
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// allow takes one token if available, refilling from elapsed wall time.
+func (tb *tokenBucket) allow(now time.Time) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}

@@ -1,13 +1,19 @@
 package traffic
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"hash"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cecsan/internal/core"
 	"cecsan/internal/engine"
+	"cecsan/internal/faultinject"
 	"cecsan/internal/obs"
 	"cecsan/internal/sanitizers"
 	"cecsan/prog"
@@ -35,6 +41,19 @@ type ServeConfig struct {
 	// requests are admitted as fast as workers drain them, which is the
 	// throughput-measurement mode.
 	Speedup float64
+	// Resilience, when set, arms the overload-resilience layer: CoDel-style
+	// delay shedding, per-class token buckets (open-loop), bounded retries
+	// with seeded backoff, per-class circuit breakers and the graceful-
+	// degradation ladder. Nil keeps the pre-resilience serving path
+	// byte-for-byte.
+	Resilience *ResilienceConfig
+	// ChaosSeed, when nonzero, arms the chaos campaign: each request's
+	// injection derives from (ChaosSeed, stream index) via
+	// faultinject.ChaosSchedule, and the campaign switches to per-class
+	// ordered execution so its resilience accounting — summarized in
+	// ChaosDigest — is byte-identical at any worker count (closed-loop).
+	// Chaos implies Resilience (defaults when nil).
+	ChaosSeed uint64
 	// Obs, when set, registers per-class latency histograms, percentile
 	// gauges and deadline/shed counters, and is passed to the engines.
 	Obs *obs.Observer
@@ -47,40 +66,71 @@ type ServeConfig struct {
 
 // ClassStats is one class's campaign accounting.
 type ClassStats struct {
-	Class          string  `json:"class"`
-	Tool           string  `json:"tool"`
-	Generated      int64   `json:"generated"`
-	Admitted       int64   `json:"admitted"`
-	Shed           int64   `json:"shed"`
-	Completed      int64   `json:"completed"`
-	Faults         int64   `json:"faults"`
-	Detected       int64   `json:"detected"`
-	DeadlineMisses int64   `json:"deadline_misses"`
-	P50us          int64   `json:"p50_us"`
-	P95us          int64   `json:"p95_us"`
-	P99us          int64   `json:"p99_us"`
-	MeanLatencyUS  float64 `json:"mean_latency_us"`
+	Class            string  `json:"class"`
+	Tool             string  `json:"tool"`
+	Generated        int64   `json:"generated"`
+	Admitted         int64   `json:"admitted"`
+	Shed             int64   `json:"shed"`
+	ShedBucket       int64   `json:"shed_bucket"`
+	ShedDelay        int64   `json:"shed_delay"`
+	Completed        int64   `json:"completed"`
+	Good             int64   `json:"good"`
+	Faults           int64   `json:"faults"`
+	Detected         int64   `json:"detected"`
+	DeadlineMisses   int64   `json:"deadline_misses"`
+	Abandoned        int64   `json:"abandoned"`
+	Retries          int64   `json:"retries"`
+	RetrySuccesses   int64   `json:"retry_successes"`
+	BreakerTrips     int64   `json:"breaker_trips"`
+	BreakerRejected  int64   `json:"breaker_rejected"`
+	Degradations     int64   `json:"degradations"`
+	Recoveries       int64   `json:"recoveries"`
+	DegradationLevel int     `json:"degradation_level"`
+	ChaosInjected    int64   `json:"chaos_injected"`
+	P50us            int64   `json:"p50_us"`
+	P95us            int64   `json:"p95_us"`
+	P99us            int64   `json:"p99_us"`
+	MeanLatencyUS    float64 `json:"mean_latency_us"`
 }
 
 // ServeResult is the campaign summary (the BENCH_serve.json payload,
 // minus the run metadata cmd/serve adds).
+//
+// Accounting invariants (chaos off or on):
+//
+//	generated = admitted + shed + shed_bucket
+//	admitted  = completed + faults + breaker_rejected + shed_delay + abandoned
 type ServeResult struct {
-	Seed           uint64        `json:"seed"`
-	Workers        int           `json:"workers"`
-	Speedup        float64       `json:"speedup"`
-	Elapsed        time.Duration `json:"-"`
-	ElapsedSec     float64       `json:"elapsed_sec"`
-	Generated      int64         `json:"generated"`
-	Admitted       int64         `json:"admitted"`
-	Shed           int64         `json:"shed"`
-	Completed      int64         `json:"completed"`
-	Faults         int64         `json:"faults"`
-	Detected       int64         `json:"detected"`
-	DeadlineMisses int64         `json:"deadline_misses"`
-	RequestsPerSec float64       `json:"requests_per_sec"`
-	CacheHitRate   float64       `json:"cache_hit_rate"`
-	StreamDigest   string        `json:"stream_digest"`
-	Classes        []ClassStats  `json:"classes"`
+	Seed            uint64        `json:"seed"`
+	Workers         int           `json:"workers"`
+	Speedup         float64       `json:"speedup"`
+	Elapsed         time.Duration `json:"-"`
+	ElapsedSec      float64       `json:"elapsed_sec"`
+	Generated       int64         `json:"generated"`
+	Admitted        int64         `json:"admitted"`
+	Shed            int64         `json:"shed"`
+	ShedBucket      int64         `json:"shed_bucket"`
+	ShedDelay       int64         `json:"shed_delay"`
+	Completed       int64         `json:"completed"`
+	Good            int64         `json:"good"`
+	Faults          int64         `json:"faults"`
+	Detected        int64         `json:"detected"`
+	DeadlineMisses  int64         `json:"deadline_misses"`
+	Abandoned       int64         `json:"abandoned"`
+	Retries         int64         `json:"retries"`
+	RetrySuccesses  int64         `json:"retry_successes"`
+	BreakerTrips    int64         `json:"breaker_trips"`
+	BreakerRejected int64         `json:"breaker_rejected"`
+	Degradations    int64         `json:"degradations"`
+	Recoveries      int64         `json:"recoveries"`
+	ChaosInjected   int64         `json:"chaos_injected"`
+	RequestsPerSec  float64       `json:"requests_per_sec"`
+	GoodputPerSec   float64       `json:"goodput_per_sec"`
+	CacheHitRate    float64       `json:"cache_hit_rate"`
+	StreamDigest    string        `json:"stream_digest"`
+	ChaosSeed       uint64        `json:"chaos_seed,omitempty"`
+	ChaosDigest     string        `json:"chaos_digest,omitempty"`
+	Classes         []ClassStats  `json:"classes"`
 }
 
 // classCounters is one class's live accounting. Counters are atomics
@@ -90,12 +140,60 @@ type classCounters struct {
 	generated      atomic.Int64
 	admitted       atomic.Int64
 	shed           atomic.Int64
+	shedBucket     atomic.Int64
+	shedDelay      atomic.Int64
 	completed      atomic.Int64
+	good           atomic.Int64
 	faults         atomic.Int64
 	detected       atomic.Int64
 	deadlineMisses atomic.Int64
+	abandoned      atomic.Int64
+	retries        atomic.Int64
+	retrySuccesses atomic.Int64
+	chaosInjected  atomic.Int64
 	lat            *obs.Histogram
 }
+
+// classState is one class's resilience machinery (nil members = mechanism
+// disabled).
+type classState struct {
+	ladder  *ladder
+	breaker *breaker
+	bucket  *tokenBucket
+	digest  *classDigest
+}
+
+// classDigest accumulates one class's chaos accounting chain: for every
+// finalized request, in the class's deterministic stream order, it absorbs
+// (stream index, outcome code, attempt count). Wall-clock-driven fields —
+// latency, deadline misses, CoDel sheds — are deliberately excluded: they
+// vary run to run, while everything the chain covers is a pure function of
+// the request stream and the chaos schedule.
+type classDigest struct {
+	h hash.Hash
+}
+
+func newClassDigest(id string) *classDigest {
+	h := sha256.New()
+	h.Write([]byte(id))
+	return &classDigest{h: h}
+}
+
+func (d *classDigest) record(idx uint64, code byte, attempts int) {
+	var buf [10]byte
+	binary.LittleEndian.PutUint64(buf[:8], idx)
+	buf[8] = code
+	buf[9] = byte(attempts)
+	d.h.Write(buf[:])
+}
+
+// Outcome codes of the chaos digest chain.
+const (
+	outcomeClean    = 'C'
+	outcomeDetected = 'D'
+	outcomeFault    = 'F'
+	outcomeRejected = 'R'
+)
 
 // queued is one admitted request plus its admission timestamp; latency is
 // measured from admission, so queue wait counts against the deadline the
@@ -105,11 +203,30 @@ type queued struct {
 	at  time.Time
 }
 
+// server carries one campaign's wiring between Serve and its loops.
+type server struct {
+	cfg       ServeConfig
+	spec      *Spec
+	seed      uint64
+	workers   int
+	depth     int
+	resOn     bool
+	rc        ResilienceConfig
+	chaos     uint64
+	engines   []*engine.Engine
+	counters  []*classCounters
+	classes   []*classState
+	codel     *codel
+	done      chan struct{}
+	processed atomic.Int64
+}
+
 // Serve runs a campaign: a single producer walks the deterministic
 // request stream and admits into a bounded queue; Workers goroutines
 // drain it through per-class engines sharing one instrumentation cache.
 // The request stream (and its digest) is independent of Workers,
-// QueueDepth and Speedup — only scheduling and latency vary.
+// QueueDepth, Speedup and every resilience decision — the digest is taken
+// as requests are generated, before any admission or shedding choice.
 func Serve(cfg ServeConfig) (*ServeResult, error) {
 	spec := cfg.Spec
 	stream, err := NewStream(spec, cfg.Seed)
@@ -132,36 +249,95 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		depth = 4 * workers
 	}
 
+	s := &server{
+		cfg:     cfg,
+		spec:    spec,
+		seed:    seed,
+		workers: workers,
+		depth:   depth,
+		chaos:   cfg.ChaosSeed,
+		done:    make(chan struct{}),
+	}
+	res := cfg.Resilience
+	if s.chaos != 0 && res == nil {
+		res = &ResilienceConfig{}
+	}
+	if res != nil {
+		s.resOn = true
+		s.rc = res.resolve()
+		if s.chaos == 0 {
+			s.codel = newCoDel(s.rc)
+		}
+	}
+
 	// One engine per class carries that class's budgets; all classes share
 	// one campaign cache so cross-class variants of the same program (if
-	// any) and repeat requests hit instrumentation cache.
+	// any) and repeat requests hit instrumentation cache. Ladder rungs
+	// share the same cache: rungs with identical instrumentation profiles
+	// share entries, cheaper rungs fill their own.
 	cache := engine.NewCache(0)
-	engines := make([]*engine.Engine, len(spec.Clients))
-	counters := make([]*classCounters, len(spec.Clients))
+	s.engines = make([]*engine.Engine, len(spec.Clients))
+	s.counters = make([]*classCounters, len(spec.Clients))
+	s.classes = make([]*classState, len(spec.Clients))
 	for i := range spec.Clients {
 		c := &spec.Clients[i]
-		eng, err := engine.New(sanitizers.Name(c.Tool), engine.Options{
-			Workers:         workers,
-			MaxInstructions: c.Budget.MaxSteps,
-			WallBudget:      time.Duration(c.Budget.WallMS * float64(time.Millisecond)),
-			HeapBudget:      c.Budget.HeapBytes,
-			Seed:            seed,
-			RuntimeSeed:     seed,
-			Obs:             cfg.Obs,
-			Cache:           cache,
-		})
+		mk := func(tool sanitizers.Name, cecsan *core.Options) (*engine.Engine, error) {
+			return engine.New(tool, engine.Options{
+				CECSan:          cecsan,
+				Workers:         workers,
+				MaxInstructions: c.Budget.MaxSteps,
+				WallBudget:      time.Duration(c.Budget.WallMS * float64(time.Millisecond)),
+				HeapBudget:      c.Budget.HeapBytes,
+				Seed:            seed,
+				RuntimeSeed:     seed,
+				Obs:             cfg.Obs,
+				Cache:           cache,
+			})
+		}
+		eng, err := mk(sanitizers.Name(c.Tool), nil)
 		if err != nil {
 			return nil, fmt.Errorf("traffic: client %q: %w", c.ID, err)
 		}
-		engines[i] = eng
+		s.engines[i] = eng
 		cc := &classCounters{}
 		if cfg.Obs != nil {
 			cc.lat = cfg.Obs.Registry.Histogram("traffic_latency_us", obs.L("class", c.ID))
-			registerClassGauges(cfg.Obs, c.ID, cc)
 		} else {
 			cc.lat = &obs.Histogram{}
 		}
-		counters[i] = cc
+		s.counters[i] = cc
+
+		cls := &classState{}
+		if s.resOn {
+			// The full rung shares the class engine so legacy and
+			// resilient paths run identical configurations.
+			lad, err := buildLadder(sanitizers.Name(c.Tool), s.rc, mk)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: client %q: %w", c.ID, err)
+			}
+			lad.rungs[0].eng = eng
+			cls.ladder = lad
+			cls.breaker = newBreaker(s.rc)
+			if cfg.Speedup > 0 && s.rc.BucketHeadroom > 0 {
+				share := c.RateFraction * spec.AggregateRate * cfg.Speedup
+				rate := share * s.rc.BucketHeadroom
+				// Burst absorbs ~20ms of the class's allowance: pacing
+				// overshoot arrives in timer-granularity bursts that are
+				// jitter, not overload, and must not drain the bucket.
+				burst := rate * 0.02
+				if burst < float64(depth) {
+					burst = float64(depth)
+				}
+				cls.bucket = newTokenBucket(rate, burst)
+			}
+		}
+		if s.chaos != 0 {
+			cls.digest = newClassDigest(c.ID)
+		}
+		s.classes[i] = cls
+		if cfg.Obs != nil {
+			registerClassGauges(cfg.Obs, c.ID, cc, cls)
+		}
 
 		// Warm the instrumentation cache with the class's whole variant
 		// family before admission starts, like a service pre-loading its
@@ -173,9 +349,8 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		eng.Preinstrument(progs)
 	}
 
-	done := make(chan struct{})
 	var closeOnce sync.Once
-	stop := func() { closeOnce.Do(func() { close(done) }) }
+	stop := func() { closeOnce.Do(func() { close(s.done) }) }
 	if cfg.Duration > 0 {
 		t := time.AfterFunc(cfg.Duration, stop)
 		defer t.Stop()
@@ -185,33 +360,63 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			select {
 			case <-cfg.Stop:
 				stop()
-			case <-done:
-			}
-		}()
-	}
-
-	reqCh := make(chan queued, depth)
-	var processed atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for q := range reqCh {
-				runOne(engines[q.req.ClassIndex], counters[q.req.ClassIndex], q)
-				n := processed.Add(1)
-				if cfg.Progress != nil && n%256 == 0 {
-					cfg.Progress(int(n))
-				}
+			case <-s.done:
 			}
 		}()
 	}
 
 	start := time.Now()
+	if s.chaos != 0 {
+		s.runChaos(stream, start)
+	} else {
+		s.runShared(stream, start)
+	}
+	elapsed := time.Since(start)
+	stop()
+
+	return s.collect(stream, elapsed), nil
+}
+
+// runShared is the shared-queue execution loop: legacy when resilience is
+// off, with CoDel shedding, breakers, retries and the ladder layered on
+// when it is. Workers fast-drain the queue as abandoned once the campaign
+// is stopped, so shutdown latency is bounded by in-flight runs, not by a
+// saturated backlog.
+func (s *server) runShared(stream *Stream, start time.Time) {
+	reqCh := make(chan queued, s.depth)
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range reqCh {
+				cc := s.counters[q.req.ClassIndex]
+				select {
+				case <-s.done:
+					// Stopped: account the backlog instead of running it.
+					cc.abandoned.Add(1)
+					continue
+				default:
+				}
+				now := time.Now()
+				if s.codel != nil && s.codel.shed(now, now.Sub(q.at)) {
+					cc.shedDelay.Add(1)
+					continue
+				}
+				if s.resOn {
+					s.process(q.req.ClassIndex, q, faultinject.ChaosPlan{})
+				} else {
+					runOne(s.engines[q.req.ClassIndex], cc, q)
+				}
+				s.progress()
+			}
+		}()
+	}
+
 producer:
 	for {
 		select {
-		case <-done:
+		case <-s.done:
 			break producer
 		default:
 		}
@@ -219,16 +424,22 @@ producer:
 		if req == nil {
 			break
 		}
-		cc := counters[req.ClassIndex]
+		cc := s.counters[req.ClassIndex]
 		cc.generated.Add(1)
-		if cfg.Speedup > 0 {
-			target := start.Add(time.Duration(float64(req.Arrival) / cfg.Speedup))
+		if s.cfg.Speedup > 0 {
+			target := start.Add(time.Duration(float64(req.Arrival) / s.cfg.Speedup))
 			if d := time.Until(target); d > 0 {
 				select {
-				case <-done:
+				case <-s.done:
 					break producer
 				case <-time.After(d):
 				}
+			}
+			if b := s.classes[req.ClassIndex].bucket; b != nil && !b.allow(time.Now()) {
+				// Class over its burst allowance: shed at its own bucket
+				// before it can crowd the shared queue.
+				cc.shedBucket.Add(1)
+				continue
 			}
 			select {
 			case reqCh <- queued{req: req, at: time.Now()}:
@@ -242,26 +453,188 @@ producer:
 			select {
 			case reqCh <- queued{req: req, at: time.Now()}:
 				cc.admitted.Add(1)
-			case <-done:
+			case <-s.done:
 				break producer
 			}
 		}
 	}
 	close(reqCh)
 	wg.Wait()
-	elapsed := time.Since(start)
-	stop()
+}
 
+// runChaos is the deterministic chaos execution loop. Each class gets its
+// own bounded channel drained by exactly one consumer, so the class's
+// requests — and therefore its breaker transitions, retries and ladder
+// moves — happen in stream order regardless of concurrency; a semaphore of
+// Workers slots bounds simultaneous execution. Per-class accounting chains
+// then combine (in spec order) into a chaos digest that is byte-identical
+// at any worker count for a closed-loop campaign.
+func (s *server) runChaos(stream *Stream, start time.Time) {
+	chans := make([]chan queued, len(s.spec.Clients))
+	for i := range chans {
+		chans[i] = make(chan queued, s.depth)
+	}
+	sem := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	for i := range chans {
+		wg.Add(1)
+		go func(ci int, ch <-chan queued) {
+			defer wg.Done()
+			cc := s.counters[ci]
+			for q := range ch {
+				select {
+				case <-s.done:
+					// Stop is wall-clock territory: abandoned requests are
+					// excluded from the digest chain by construction.
+					cc.abandoned.Add(1)
+					continue
+				default:
+				}
+				sem <- struct{}{}
+				plan := faultinject.ChaosSchedule(s.chaos, uint64(q.req.Index))
+				code, attempts := s.process(ci, q, plan)
+				<-sem
+				s.classes[ci].digest.record(uint64(q.req.Index), code, attempts)
+				s.progress()
+			}
+		}(i, chans[i])
+	}
+
+producer:
+	for {
+		select {
+		case <-s.done:
+			break producer
+		default:
+		}
+		req := stream.Next()
+		if req == nil {
+			break
+		}
+		cc := s.counters[req.ClassIndex]
+		cc.generated.Add(1)
+		if s.cfg.Speedup > 0 {
+			target := start.Add(time.Duration(float64(req.Arrival) / s.cfg.Speedup))
+			if d := time.Until(target); d > 0 {
+				select {
+				case <-s.done:
+					break producer
+				case <-time.After(d):
+				}
+			}
+			select {
+			case chans[req.ClassIndex] <- queued{req: req, at: time.Now()}:
+				cc.admitted.Add(1)
+			default:
+				cc.shed.Add(1)
+			}
+		} else {
+			select {
+			case chans[req.ClassIndex] <- queued{req: req, at: time.Now()}:
+				cc.admitted.Add(1)
+			case <-s.done:
+				break producer
+			}
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+}
+
+// process executes one admitted request under the resilience policy:
+// breaker gate, chaos arming on the first attempt, bounded retries with
+// seeded backoff, ladder-selected engine. It returns the digest outcome.
+func (s *server) process(ci int, q queued, chaos faultinject.ChaosPlan) (code byte, attempts int) {
+	cc := s.counters[ci]
+	cls := s.classes[ci]
+	if cls.breaker != nil && !cls.breaker.allow() {
+		return outcomeRejected, 0
+	}
+	if !chaos.Zero() {
+		cc.chaosInjected.Add(1)
+	}
+	armed := chaos
+	for {
+		attempts++
+		if armed.SlowdownUS > 0 {
+			time.Sleep(time.Duration(armed.SlowdownUS) * time.Microsecond)
+		}
+		eng := s.engines[ci]
+		if cls.ladder != nil {
+			eng = cls.ladder.engine()
+		}
+		res, err := eng.RunPlanned(q.req.Program, engine.PlannedRun{
+			Plan:        armed.Run,
+			BypassCache: armed.CacheBypass,
+		}, q.req.Inputs...)
+		fault := err != nil || res == nil || res.Err != nil
+		if cls.breaker != nil {
+			if cls.breaker.record(fault) && cls.ladder != nil {
+				cls.ladder.onTrip()
+			}
+		}
+		if fault && attempts <= s.rc.RetryMax && s.rc.RetryMax >= 0 && retryable(armed, res, err) {
+			cc.retries.Add(1)
+			if d := backoffUS(s.rc, s.seed, uint64(q.req.Index), attempts); d > 0 {
+				time.Sleep(time.Duration(d) * time.Microsecond)
+			}
+			// A transient cleared: the retry runs with the plan dropped.
+			armed = faultinject.ChaosPlan{}
+			continue
+		}
+		lat := time.Since(q.at)
+		cc.lat.Observe(lat.Microseconds())
+		missed := q.req.Deadline > 0 && lat > q.req.Deadline
+		if missed {
+			cc.deadlineMisses.Add(1)
+		}
+		if fault {
+			cc.faults.Add(1)
+			if cls.ladder != nil {
+				cls.ladder.onFault()
+			}
+			return outcomeFault, attempts
+		}
+		cc.completed.Add(1)
+		if !missed {
+			cc.good.Add(1)
+		}
+		if attempts > 1 {
+			cc.retrySuccesses.Add(1)
+		}
+		if cls.ladder != nil {
+			cls.ladder.onClean()
+		}
+		if res.Violation != nil {
+			cc.detected.Add(1)
+			return outcomeDetected, attempts
+		}
+		return outcomeClean, attempts
+	}
+}
+
+func (s *server) progress() {
+	n := s.processed.Add(1)
+	if s.cfg.Progress != nil && n%256 == 0 {
+		s.cfg.Progress(int(n))
+	}
+}
+
+// collect assembles the campaign summary.
+func (s *server) collect(stream *Stream, elapsed time.Duration) *ServeResult {
 	res := &ServeResult{
-		Seed:         seed,
-		Workers:      workers,
-		Speedup:      cfg.Speedup,
+		Seed:         s.seed,
+		Workers:      s.workers,
+		Speedup:      s.cfg.Speedup,
 		Elapsed:      elapsed,
 		ElapsedSec:   elapsed.Seconds(),
 		StreamDigest: stream.Digest(),
+		ChaosSeed:    s.chaos,
 	}
 	var hits, misses int64
-	for _, eng := range engines {
+	for _, eng := range s.engines {
 		st := eng.Stats()
 		hits += st.CacheHits
 		misses += st.CacheMisses
@@ -269,49 +642,87 @@ producer:
 	if hits+misses > 0 {
 		res.CacheHitRate = float64(hits) / float64(hits+misses)
 	}
-	for i := range spec.Clients {
-		c := &spec.Clients[i]
-		cc := counters[i]
+	combined := sha256.New()
+	for i := range s.spec.Clients {
+		c := &s.spec.Clients[i]
+		cc := s.counters[i]
+		cls := s.classes[i]
 		cs := ClassStats{
 			Class:          c.ID,
 			Tool:           c.Tool,
 			Generated:      cc.generated.Load(),
 			Admitted:       cc.admitted.Load(),
 			Shed:           cc.shed.Load(),
+			ShedBucket:     cc.shedBucket.Load(),
+			ShedDelay:      cc.shedDelay.Load(),
 			Completed:      cc.completed.Load(),
+			Good:           cc.good.Load(),
 			Faults:         cc.faults.Load(),
 			Detected:       cc.detected.Load(),
 			DeadlineMisses: cc.deadlineMisses.Load(),
+			Abandoned:      cc.abandoned.Load(),
+			Retries:        cc.retries.Load(),
+			RetrySuccesses: cc.retrySuccesses.Load(),
+			ChaosInjected:  cc.chaosInjected.Load(),
 			P50us:          cc.lat.Quantile(0.50),
 			P95us:          cc.lat.Quantile(0.95),
 			P99us:          cc.lat.Quantile(0.99),
 		}
+		if cls.breaker != nil {
+			cs.BreakerTrips = cls.breaker.trips.Load()
+			cs.BreakerRejected = cls.breaker.rejected.Load()
+		}
+		if cls.ladder != nil {
+			cs.Degradations = cls.ladder.degradations.Load()
+			cs.Recoveries = cls.ladder.recoveries.Load()
+			cs.DegradationLevel = int(cls.ladder.levelG.Load())
+		}
 		if n := cc.lat.Count(); n > 0 {
 			cs.MeanLatencyUS = float64(cc.lat.Sum()) / float64(n)
+		}
+		if cls.digest != nil {
+			combined.Write(cls.digest.h.Sum(nil))
 		}
 		res.Classes = append(res.Classes, cs)
 		res.Generated += cs.Generated
 		res.Admitted += cs.Admitted
 		res.Shed += cs.Shed
+		res.ShedBucket += cs.ShedBucket
+		res.ShedDelay += cs.ShedDelay
 		res.Completed += cs.Completed
+		res.Good += cs.Good
 		res.Faults += cs.Faults
 		res.Detected += cs.Detected
 		res.DeadlineMisses += cs.DeadlineMisses
+		res.Abandoned += cs.Abandoned
+		res.Retries += cs.Retries
+		res.RetrySuccesses += cs.RetrySuccesses
+		res.BreakerTrips += cs.BreakerTrips
+		res.BreakerRejected += cs.BreakerRejected
+		res.Degradations += cs.Degradations
+		res.Recoveries += cs.Recoveries
+		res.ChaosInjected += cs.ChaosInjected
+	}
+	if s.chaos != 0 {
+		res.ChaosDigest = hex.EncodeToString(combined.Sum(nil))
 	}
 	if elapsed > 0 {
 		res.RequestsPerSec = float64(res.Completed+res.Faults) / elapsed.Seconds()
+		res.GoodputPerSec = float64(res.Good) / elapsed.Seconds()
 	}
-	return res, nil
+	return res
 }
 
-// runOne executes one admitted request and accounts it. A sanitizer
-// detection still counts as completed (the service answered); only
-// harness faults (panic, budget exhaustion) and engine errors do not.
+// runOne executes one admitted request on the pre-resilience path and
+// accounts it. A sanitizer detection still counts as completed (the service
+// answered); only harness faults (panic, budget exhaustion) and engine
+// errors do not.
 func runOne(eng *engine.Engine, cc *classCounters, q queued) {
 	res, err := eng.Run(q.req.Program, q.req.Inputs...)
 	lat := time.Since(q.at)
 	cc.lat.Observe(lat.Microseconds())
-	if q.req.Deadline > 0 && lat > q.req.Deadline {
+	missed := q.req.Deadline > 0 && lat > q.req.Deadline
+	if missed {
 		cc.deadlineMisses.Add(1)
 	}
 	if err != nil || engine.AsFault(res.Err) != nil || res.Err != nil {
@@ -319,14 +730,18 @@ func runOne(eng *engine.Engine, cc *classCounters, q queued) {
 		return
 	}
 	cc.completed.Add(1)
+	if !missed {
+		cc.good.Add(1)
+	}
 	if res.Violation != nil {
 		cc.detected.Add(1)
 	}
 }
 
-// registerClassGauges mirrors a class's counters and latency percentiles
-// into the obs registry, so a live /metrics scrape sees the campaign.
-func registerClassGauges(o *obs.Observer, id string, cc *classCounters) {
+// registerClassGauges mirrors a class's counters, resilience state and
+// latency percentiles into the obs registry, so a live /metrics scrape sees
+// the campaign: admission sheds, breaker state and ladder level included.
+func registerClassGauges(o *obs.Observer, id string, cc *classCounters, cls *classState) {
 	l := obs.L("class", id)
 	reg := o.Registry
 	gauge := func(name string, fn func() int64) {
@@ -335,11 +750,28 @@ func registerClassGauges(o *obs.Observer, id string, cc *classCounters) {
 	gauge("traffic_generated", cc.generated.Load)
 	gauge("traffic_admitted", cc.admitted.Load)
 	gauge("traffic_shed", cc.shed.Load)
+	gauge("traffic_shed_bucket", cc.shedBucket.Load)
+	gauge("traffic_shed_delay", cc.shedDelay.Load)
 	gauge("traffic_completed", cc.completed.Load)
+	gauge("traffic_good", cc.good.Load)
 	gauge("traffic_faults", cc.faults.Load)
 	gauge("traffic_detected", cc.detected.Load)
 	gauge("traffic_deadline_misses", cc.deadlineMisses.Load)
+	gauge("traffic_abandoned", cc.abandoned.Load)
+	gauge("traffic_retries", cc.retries.Load)
+	gauge("traffic_retry_successes", cc.retrySuccesses.Load)
+	gauge("traffic_chaos_injected", cc.chaosInjected.Load)
 	gauge("traffic_latency_p50_us", func() int64 { return cc.lat.Quantile(0.50) })
 	gauge("traffic_latency_p95_us", func() int64 { return cc.lat.Quantile(0.95) })
 	gauge("traffic_latency_p99_us", func() int64 { return cc.lat.Quantile(0.99) })
+	if cls.breaker != nil {
+		gauge("traffic_breaker_trips", cls.breaker.trips.Load)
+		gauge("traffic_breaker_rejected", cls.breaker.rejected.Load)
+		gauge("traffic_breaker_state", func() int64 { return int64(cls.breaker.stateG.Load()) })
+	}
+	if cls.ladder != nil {
+		gauge("traffic_degradations", cls.ladder.degradations.Load)
+		gauge("traffic_recoveries", cls.ladder.recoveries.Load)
+		gauge("traffic_degradation_level", func() int64 { return int64(cls.ladder.levelG.Load()) })
+	}
 }
