@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate serve-smoke overload-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate serve-smoke overload-smoke resume-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -124,6 +124,56 @@ overload-smoke:
 	mv BENCH_overload_fresh.json BENCH_overload.json
 	rm -f chaos-a.json chaos-b.json chaos-a.digest chaos-b.digest
 
+# Crash-recovery smoke, the kill -9 acceptance gate, four legs in one
+# scratch dir:
+#
+#  1. Serve reference: an uninterrupted chaos campaign (same shape as
+#     overload-smoke's determinism leg) records the expected digests.
+#  2. Serve kill+resume: the same campaign with checkpointing armed
+#     SIGKILLs itself mid-flight (the `if` inverts the expected death);
+#     resuming from the surviving snapshot must land on byte-identical
+#     stream and chaos digests.
+#  3. Serve supervision: `-supervise` restarts the same crashy worker
+#     from its checkpoints until completion — digests must again match,
+#     with zero human involvement.
+#  4. Fuzz kill+resume: same story over the case index — the resumed
+#     campaign's full JSON report (case digest included) must be
+#     byte-identical to the uninterrupted one's.
+RSM := .resume-smoke
+RSM_SERVE := -spec examples/workloads/interactive-batch.yaml \
+	-seed 42 -chaos-seed 11 -max-requests 1152 -workers 2
+RSM_FUZZ := -seed 7 -count 600 -faults 3
+resume-smoke:
+	rm -rf $(RSM) && mkdir -p $(RSM)
+	$(GO) build -o $(RSM)/serve ./cmd/serve
+	$(GO) build -o $(RSM)/fuzz ./cmd/fuzz
+	$(RSM)/serve $(RSM_SERVE) -json $(RSM)/serve-ref.json
+	if $(RSM)/serve $(RSM_SERVE) -checkpoint $(RSM)/serve.ckpt \
+		-checkpoint-every 256 -crash-after 500 >/dev/null 2>&1; \
+		then echo "resume-smoke: serve crash run unexpectedly survived"; exit 1; fi
+	test -s $(RSM)/serve.ckpt
+	$(RSM)/serve $(RSM_SERVE) -resume $(RSM)/serve.ckpt -json $(RSM)/serve-res.json
+	grep '"stream_digest"' $(RSM)/serve-ref.json > $(RSM)/ref.digest
+	grep '"chaos_digest"' $(RSM)/serve-ref.json >> $(RSM)/ref.digest
+	grep '"stream_digest"' $(RSM)/serve-res.json > $(RSM)/res.digest
+	grep '"chaos_digest"' $(RSM)/serve-res.json >> $(RSM)/res.digest
+	cmp $(RSM)/ref.digest $(RSM)/res.digest
+	rm -f $(RSM)/serve.ckpt
+	$(RSM)/serve $(RSM_SERVE) -checkpoint $(RSM)/serve.ckpt -checkpoint-every 256 \
+		-crash-after 500 -supervise -json $(RSM)/serve-sup.json
+	grep '"stream_digest"' $(RSM)/serve-sup.json > $(RSM)/sup.digest
+	grep '"chaos_digest"' $(RSM)/serve-sup.json >> $(RSM)/sup.digest
+	cmp $(RSM)/ref.digest $(RSM)/sup.digest
+	grep -q '"restarts":' $(RSM)/serve-sup.json
+	$(RSM)/fuzz $(RSM_FUZZ) -json $(RSM)/fuzz-ref.json
+	if $(RSM)/fuzz $(RSM_FUZZ) -checkpoint $(RSM)/fuzz.ckpt \
+		-checkpoint-every 200 -crash-after 300 >/dev/null 2>&1; \
+		then echo "resume-smoke: fuzz crash run unexpectedly survived"; exit 1; fi
+	test -s $(RSM)/fuzz.ckpt
+	$(RSM)/fuzz $(RSM_FUZZ) -resume $(RSM)/fuzz.ckpt -json $(RSM)/fuzz-res.json
+	cmp $(RSM)/fuzz-ref.json $(RSM)/fuzz-res.json
+	rm -rf $(RSM)
+
 # Full-scale table regenerations.
 bench-table2:
 	$(GO) run ./cmd/julietbench -table 2 -json BENCH_table2.json
@@ -135,3 +185,4 @@ clean:
 	rm -f BENCH_fresh.json BENCH_serve_fresh.json BENCH_overload_fresh.json \
 		metrics-smoke.json metrics-serve-smoke.json trace-smoke.json \
 		chaos-a.json chaos-b.json chaos-a.digest chaos-b.digest
+	rm -rf .resume-smoke

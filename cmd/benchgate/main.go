@@ -37,14 +37,38 @@
 // fails outright — degradation under a load the deployment used to absorb
 // at full hardening is a resilience regression no hardware variance
 // explains. A missing overload baseline skips with a note, like serve.
+//
+// Exit status:
+//
+//	0  all gates passed
+//	1  a gate failed (regression or structural drift)
+//	2  a record file is corrupt (truncated or unparseable JSON) — the
+//	   input is damaged, not the build; regenerate the record or restore
+//	   the committed baseline
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 )
+
+// corruptError marks a record file that exists but cannot be parsed — a
+// truncated write, a merge accident, a hand edit gone wrong. It gets its
+// own exit code so CI distinguishes "the input is damaged" from "the
+// build regressed".
+type corruptError struct {
+	path string
+	err  error
+}
+
+func (e *corruptError) Error() string {
+	return fmt.Sprintf("corrupt record %s: %v (regenerate it or restore the committed file)", e.path, e.err)
+}
+
+func (e *corruptError) Unwrap() error { return e.err }
 
 // toolRecord mirrors the per-tool fields benchgate reads from the
 // julietbench -json schema; unknown fields are ignored so the gate tolerates
@@ -104,6 +128,10 @@ type overloadRecord struct {
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		var ce *corruptError
+		if errors.As(err, &ce) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -115,7 +143,7 @@ func load(path string) (*benchRecord, error) {
 	}
 	rec := &benchRecord{}
 	if err := json.Unmarshal(data, rec); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+		return nil, &corruptError{path: path, err: err}
 	}
 	return rec, nil
 }
@@ -219,7 +247,7 @@ func loadServe(path string) (*serveRecord, error) {
 	}
 	rec := &serveRecord{}
 	if err := json.Unmarshal(data, rec); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+		return nil, &corruptError{path: path, err: err}
 	}
 	return rec, nil
 }
@@ -305,7 +333,7 @@ func loadOverload(path string) (*overloadRecord, error) {
 	}
 	rec := &overloadRecord{}
 	if err := json.Unmarshal(data, rec); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+		return nil, &corruptError{path: path, err: err}
 	}
 	return rec, nil
 }

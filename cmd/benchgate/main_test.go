@@ -1,0 +1,62 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorruptBaselineIsLoudAndTyped: a truncated BENCH_serve.json (the
+// classic interrupted-write artifact) must surface as a corruptError — the
+// marker main maps to exit 2 — whose one-line message names the damaged
+// path, for every record loader.
+func TestCorruptBaselineIsLoudAndTyped(t *testing.T) {
+	whole, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("committed serve baseline unreadable: %v", err)
+	}
+	truncated := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := os.WriteFile(truncated, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaders := []struct {
+		name string
+		load func(path string) error
+	}{
+		{"serve", func(p string) error { _, err := loadServe(p); return err }},
+		{"bench", func(p string) error { _, err := load(p); return err }},
+		{"overload", func(p string) error { _, err := loadOverload(p); return err }},
+	}
+	for _, l := range loaders {
+		t.Run(l.name, func(t *testing.T) {
+			err := l.load(truncated)
+			if err == nil {
+				t.Fatal("truncated record parsed without error")
+			}
+			var ce *corruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error not classified corrupt (exit 2): %v", err)
+			}
+			if !strings.Contains(err.Error(), truncated) {
+				t.Fatalf("error does not name the damaged file: %v", err)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("corruption error must be one line: %q", err.Error())
+			}
+		})
+	}
+
+	// A missing file stays a plain os error (gateServe turns it into the
+	// bootstrap skip), never a corruption verdict.
+	_, err = loadServe(filepath.Join(t.TempDir(), "absent.json"))
+	if err == nil || !os.IsNotExist(err) {
+		t.Fatalf("missing file must stay an os.IsNotExist error, got %v", err)
+	}
+	var ce *corruptError
+	if errors.As(err, &ce) {
+		t.Fatal("missing file must not be classified corrupt")
+	}
+}

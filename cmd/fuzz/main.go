@@ -10,9 +10,19 @@
 //	fuzz -seed 1 -count 1000 [-workers N] [-json report.json]
 //	     [-bench BENCH_fuzz.json] [-repro dir] [-progress]
 //	     [-faults SEED] [-hardened] [-max-steps N] [-max-depth N]
+//	     [-checkpoint f.ckpt] [-checkpoint-every N] [-resume f.ckpt]
 //	     [-metrics-json m.json] [-trace t.json] [-http 127.0.0.1:0]
 //	     [-profile-checks]
 //	fuzz -emit 42                 # print the program for one case seed
+//
+// -checkpoint arms periodic durable snapshots: the campaign runs in
+// -checkpoint-every-case chunks (default 500) and atomically rewrites the
+// snapshot between chunks. -resume restores one (validated against seed,
+// fault seed, hardened mode, count and tool set) and continues from its
+// case cursor; the resumed report — case digest included — is
+// byte-identical to an uninterrupted run's. -resume implies -checkpoint
+// to the same path unless one is given, so a resumed campaign keeps
+// snapshotting.
 //
 // The observability flags attach internal/obs to every engine in the
 // fan-out; -http serves live metric snapshots and pprof while the campaign
@@ -31,8 +41,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"cecsan/internal/checkpoint"
 	"cecsan/internal/cliutil"
 	"cecsan/internal/fuzz"
 	"cecsan/internal/obs"
@@ -67,6 +79,10 @@ func run() (int, error) {
 	maxSteps := cliutil.MaxStepsFlag()
 	maxDepth := cliutil.MaxDepthFlag()
 	workers := cliutil.WorkersFlag()
+	ckptPath := flag.String("checkpoint", "", "write a durable campaign snapshot to this path between chunks")
+	ckptEvery := flag.Int("checkpoint-every", 0, "snapshot chunk size in cases (0 = 500)")
+	resumePath := flag.String("resume", "", "restore this snapshot and continue from its case cursor")
+	crashAfter := flag.Int("crash-after", 0, "kill -9 this process after N cases this incarnation (crash-injection testing; 0 = off)")
 	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
 
@@ -86,6 +102,19 @@ func run() (int, error) {
 		o = obs.New()
 	}
 
+	var resume *fuzz.CampaignCheckpoint
+	if *resumePath != "" {
+		var ck fuzz.CampaignCheckpoint
+		if err := checkpoint.Load(*resumePath, checkpoint.KindFuzz, &ck); err != nil {
+			return exitHarness, fmt.Errorf("resume: %w", err)
+		}
+		resume = &ck
+		if *ckptPath == "" {
+			// A resumed campaign keeps snapshotting where it left off.
+			*ckptPath = *resumePath
+		}
+	}
+
 	cfg := fuzz.Config{
 		Seed:            *seed,
 		Count:           *count,
@@ -95,6 +124,9 @@ func run() (int, error) {
 		FaultSeed:       *faults,
 		Hardened:        *hardened,
 		Obs:             o,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Resume:          resume,
 	}
 	campaignStart := time.Now()
 	if *progress {
@@ -111,6 +143,25 @@ func run() (int, error) {
 				done, total, cps, 100*hit, fts, eta)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	if *crashAfter > 0 {
+		// Crash injection for resume testing: die hard (no deferred cleanup,
+		// no final snapshot) once this incarnation has processed its quota.
+		// The base is the resume cursor, so a restarted incarnation makes
+		// progress before dying again instead of re-crashing in place.
+		base := 0
+		if resume != nil {
+			base = resume.NextCase
+		}
+		inner := cfg.Progress
+		cfg.Progress = func(done, total int) {
+			if inner != nil {
+				inner(done, total)
+			}
+			if done-base >= *crashAfter {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
 			}
 		}
 	}

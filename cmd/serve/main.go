@@ -15,6 +15,8 @@
 //	      [-max-breaker-trips N] [-min-breaker-trips N]
 //	      [-min-degradations N] [-min-recoveries N]
 //	      [-overload] [-overload-multiples 1,2,4] [-overload-requests N]
+//	      [-checkpoint s.ckpt] [-checkpoint-every N] [-resume s.ckpt]
+//	      [-supervise] [-max-restarts N]
 //	      [-json BENCH_serve.json] [-progress]
 //	      [-metrics-json m.json] [-trace t.json] [-http 127.0.0.1:0]
 //
@@ -41,6 +43,20 @@
 // on (spec, seed): rerunning with a different -workers, -speedup or any
 // resilience knob changes scheduling and latency, never the traffic.
 //
+// -checkpoint arms periodic durable snapshots: the producer pauses at a
+// consistent cut every -checkpoint-every generated requests (default
+// 1000) and atomically rewrites the snapshot. -resume restores one
+// (validated against the spec fingerprint, seed and chaos seed) and
+// continues the campaign; for a closed-loop run the resumed stream and
+// chaos digests are byte-identical to an uninterrupted run's. -resume
+// implies -checkpoint to the same path unless one is given.
+//
+// -supervise runs the campaign in a forked worker process and restarts
+// it from the last checkpoint after an abnormal exit (signal death,
+// panic, internal error — never an assertion failure), with a bounded
+// restart budget (-max-restarts) and crash-loop backoff. The summary's
+// restarts counter records how many times the worker died.
+//
 // Exit status:
 //
 //	0  campaign completed
@@ -59,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"cecsan/internal/checkpoint"
 	"cecsan/internal/cliutil"
 	"cecsan/internal/obs"
 	"cecsan/internal/traffic"
@@ -119,6 +136,12 @@ func run() (int, error) {
 	overloadRequests := flag.Int("overload-requests", 0, "requests per overload point (0 = 5000)")
 	jsonPath := cliutil.JSONFlag("write the BENCH_serve.json (or BENCH_overload.json) summary to this path")
 	progress := flag.Bool("progress", false, "print a progress line every 256 processed requests")
+	ckptPath := flag.String("checkpoint", "", "write a durable campaign snapshot to this path at the checkpoint cadence")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in generated requests (0 = 1000)")
+	resumePath := flag.String("resume", "", "restore this snapshot and continue the campaign")
+	supervise := flag.Bool("supervise", false, "fork a worker process and restart it from the last checkpoint after abnormal exits")
+	maxRestarts := flag.Int("max-restarts", 5, "restart budget for -supervise before giving up")
+	crashAfter := flag.Int("crash-after", 0, "kill -9 this process after N processed requests this incarnation (crash-injection testing; 0 = off)")
 	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
 
@@ -129,6 +152,16 @@ func run() (int, error) {
 	spec, err := traffic.Load(*specPath)
 	if err != nil {
 		return exitInternal, err
+	}
+
+	if *supervise {
+		if *overload {
+			return exitInternal, fmt.Errorf("-supervise does not apply to -overload sweeps")
+		}
+		if *ckptPath == "" {
+			return exitInternal, fmt.Errorf("-supervise requires -checkpoint (restarts resume from the last snapshot)")
+		}
+		return runSupervised(*ckptPath, *maxRestarts)
 	}
 
 	var resCfg *traffic.ResilienceConfig
@@ -181,24 +214,60 @@ func run() (int, error) {
 		signal.Stop(sigCh)
 	}()
 
+	var resume *traffic.ServeCheckpoint
+	if *resumePath != "" {
+		var ck traffic.ServeCheckpoint
+		if lerr := checkpoint.Load(*resumePath, checkpoint.KindServe, &ck); lerr != nil {
+			return exitInternal, fmt.Errorf("resume: %w", lerr)
+		}
+		resume = &ck
+		if *ckptPath == "" {
+			// A resumed campaign keeps snapshotting where it left off.
+			*ckptPath = *resumePath
+		}
+	}
+
 	cfg := traffic.ServeConfig{
-		Spec:        spec,
-		Seed:        *seed,
-		Workers:     cliutil.ResolveWorkers(*workers),
-		MaxRequests: *maxRequests,
-		Duration:    *duration,
-		QueueDepth:  *queue,
-		Speedup:     *speedup,
-		Resilience:  resCfg,
-		ChaosSeed:   *chaosSeed,
-		Obs:         observer,
-		Stop:        stop,
+		Spec:            spec,
+		Seed:            *seed,
+		Workers:         cliutil.ResolveWorkers(*workers),
+		MaxRequests:     *maxRequests,
+		Duration:        *duration,
+		QueueDepth:      *queue,
+		Speedup:         *speedup,
+		Resilience:      resCfg,
+		ChaosSeed:       *chaosSeed,
+		Obs:             observer,
+		Stop:            stop,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Resume:          resume,
+		Restarts:        restartCount(),
 	}
 	if *progress {
 		start := time.Now()
 		cfg.Progress = func(done int) {
 			fmt.Fprintf(os.Stderr, "serve: %d requests processed (%.0f/sec)\n",
 				done, float64(done)/time.Since(start).Seconds())
+		}
+	}
+	if *crashAfter > 0 {
+		// Crash injection for resume testing: die hard (no signal handler,
+		// no final snapshot) once this incarnation has processed its quota.
+		// The base is the resume cursor, so a restarted incarnation makes
+		// progress before dying again instead of re-crashing in place.
+		var base int64
+		if resume != nil {
+			base = resume.Processed
+		}
+		inner := cfg.Progress
+		cfg.Progress = func(done int) {
+			if inner != nil {
+				inner(done)
+			}
+			if int64(done)-base >= int64(*crashAfter) {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
 		}
 	}
 

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestChildArgs: the worker argv keeps campaign flags, loses supervision
+// flags and any stale -resume, and gains -resume only once the snapshot
+// file exists.
+func TestChildArgs(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "serve.ckpt")
+	base := []string{
+		"-spec", "w.yaml", "-supervise", "-max-restarts", "3",
+		"-checkpoint", ckpt, "-chaos-seed", "11", "-resume", "stale.ckpt",
+	}
+	want := []string{"-spec", "w.yaml", "-checkpoint", ckpt, "-chaos-seed", "11"}
+	if got := childArgs(base, ckpt); !reflect.DeepEqual(got, want) {
+		t.Fatalf("before snapshot exists:\ngot  %q\nwant %q", got, want)
+	}
+
+	if err := os.WriteFile(ckpt, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, "-resume", ckpt)
+	if got := childArgs(base, ckpt); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after snapshot exists:\ngot  %q\nwant %q", got, want)
+	}
+
+	// Inline forms strip without eating the next argument.
+	inline := []string{"-supervise=true", "-max-restarts=3", "-resume=stale.ckpt", "-workers", "4"}
+	want = []string{"-workers", "4", "-resume", ckpt}
+	if got := childArgs(inline, ckpt); !reflect.DeepEqual(got, want) {
+		t.Fatalf("inline forms:\ngot  %q\nwant %q", got, want)
+	}
+}

@@ -1,0 +1,175 @@
+// Package checkpoint provides durable, versioned campaign snapshots for
+// the long-running drivers (cmd/serve, cmd/fuzz).
+//
+// A snapshot is a JSON envelope — magic string, format version, kind tag,
+// payload, and a SHA-256 checksum over the payload — written with the full
+// crash-durable atomic pattern: temp file in the target directory, write,
+// fsync the file, rename over the target, fsync the directory. A crash at
+// any point (including power loss) leaves either the previous complete
+// snapshot or the new one, never a torn or empty file; a snapshot damaged
+// by anything else is detected loudly at load time instead of silently
+// resuming a forked campaign.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+)
+
+const (
+	magic = "cecsan-checkpoint"
+
+	// Version is the snapshot format version. It bumps whenever the
+	// envelope or any payload schema changes incompatibly; Load refuses
+	// snapshots from other versions rather than guessing.
+	Version = 1
+
+	// KindServe and KindFuzz tag which driver wrote a snapshot, so a serve
+	// resume can never consume a fuzz checkpoint or vice versa.
+	KindServe = "serve"
+	KindFuzz  = "fuzz"
+)
+
+// ErrCorrupt marks a checkpoint file that exists but cannot be trusted:
+// truncated, bit-flipped, not a checkpoint at all, or carrying a payload
+// that fails its checksum. Callers distinguish it from os.IsNotExist
+// (no snapshot yet) with errors.Is.
+var ErrCorrupt = errors.New("corrupt checkpoint")
+
+// envelope is the on-disk frame around every snapshot payload.
+type envelope struct {
+	Magic    string          `json:"magic"`
+	Version  int             `json:"version"`
+	Kind     string          `json:"kind"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// Save marshals payload, wraps it in a checksummed envelope of the given
+// kind, and writes it durably (atomic rename + file and directory fsync)
+// to path.
+func Save(path, kind string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %s payload: %w", kind, err)
+	}
+	sum := sha256.Sum256(raw)
+	data, err := json.Marshal(envelope{
+		Magic:    magic,
+		Version:  Version,
+		Kind:     kind,
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  raw,
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal envelope: %w", err)
+	}
+	return WriteDurable(path, append(data, '\n'))
+}
+
+// Load reads the snapshot at path, verifies the envelope (magic, version,
+// kind, payload checksum) and unmarshals the payload. A missing file
+// surfaces as the plain os error so callers can test os.IsNotExist; every
+// integrity failure wraps ErrCorrupt.
+func Load(path, kind string, payload any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if env.Magic != magic {
+		return fmt.Errorf("%w: %s: not a checkpoint file", ErrCorrupt, path)
+	}
+	if env.Version != Version {
+		return fmt.Errorf("checkpoint: %s: format version %d, this binary reads version %d", path, env.Version, Version)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("checkpoint: %s: kind %q, want %q", path, env.Kind, kind)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.Checksum {
+		return fmt.Errorf("%w: %s: payload checksum mismatch", ErrCorrupt, path)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("%w: %s: payload: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}
+
+// WriteDurable writes data to path atomically and durably: temp file in
+// the same directory, write, fsync, rename over the target, fsync the
+// containing directory so the rename itself survives a power loss.
+func WriteDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	fh, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := fh.Name()
+	cleanup := func(err error) error {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := fh.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := fh.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := fh.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-renamed entry is durable.
+func SyncDir(dir string) error {
+	dh, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer dh.Close()
+	return dh.Sync()
+}
+
+// MarshalHash serializes the internal state of a running hash (the running
+// SHA-256 digests every campaign carries). All stdlib hashes implement
+// encoding.BinaryMarshaler.
+func MarshalHash(h hash.Hash) ([]byte, error) {
+	m, ok := h.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: hash %T is not binary-marshalable", h)
+	}
+	return m.MarshalBinary()
+}
+
+// UnmarshalHash restores a running hash from state captured by MarshalHash.
+func UnmarshalHash(h hash.Hash, data []byte) error {
+	u, ok := h.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("checkpoint: hash %T is not binary-unmarshalable", h)
+	}
+	if err := u.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("%w: digest state: %v", ErrCorrupt, err)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type fakePayload struct {
+	Count  int    `json:"count"`
+	Digest string `json:"digest"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	want := fakePayload{Count: 1234, Digest: "abc"}
+	if err := Save(path, KindServe, want); err != nil {
+		t.Fatal(err)
+	}
+	var got fakePayload
+	if err := Load(path, KindServe, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestLoadMissingFileIsNotExist(t *testing.T) {
+	var got fakePayload
+	err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), KindServe, &got)
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing file: got %v, want os.IsNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("a missing file must not classify as corrupt")
+	}
+}
+
+func TestLoadRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.ckpt")
+	if err := Save(path, KindServe, fakePayload{Count: 7}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", good[:len(good)/2]},
+		{"empty", nil},
+		{"not json", []byte("definitely not a checkpoint\n")},
+		{"wrong magic", []byte(strings.Replace(string(good), magic, "other-tool", 1))},
+		{"bit flip in payload", func() []byte {
+			b := append([]byte(nil), good...)
+			i := strings.Index(string(b), `"count":7`)
+			b[i+len(`"count":`)] = '8'
+			return b
+		}()},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			p := filepath.Join(dir, "bad.ckpt")
+			if err := os.WriteFile(p, d.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got fakePayload
+			err := Load(p, KindServe, &got)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s: got %v, want ErrCorrupt", d.name, err)
+			}
+			if !strings.Contains(err.Error(), p) {
+				t.Fatalf("%s: error %q must name the file", d.name, err)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsKindAndVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.ckpt")
+	if err := Save(path, KindFuzz, fakePayload{}); err != nil {
+		t.Fatal(err)
+	}
+	var got fakePayload
+	if err := Load(path, KindServe, &got); err == nil || !strings.Contains(err.Error(), `kind "fuzz"`) {
+		t.Fatalf("kind mismatch: got %v", err)
+	}
+
+	// A future-version snapshot must be refused, not guessed at.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(string(data), fmt.Sprintf(`"version":%d`, Version), fmt.Sprintf(`"version":%d`, Version+1), 1)
+	if bumped == string(data) {
+		t.Fatal("test fixture: version field not found")
+	}
+	if err := os.WriteFile(path, []byte(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, KindFuzz, &got); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch: got %v", err)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.ckpt")
+	for i := 0; i < 3; i++ {
+		if err := Save(path, KindServe, fakePayload{Count: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got fakePayload
+	if err := Load(path, KindServe, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 2 {
+		t.Fatalf("latest snapshot: count = %d, want 2", got.Count)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %v, want only the checkpoint (no temp litter)", entries)
+	}
+}
+
+func TestHashStateRoundTrip(t *testing.T) {
+	a := sha256.New()
+	a.Write([]byte("first half "))
+	state, err := MarshalHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := sha256.New()
+	if err := UnmarshalHash(b, state); err != nil {
+		t.Fatal(err)
+	}
+	a.Write([]byte("second half"))
+	b.Write([]byte("second half"))
+	if string(a.Sum(nil)) != string(b.Sum(nil)) {
+		t.Fatal("restored hash state diverged from the original")
+	}
+
+	if err := UnmarshalHash(sha256.New(), []byte("garbage")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage digest state: got %v, want ErrCorrupt", err)
+	}
+}

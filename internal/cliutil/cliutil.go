@@ -194,11 +194,12 @@ func (f *ObsFlags) Finish(o *obs.Observer, srv *obs.Server, totalChecks int64) e
 	return firstErr
 }
 
-// writeTo streams write into path atomically: the content lands in a
-// temporary file in the same directory (same filesystem, so the rename is
-// atomic) and replaces path only after a successful write and close. On any
-// failure the temporary file is removed and the previous path contents are
-// left untouched.
+// writeTo streams write into path atomically and durably: the content
+// lands in a temporary file in the same directory (same filesystem, so the
+// rename is atomic), is fsynced before the close, and replaces path only
+// after a successful write — then the directory itself is fsynced so the
+// rename survives a crash, not just the data. On any failure the temporary
+// file is removed and the previous path contents are left untouched.
 func writeTo(path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
 	fh, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
@@ -217,6 +218,9 @@ func writeTo(path string, write func(w io.Writer) error) error {
 	if err := fh.Chmod(0o644); err != nil {
 		return cleanup(err)
 	}
+	if err := fh.Sync(); err != nil {
+		return cleanup(err)
+	}
 	if err := fh.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -225,6 +229,22 @@ func writeTo(path string, write func(w io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }

@@ -230,3 +230,32 @@ func TestObsFlagsBuild(t *testing.T) {
 		t.Fatalf("Finish: %v", err)
 	}
 }
+
+// TestWriteToDurable: the happy path syncs the data and the directory — a
+// successful write leaves exactly the target file, readable back in full
+// (the sync calls themselves are untestable without fault injection, but a
+// bad file descriptor in either would fail the write loudly).
+func TestWriteToDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := writeTo(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("read back %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the target", len(entries))
+	}
+}

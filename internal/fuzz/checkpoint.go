@@ -1,0 +1,128 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash"
+
+	"cecsan/internal/checkpoint"
+)
+
+// CampaignCheckpoint is a fuzz campaign's serializable mid-run state,
+// captured between chunks (never inside the worker fan-out, so there is no
+// partial case to reason about). The snapshot plus the campaign identity
+// (seed, fault seed, hardened mode, count, tool set) fully determines the
+// rest of the run: a resumed campaign regenerates the remaining cases from
+// their seeds and produces a report byte-identical to an uninterrupted one,
+// witnessed by the running case-digest chain carried in the snapshot.
+type CampaignCheckpoint struct {
+	Seed      uint64   `json:"seed"`
+	FaultSeed uint64   `json:"fault_seed,omitempty"`
+	Hardened  bool     `json:"hardened,omitempty"`
+	Count     int      `json:"count"`
+	Tools     []string `json:"tools"`
+	// NextCase is the resume cursor: every case index below it is fully
+	// absorbed into the aggregates below.
+	NextCase int `json:"next_case"`
+
+	Injected      int                 `json:"injected"`
+	CleanN        int                 `json:"clean_cases"`
+	Shapes        map[string]int      `json:"shapes"`
+	ToolAgg       []ToolReport        `json:"tool_agg"`
+	HarnessFaults int                 `json:"harness_faults,omitempty"`
+	FaultCases    []FaultCase         `json:"fault_cases,omitempty"`
+	Findings      []CheckpointFinding `json:"findings,omitempty"`
+	// CaseDigest is the running SHA-256 state of the case-digest chain
+	// (crypto/sha256's binary marshaling), not a finished sum.
+	CaseDigest []byte `json:"case_digest"`
+}
+
+// CheckpointFinding carries a Finding plus its case/tool coordinates, which
+// the in-memory Finding keeps unexported (they exist only to drive the
+// final minimization pass, which happens after all chunks are absorbed).
+type CheckpointFinding struct {
+	Finding
+	CaseIdx int `json:"case_idx"`
+	ToolIdx int `json:"tool_idx"`
+}
+
+// captureCampaign snapshots the running report after next cases have been
+// absorbed.
+func (r *Runner) captureCampaign(rep *Report, chain hash.Hash, next int) (*CampaignCheckpoint, error) {
+	state, err := checkpoint.MarshalHash(chain)
+	if err != nil {
+		return nil, err
+	}
+	ck := &CampaignCheckpoint{
+		Seed:          rep.Seed,
+		FaultSeed:     rep.FaultSeed,
+		Hardened:      rep.Hardened,
+		Count:         rep.Count,
+		NextCase:      next,
+		Injected:      rep.Injected,
+		CleanN:        rep.CleanN,
+		Shapes:        rep.Shapes,
+		HarnessFaults: rep.HarnessFaults,
+		FaultCases:    rep.FaultCases,
+		CaseDigest:    state,
+	}
+	for _, tool := range r.tools {
+		ck.Tools = append(ck.Tools, string(tool))
+	}
+	ck.ToolAgg = append(ck.ToolAgg, rep.Tools...)
+	for _, f := range rep.Findings {
+		ck.Findings = append(ck.Findings, CheckpointFinding{Finding: f, CaseIdx: f.caseIdx, ToolIdx: f.toolIdx})
+	}
+	return ck, nil
+}
+
+// restoreCampaign rewinds the report and digest chain to a snapshot. The
+// snapshot must match this campaign's identity exactly — a resume under a
+// different seed, fault seed, hardened mode, count or tool set would fork
+// the case stream, so every mismatch fails loudly before any case runs.
+func (r *Runner) restoreCampaign(rep *Report, chain hash.Hash, ck *CampaignCheckpoint) error {
+	if ck.Seed != r.cfg.Seed {
+		return fmt.Errorf("fuzz: resume: checkpoint seed %d, campaign seed %d", ck.Seed, r.cfg.Seed)
+	}
+	if ck.FaultSeed != r.cfg.FaultSeed {
+		return fmt.Errorf("fuzz: resume: checkpoint fault seed %d, campaign fault seed %d", ck.FaultSeed, r.cfg.FaultSeed)
+	}
+	if ck.Hardened != r.cfg.Hardened {
+		return fmt.Errorf("fuzz: resume: checkpoint hardened=%v, campaign hardened=%v", ck.Hardened, r.cfg.Hardened)
+	}
+	if ck.Count != r.cfg.Count {
+		return fmt.Errorf("fuzz: resume: checkpoint count %d, campaign count %d", ck.Count, r.cfg.Count)
+	}
+	if len(ck.Tools) != len(r.tools) {
+		return fmt.Errorf("fuzz: resume: checkpoint has %d tools, campaign has %d", len(ck.Tools), len(r.tools))
+	}
+	for i, tool := range r.tools {
+		if ck.Tools[i] != string(tool) {
+			return fmt.Errorf("fuzz: resume: tool %d is %q in the checkpoint, %q in the campaign", i, ck.Tools[i], tool)
+		}
+	}
+	if ck.NextCase < 0 || ck.NextCase > ck.Count {
+		return fmt.Errorf("fuzz: resume: case cursor %d out of range [0, %d]", ck.NextCase, ck.Count)
+	}
+	if len(ck.ToolAgg) != len(rep.Tools) {
+		return fmt.Errorf("fuzz: resume: checkpoint has %d tool aggregates, campaign has %d", len(ck.ToolAgg), len(rep.Tools))
+	}
+	if err := checkpoint.UnmarshalHash(chain, ck.CaseDigest); err != nil {
+		return fmt.Errorf("fuzz: resume: %w", err)
+	}
+	rep.Injected = ck.Injected
+	rep.CleanN = ck.CleanN
+	if ck.Shapes != nil {
+		rep.Shapes = ck.Shapes
+	}
+	copy(rep.Tools, ck.ToolAgg)
+	rep.HarnessFaults = ck.HarnessFaults
+	rep.FaultCases = ck.FaultCases
+	rep.Findings = rep.Findings[:0]
+	for _, f := range ck.Findings {
+		restored := f.Finding
+		restored.caseIdx = f.CaseIdx
+		restored.toolIdx = f.ToolIdx
+		rep.Findings = append(rep.Findings, restored)
+	}
+	return nil
+}

@@ -1,12 +1,17 @@
 package fuzz
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"cecsan/csrc"
+	"cecsan/internal/checkpoint"
 	"cecsan/internal/engine"
 	"cecsan/internal/faultinject"
 	"cecsan/internal/harness"
@@ -55,6 +60,20 @@ type Config struct {
 	// fuzz_cache_hit_rate, fuzz_faults_total, ...). Reports are byte-identical
 	// with or without it.
 	Obs *obs.Observer
+	// CheckpointPath, when set, arms periodic durable checkpointing: the
+	// campaign runs in CheckpointEvery-case chunks and snapshots its
+	// accumulated state (case cursor, aggregates, findings, running case
+	// digest) after each chunk. Snapshots happen between chunks, never
+	// inside the worker fan-out, so checkpointing stays off the hot path.
+	CheckpointPath string
+	// CheckpointEvery is the chunk size in cases (default 500 when
+	// CheckpointPath is set).
+	CheckpointEvery int
+	// Resume, when set, restores a prior campaign's snapshot and continues
+	// from its case cursor. Validated against seed, fault seed, hardened
+	// mode, count and the tool set — the resumed report is byte-identical
+	// to an uninterrupted run's.
+	Resume *CampaignCheckpoint
 }
 
 // Runner owns one engine per sanitizer and fans generated cases across all
@@ -88,7 +107,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 	}
 	cache := engine.NewCache(0)
-	for i, tool := range r.tools {
+	for _, tool := range r.tools {
+		// Progress is driven by Campaign's own cumulative counter (not the
+		// engine scheduler) so it reports campaign-absolute case counts even
+		// when the campaign runs in checkpoint chunks or resumes mid-way.
 		opts := engine.Options{
 			Workers:         cfg.Workers,
 			MaxInstructions: cfg.MaxInstructions,
@@ -98,10 +120,6 @@ func NewRunner(cfg Config) (*Runner, error) {
 			RuntimeSeed:     cfg.Seed,
 			Obs:             cfg.Obs,
 			Cache:           cache,
-		}
-		if i == 0 && cfg.Progress != nil {
-			// The first engine doubles as the campaign scheduler.
-			opts.Progress = cfg.Progress
 		}
 		eng, err := engine.New(tool, opts)
 		if err != nil {
@@ -246,7 +264,12 @@ type Report struct {
 	Injected  int            `json:"injected"`
 	CleanN    int            `json:"clean_cases"`
 	Shapes    map[string]int `json:"shapes"`
-	Tools     []ToolReport   `json:"tools"`
+	// CaseDigest is the hex SHA-256 over every case's canonical outcome
+	// record in case order — the campaign's byte-determinism witness (the
+	// analogue of the traffic stream digest), checkpointed mid-stream so a
+	// resumed campaign provably covers the identical cases.
+	CaseDigest string       `json:"case_digest"`
+	Tools      []ToolReport `json:"tools"`
 	// HarnessFaults totals FaultCases; any non-zero value makes cmd/fuzz
 	// exit 2 (harness fault), distinct from exit 1 (findings).
 	HarnessFaults int         `json:"harness_faults,omitempty"`
@@ -398,116 +421,181 @@ func classify(tool sanitizers.Name, o *Oracle, res *interp.Result, faultMode boo
 	return c
 }
 
+// caseOut is one case's raw fan-out result, produced by workers and
+// absorbed into the report in case order.
+type caseOut struct {
+	oracle  Oracle
+	cells   []cell
+	genErr  string
+	theCase *Case
+}
+
+// progressEvery is the Progress callback stride in cases.
+const progressEvery = 100
+
+// defaultFuzzCheckpointEvery is the snapshot chunk size in cases.
+const defaultFuzzCheckpointEvery = 500
+
 // Campaign generates cfg.Count cases, fans each across every sanitizer,
 // classifies every cell against the oracle and returns the deterministic
 // report. Findings within the minimization cap are shrunk to minimal
 // reproducers.
+//
+// With CheckpointPath set the campaign runs in chunks, absorbing each
+// chunk into the running report (and the case-digest chain) and writing a
+// durable snapshot between chunks; with Resume set it restores a snapshot
+// first and continues from its cursor. Chunking, checkpointing and
+// resuming never change the report: aggregation happens in case order
+// either way, and the final minimization pass regenerates cases from
+// their seeds, which is exactly how they were produced.
 func (r *Runner) Campaign() (*Report, error) {
 	n := r.cfg.Count
-	type caseOut struct {
-		oracle  Oracle
-		cells   []cell
-		genErr  string
-		theCase *Case
-	}
-	outs := make([]caseOut, n)
-
-	err := r.engines[0].ForEach(n, func(i int) error {
-		c := Generate(caseSeed(r.cfg.Seed, i))
-		outs[i].oracle = c.Oracle
-		outs[i].theCase = c
-		p, err := csrc.Compile(c.Source)
-		if err != nil {
-			outs[i].genErr = err.Error()
-			return nil
-		}
-		outs[i].cells = make([]cell, len(r.tools))
-		for ti, tool := range r.tools {
-			res, rerr := r.engines[ti].Run(p, c.Inputs...)
-			if rerr != nil {
-				outs[i].cells[ti] = cell{reason: "error", detail: rerr.Error(), outcome: harness.OutcomeError}
-				continue
-			}
-			outs[i].cells[ti] = classify(tool, &c.Oracle, res, r.faultMode)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Deterministic aggregation in case order, then tool order.
 	rep := &Report{Seed: r.cfg.Seed, FaultSeed: r.cfg.FaultSeed, Hardened: r.cfg.Hardened, Count: n, Shapes: map[string]int{}}
-	for range r.tools {
-		rep.Tools = append(rep.Tools, ToolReport{})
+	for _, tool := range r.tools {
+		rep.Tools = append(rep.Tools, ToolReport{Tool: string(tool)})
 	}
-	for ti, tool := range r.tools {
-		rep.Tools[ti].Tool = string(tool)
-	}
-	for i := range outs {
-		o := &outs[i]
-		if o.oracle.Injected {
-			rep.Injected++
-			rep.Shapes[o.oracle.Shape]++
-		} else {
-			rep.CleanN++
+	chain := sha256.New()
+	start := 0
+	if ck := r.cfg.Resume; ck != nil {
+		if err := r.restoreCampaign(rep, chain, ck); err != nil {
+			return nil, err
 		}
-		if o.genErr != "" {
-			rep.Findings = append(rep.Findings, Finding{
-				Tool: "-", Seed: o.theCase.Seed, Shape: shapeLabel(&o.oracle),
-				Reason: "compile-error", Detail: o.genErr,
-				Outcome: "error", Source: o.theCase.Source, caseIdx: i,
+		start = ck.NextCase
+	}
+
+	every := r.cfg.CheckpointEvery
+	if every <= 0 {
+		every = defaultFuzzCheckpointEvery
+	}
+	if r.cfg.CheckpointPath == "" {
+		// No checkpointing: one chunk, the pre-checkpoint behaviour.
+		every = n - start
+		if every < 1 {
+			every = 1
+		}
+	}
+
+	var done atomic.Int64
+	done.Store(int64(start))
+	for lo := start; lo < n; lo += every {
+		hi := lo + every
+		if hi > n {
+			hi = n
+		}
+		outs := make([]caseOut, hi-lo)
+		err := r.engines[0].ForEach(hi-lo, func(j int) error {
+			i := lo + j
+			c := Generate(caseSeed(r.cfg.Seed, i))
+			outs[j].oracle = c.Oracle
+			outs[j].theCase = c
+			p, err := csrc.Compile(c.Source)
+			if err != nil {
+				outs[j].genErr = err.Error()
+			} else {
+				outs[j].cells = make([]cell, len(r.tools))
+				for ti, tool := range r.tools {
+					res, rerr := r.engines[ti].Run(p, c.Inputs...)
+					if rerr != nil {
+						outs[j].cells[ti] = cell{reason: "error", detail: rerr.Error(), outcome: harness.OutcomeError}
+						continue
+					}
+					outs[j].cells[ti] = classify(tool, &c.Oracle, res, r.faultMode)
+				}
+			}
+			if d := int(done.Add(1)); r.cfg.Progress != nil && (d%progressEvery == 0 || d == n) {
+				r.cfg.Progress(d, n)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic aggregation in case order, then tool order.
+		for j := range outs {
+			r.absorb(rep, chain, lo+j, &outs[j])
+		}
+		if r.cfg.CheckpointPath != "" && hi < n {
+			ck, err := r.captureCampaign(rep, chain, hi)
+			if err == nil {
+				err = checkpoint.Save(r.cfg.CheckpointPath, checkpoint.KindFuzz, ck)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fuzz: checkpoint: %w", err)
+			}
+		}
+	}
+	rep.CaseDigest = hex.EncodeToString(chain.Sum(nil))
+
+	// Minimization regenerates each finding's case from its seed — pure in
+	// (campaign seed, case index), so it works identically for findings
+	// carried over from a snapshot.
+	r.minimizeFindings(rep, func(i int) *Case { return Generate(caseSeed(r.cfg.Seed, i)) })
+	return rep, nil
+}
+
+// absorb folds one completed case into the running report and the case
+// digest chain. Must be called in case order.
+func (r *Runner) absorb(rep *Report, chain hash.Hash, i int, o *caseOut) {
+	fmt.Fprintf(chain, "%d|%d|%s|%s\n", i, o.theCase.Seed, shapeLabel(&o.oracle), o.genErr)
+	if o.oracle.Injected {
+		rep.Injected++
+		rep.Shapes[o.oracle.Shape]++
+	} else {
+		rep.CleanN++
+	}
+	if o.genErr != "" {
+		rep.Findings = append(rep.Findings, Finding{
+			Tool: "-", Seed: o.theCase.Seed, Shape: shapeLabel(&o.oracle),
+			Reason: "compile-error", Detail: o.genErr,
+			Outcome: "error", Source: o.theCase.Source, caseIdx: i,
+		})
+		return
+	}
+	for ti := range r.tools {
+		cl := &o.cells[ti]
+		tr := &rep.Tools[ti]
+		fmt.Fprintf(chain, "%s|%s|%s|%s\n", r.tools[ti], cl.bucket, cl.reason, cl.faultClass)
+		if cl.faultClass != "" {
+			tr.Faults++
+			rep.HarnessFaults++
+			rep.FaultCases = append(rep.FaultCases, FaultCase{
+				Tool: string(r.tools[ti]), Seed: o.theCase.Seed,
+				Shape: shapeLabel(&o.oracle), Class: cl.faultClass,
 			})
 			continue
 		}
-		for ti := range r.tools {
-			cl := &o.cells[ti]
-			tr := &rep.Tools[ti]
-			if cl.faultClass != "" {
-				tr.Faults++
-				rep.HarnessFaults++
-				rep.FaultCases = append(rep.FaultCases, FaultCase{
-					Tool: string(r.tools[ti]), Seed: o.theCase.Seed,
-					Shape: shapeLabel(&o.oracle), Class: cl.faultClass,
-				})
-				continue
+		switch cl.bucket {
+		case bucketDetected:
+			tr.Detected++
+		case bucketMissDoc:
+			tr.MissDoc++
+		case bucketDetectedProb:
+			tr.DetectedProb++
+		case bucketMissProb:
+			tr.MissProb++
+		case bucketClean:
+			tr.Clean++
+		case bucketPressure:
+			tr.Pressure++
+		default:
+			tr.Findings++
+			f := Finding{
+				Tool: string(r.tools[ti]), Seed: o.theCase.Seed,
+				Shape: shapeLabel(&o.oracle), Reason: cl.reason,
+				Detail: cl.detail, Expect: cl.expect.String(),
+				Outcome: outcomeName(cl.outcome),
+				Source:  o.theCase.Source,
+				caseIdx: i, toolIdx: ti,
 			}
-			switch cl.bucket {
-			case bucketDetected:
-				tr.Detected++
-			case bucketMissDoc:
-				tr.MissDoc++
-			case bucketDetectedProb:
-				tr.DetectedProb++
-			case bucketMissProb:
-				tr.MissProb++
-			case bucketClean:
-				tr.Clean++
-			case bucketPressure:
-				tr.Pressure++
-			default:
-				tr.Findings++
-				f := Finding{
-					Tool: string(r.tools[ti]), Seed: o.theCase.Seed,
-					Shape: shapeLabel(&o.oracle), Reason: cl.reason,
-					Detail: cl.detail, Expect: cl.expect.String(),
-					Outcome: outcomeName(cl.outcome),
-					Source:  o.theCase.Source,
-					caseIdx: i, toolIdx: ti,
-				}
-				if cl.hasKind {
-					f.Kind = cl.kind.String()
-				}
-				if r.tools[ti] == sanitizers.CECSan && o.oracle.Injected {
-					f.WantKind = o.oracle.KindName()
-				}
-				rep.Findings = append(rep.Findings, f)
+			if cl.hasKind {
+				f.Kind = cl.kind.String()
 			}
+			if r.tools[ti] == sanitizers.CECSan && o.oracle.Injected {
+				f.WantKind = o.oracle.KindName()
+			}
+			rep.Findings = append(rep.Findings, f)
 		}
 	}
-
-	r.minimizeFindings(rep, func(i int) *Case { return outs[i].theCase })
-	return rep, nil
 }
 
 func shapeLabel(o *Oracle) string {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 	"sync/atomic"
@@ -65,6 +66,50 @@ func (h *Histogram) Quantile(q float64) int64 {
 		return lo + int64(frac*float64(b.Le-lo))
 	}
 	return bs[len(bs)-1].Le
+}
+
+// HistogramState is a Histogram's full serializable contents, used by the
+// campaign checkpoint layer to carry latency distributions across a crash
+// and resume. Buckets holds every raw log2 bucket, empty ones included, so
+// Import is a plain positional copy.
+type HistogramState struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Export captures the histogram's current state. Safe for concurrent
+// Observe calls, but only a quiescent capture (no writers in flight) is
+// guaranteed internally consistent — the checkpoint barrier provides that.
+func (h *Histogram) Export() HistogramState {
+	st := HistogramState{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]int64, histBuckets),
+	}
+	for i := range h.buckets {
+		st.Buckets[i] = h.buckets[i].Load()
+	}
+	return st
+}
+
+// Import overwrites the histogram with previously exported state. It
+// rejects state with more buckets than this layout holds (a layout change
+// without a checkpoint version bump); shorter state loads positionally.
+func (h *Histogram) Import(st HistogramState) error {
+	if len(st.Buckets) > histBuckets {
+		return fmt.Errorf("obs: histogram state has %d buckets, layout holds %d", len(st.Buckets), histBuckets)
+	}
+	h.count.Store(st.Count)
+	h.sum.Store(st.Sum)
+	for i := range h.buckets {
+		var v int64
+		if i < len(st.Buckets) {
+			v = st.Buckets[i]
+		}
+		h.buckets[i].Store(v)
+	}
+	return nil
 }
 
 // snapshot returns count, sum, and the non-empty buckets in ascending

@@ -133,3 +133,37 @@ func TestHistogramQuantileFullRange(t *testing.T) {
 		prev = v
 	}
 }
+
+func TestHistogramExportImportRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 90, 90, 1500, 1 << 40} {
+		h.Observe(v)
+	}
+	st := h.Export()
+
+	var r Histogram
+	if err := r.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != h.Count() || r.Sum() != h.Sum() {
+		t.Fatalf("restored count/sum = %d/%d, want %d/%d", r.Count(), r.Sum(), h.Count(), h.Sum())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if r.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("Quantile(%v): restored %d, original %d", q, r.Quantile(q), h.Quantile(q))
+		}
+	}
+
+	// Restored histograms keep observing on top of the imported state.
+	h.Observe(7)
+	r.Observe(7)
+	if r.Count() != h.Count() || r.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatal("post-import observations diverged from the original")
+	}
+
+	// Oversized state (layout change without a version bump) is refused.
+	st.Buckets = make([]int64, 200)
+	if err := r.Import(st); err == nil {
+		t.Fatal("Import must reject state with more buckets than the layout")
+	}
+}

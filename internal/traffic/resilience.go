@@ -237,6 +237,95 @@ func (b *breaker) clearWindow() {
 	b.filled, b.idx, b.faults = 0, 0, 0
 }
 
+// BreakerState is a circuit breaker's full serializable state. The breaker
+// is request-counted — no wall clocks anywhere in its state machine — so a
+// restore resumes it exactly, which is what keeps resumed chaos campaigns
+// byte-identical to uninterrupted ones.
+type BreakerState struct {
+	Window   []bool `json:"window"`
+	Filled   int    `json:"filled"`
+	Idx      int    `json:"idx"`
+	Faults   int    `json:"faults"`
+	State    int32  `json:"state"`
+	CoolLeft int    `json:"cool_left"`
+	Probing  bool   `json:"probing"`
+	Trips    int64  `json:"trips"`
+	Rejected int64  `json:"rejected"`
+}
+
+// export captures the breaker state under its lock.
+func (b *breaker) export() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerState{
+		Window:   append([]bool(nil), b.window...),
+		Filled:   b.filled,
+		Idx:      b.idx,
+		Faults:   b.faults,
+		State:    b.state,
+		CoolLeft: b.coolLeft,
+		Probing:  b.probing,
+		Trips:    b.trips.Load(),
+		Rejected: b.rejected.Load(),
+	}
+}
+
+// restore overwrites the breaker with exported state. The window length is
+// part of the state machine's identity, so a resume under a different
+// -breaker-window fails instead of silently reshaping the ring.
+func (b *breaker) restore(st BreakerState) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(st.Window) != len(b.window) {
+		return fmt.Errorf("traffic: breaker window is %d wide, checkpoint has %d", len(b.window), len(st.Window))
+	}
+	copy(b.window, st.Window)
+	b.filled, b.idx, b.faults = st.Filled, st.Idx, st.Faults
+	b.state, b.coolLeft, b.probing = st.State, st.CoolLeft, st.Probing
+	b.stateG.Store(st.State)
+	b.trips.Store(st.Trips)
+	b.rejected.Store(st.Rejected)
+	return nil
+}
+
+// LadderState is a degradation ladder's serializable state (the rung
+// engines themselves are rebuilt from the spec; only the position and
+// streak counters carry over).
+type LadderState struct {
+	Level        int   `json:"level"`
+	Trips        int   `json:"trips"`
+	Clean        int   `json:"clean"`
+	Degradations int64 `json:"degradations"`
+	Recoveries   int64 `json:"recoveries"`
+}
+
+// export captures the ladder state under its lock.
+func (l *ladder) export() LadderState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LadderState{
+		Level:        l.level,
+		Trips:        l.trips,
+		Clean:        l.clean,
+		Degradations: l.degradations.Load(),
+		Recoveries:   l.recoveries.Load(),
+	}
+}
+
+// restore overwrites the ladder with exported state.
+func (l *ladder) restore(st LadderState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if st.Level < 0 || st.Level >= len(l.rungs) {
+		return fmt.Errorf("traffic: ladder level %d out of range (ladder has %d rungs)", st.Level, len(l.rungs))
+	}
+	l.level, l.trips, l.clean = st.Level, st.Trips, st.Clean
+	l.levelG.Store(int32(st.Level))
+	l.degradations.Store(st.Degradations)
+	l.recoveries.Store(st.Recoveries)
+	return nil
+}
+
 // rung is one step of a class's degradation ladder: a named engine
 // configuration, ordered from full hardening (rung 0) down to the cheapest
 // acceptable profile.

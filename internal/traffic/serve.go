@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cecsan/internal/checkpoint"
 	"cecsan/internal/core"
 	"cecsan/internal/engine"
 	"cecsan/internal/faultinject"
@@ -62,6 +63,27 @@ type ServeConfig struct {
 	// Progress, when set, is called with the processed-request count every
 	// 256 completions.
 	Progress func(done int)
+	// CheckpointPath, when set, arms periodic durable checkpointing: every
+	// CheckpointEvery generated requests the producer pauses admission,
+	// waits for every admitted request to reach terminal accounting (the
+	// consistent cut), and atomically writes a versioned snapshot of the
+	// stream position, per-class counters, histograms, breaker/ladder
+	// state and digest chains. The barrier runs on the producer — never
+	// inside workers — so checkpointing stays off the execution hot path.
+	CheckpointPath string
+	// CheckpointEvery is the number of generated requests between
+	// snapshots (default 1000 when CheckpointPath is set).
+	CheckpointEvery int
+	// Resume, when set, restores a prior campaign's snapshot before
+	// admission starts. It is validated against the spec fingerprint,
+	// seed and chaos seed — a resumed campaign continues the exact same
+	// deterministic stream, so its final digests are byte-identical to an
+	// uninterrupted run.
+	Resume *ServeCheckpoint
+	// Restarts is how many times a supervisor has restarted this campaign
+	// (informational; surfaced as the traffic_restarts gauge and in the
+	// summary).
+	Restarts int64
 }
 
 // ClassStats is one class's campaign accounting.
@@ -130,6 +152,8 @@ type ServeResult struct {
 	StreamDigest    string        `json:"stream_digest"`
 	ChaosSeed       uint64        `json:"chaos_seed,omitempty"`
 	ChaosDigest     string        `json:"chaos_digest,omitempty"`
+	Checkpoints     int64         `json:"checkpoints,omitempty"`
+	Restarts        int64         `json:"restarts,omitempty"`
 	Classes         []ClassStats  `json:"classes"`
 }
 
@@ -219,6 +243,17 @@ type server struct {
 	codel     *codel
 	done      chan struct{}
 	processed atomic.Int64
+
+	// Checkpoint machinery. admittedAll counts producer-side admissions,
+	// finalized counts admitted requests that reached terminal accounting
+	// in a worker; the barrier waits for them to meet. genSince and
+	// ckptErr are producer-only.
+	ckptEvery   int
+	genSince    int
+	admittedAll atomic.Int64
+	finalized   atomic.Int64
+	checkpoints atomic.Int64
+	ckptErr     error
 }
 
 // Serve runs a campaign: a single producer walks the deterministic
@@ -349,6 +384,23 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		eng.Preinstrument(progs)
 	}
 
+	if cfg.CheckpointPath != "" {
+		s.ckptEvery = cfg.CheckpointEvery
+		if s.ckptEvery <= 0 {
+			s.ckptEvery = defaultCheckpointEvery
+		}
+	}
+	if cfg.Resume != nil {
+		if err := s.restore(stream, cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Registry
+		reg.GaugeFunc("traffic_checkpoints", func() float64 { return float64(s.checkpoints.Load()) })
+		reg.GaugeFunc("traffic_restarts", func() float64 { return float64(cfg.Restarts) })
+	}
+
 	var closeOnce sync.Once
 	stop := func() { closeOnce.Do(func() { close(s.done) }) }
 	if cfg.Duration > 0 {
@@ -373,8 +425,69 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 	elapsed := time.Since(start)
 	stop()
+	if s.ckptErr != nil {
+		// A campaign that cannot persist its promised snapshots must fail
+		// loudly, not degrade into an uncheckpointed run.
+		return nil, s.ckptErr
+	}
 
 	return s.collect(stream, elapsed), nil
+}
+
+// defaultCheckpointEvery is the snapshot cadence in generated requests.
+const defaultCheckpointEvery = 1000
+
+// maybeCheckpoint runs the producer-side snapshot cadence: called after
+// every generated request, it triggers the barrier once ckptEvery requests
+// have accumulated. Returns false when the producer must stop (stop signal
+// during the drain, or a snapshot write failure).
+func (s *server) maybeCheckpoint(stream *Stream) bool {
+	if s.ckptEvery == 0 {
+		return true
+	}
+	s.genSince++
+	if s.genSince < s.ckptEvery {
+		return true
+	}
+	s.genSince = 0
+	return s.checkpointNow(stream)
+}
+
+// checkpointNow is the consistent-cut barrier. Admission is paused (the
+// producer is right here, not producing); once every admitted request has
+// reached terminal accounting the campaign state is a pure function of the
+// request stream — no request is in flight between generation and its
+// outcome — and the snapshot is captured and written durably.
+func (s *server) checkpointNow(stream *Stream) bool {
+	for s.finalized.Load() != s.admittedAll.Load() {
+		select {
+		case <-s.done:
+			return false
+		default:
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	// A stop during (or just before) the drain means workers may have
+	// finalized queued requests as abandoned — those are excluded from the
+	// digest chains, so a snapshot taken now would lose them permanently.
+	// The abandon path only runs after s.done is closed, and that close is
+	// visible here once any abandon's finalized increment is, so refusing
+	// on a closed s.done keeps every written snapshot a consistent cut.
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	ck, err := s.capture(stream)
+	if err == nil {
+		err = checkpoint.Save(s.cfg.CheckpointPath, checkpoint.KindServe, ck)
+	}
+	if err != nil {
+		s.ckptErr = fmt.Errorf("traffic: checkpoint: %w", err)
+		return false
+	}
+	s.checkpoints.Add(1)
+	return true
 }
 
 // runShared is the shared-queue execution loop: legacy when resilience is
@@ -395,12 +508,14 @@ func (s *server) runShared(stream *Stream, start time.Time) {
 				case <-s.done:
 					// Stopped: account the backlog instead of running it.
 					cc.abandoned.Add(1)
+					s.finalized.Add(1)
 					continue
 				default:
 				}
 				now := time.Now()
 				if s.codel != nil && s.codel.shed(now, now.Sub(q.at)) {
 					cc.shedDelay.Add(1)
+					s.finalized.Add(1)
 					continue
 				}
 				if s.resOn {
@@ -408,6 +523,7 @@ func (s *server) runShared(stream *Stream, start time.Time) {
 				} else {
 					runOne(s.engines[q.req.ClassIndex], cc, q)
 				}
+				s.finalized.Add(1)
 				s.progress()
 			}
 		}()
@@ -439,11 +555,15 @@ producer:
 				// Class over its burst allowance: shed at its own bucket
 				// before it can crowd the shared queue.
 				cc.shedBucket.Add(1)
+				if !s.maybeCheckpoint(stream) {
+					break producer
+				}
 				continue
 			}
 			select {
 			case reqCh <- queued{req: req, at: time.Now()}:
 				cc.admitted.Add(1)
+				s.admittedAll.Add(1)
 			default:
 				// Queue full under overload: shed instead of building an
 				// unbounded backlog.
@@ -453,9 +573,13 @@ producer:
 			select {
 			case reqCh <- queued{req: req, at: time.Now()}:
 				cc.admitted.Add(1)
+				s.admittedAll.Add(1)
 			case <-s.done:
 				break producer
 			}
+		}
+		if !s.maybeCheckpoint(stream) {
+			break producer
 		}
 	}
 	close(reqCh)
@@ -487,6 +611,7 @@ func (s *server) runChaos(stream *Stream, start time.Time) {
 					// Stop is wall-clock territory: abandoned requests are
 					// excluded from the digest chain by construction.
 					cc.abandoned.Add(1)
+					s.finalized.Add(1)
 					continue
 				default:
 				}
@@ -495,6 +620,7 @@ func (s *server) runChaos(stream *Stream, start time.Time) {
 				code, attempts := s.process(ci, q, plan)
 				<-sem
 				s.classes[ci].digest.record(uint64(q.req.Index), code, attempts)
+				s.finalized.Add(1)
 				s.progress()
 			}
 		}(i, chans[i])
@@ -525,6 +651,7 @@ producer:
 			select {
 			case chans[req.ClassIndex] <- queued{req: req, at: time.Now()}:
 				cc.admitted.Add(1)
+				s.admittedAll.Add(1)
 			default:
 				cc.shed.Add(1)
 			}
@@ -532,9 +659,13 @@ producer:
 			select {
 			case chans[req.ClassIndex] <- queued{req: req, at: time.Now()}:
 				cc.admitted.Add(1)
+				s.admittedAll.Add(1)
 			case <-s.done:
 				break producer
 			}
+		}
+		if !s.maybeCheckpoint(stream) {
+			break producer
 		}
 	}
 	for _, ch := range chans {
@@ -632,6 +763,8 @@ func (s *server) collect(stream *Stream, elapsed time.Duration) *ServeResult {
 		ElapsedSec:   elapsed.Seconds(),
 		StreamDigest: stream.Digest(),
 		ChaosSeed:    s.chaos,
+		Checkpoints:  s.checkpoints.Load(),
+		Restarts:     s.cfg.Restarts,
 	}
 	var hits, misses int64
 	for _, eng := range s.engines {

@@ -7,6 +7,7 @@ import (
 	"hash"
 	"time"
 
+	"cecsan/internal/checkpoint"
 	"cecsan/internal/sanitizers"
 	"cecsan/prog"
 )
@@ -61,14 +62,8 @@ type Stream struct {
 }
 
 // hashState accumulates the canonical per-request records that define
-// stream identity.
+// stream identity (written by step).
 type hashState struct{ h hash.Hash }
-
-func (hs *hashState) add(req *Request) {
-	fmt.Fprintf(hs.h, "%d|%s|%d|%d|%s|%d|%d|%s\n",
-		req.Index, req.Class, req.Arrival.Nanoseconds(), req.Deadline.Nanoseconds(),
-		req.Tool, req.Variant, req.ProgSeed, req.Program.Fingerprint())
-}
 
 // clientState is one client's generator position in the merge.
 type clientState struct {
@@ -129,21 +124,15 @@ func (s *Stream) Next() *Request {
 	if s.limit > 0 && s.count >= s.limit {
 		return nil
 	}
-	best := -1
-	for i, cs := range s.clients {
-		if best < 0 || cs.nextAt < s.clients[best].nextAt {
-			best = i
-		}
-	}
-	cs := s.clients[best]
-	vi := cs.picker.intn(len(cs.variants))
+	index := s.count
+	cs, vi, arrival := s.step()
 	v := cs.variants[vi]
-	req := &Request{
-		Index:      s.count,
+	return &Request{
+		Index:      index,
 		Class:      cs.spec.ID,
 		ClassIndex: cs.index,
 		Tool:       sanitizers.Name(cs.spec.Tool),
-		Arrival:    cs.nextAt,
+		Arrival:    arrival,
 		Deadline:   time.Duration(cs.spec.DeadlineMS * float64(time.Millisecond)),
 		Variant:    vi,
 		ProgSeed:   v.Seed,
@@ -151,10 +140,48 @@ func (s *Stream) Next() *Request {
 		Inputs:     v.Inputs,
 		Source:     v.Source,
 	}
+}
+
+// Seek fast-forwards the generator past the next n requests without
+// materializing them: every RNG draw, arrival advance and digest record
+// happens exactly as in Next, so a seeked stream is indistinguishable
+// from one that generated and discarded n requests. Returns how many
+// requests were actually skipped (less than n when the stream's bound
+// intervenes).
+func (s *Stream) Seek(n int) int {
+	skipped := 0
+	for skipped < n {
+		if s.limit > 0 && s.count >= s.limit {
+			break
+		}
+		s.step()
+		skipped++
+	}
+	return skipped
+}
+
+// step advances the merge by one request — picks the earliest client
+// (spec order breaks ties), draws its variant, folds the canonical record
+// into the running digest, and schedules the client's next arrival. The
+// single mutation point shared by Next and Seek.
+func (s *Stream) step() (cs *clientState, vi int, arrival time.Duration) {
+	best := -1
+	for i, c := range s.clients {
+		if best < 0 || c.nextAt < s.clients[best].nextAt {
+			best = i
+		}
+	}
+	cs = s.clients[best]
+	vi = cs.picker.intn(len(cs.variants))
+	v := cs.variants[vi]
+	arrival = cs.nextAt
+	deadline := time.Duration(cs.spec.DeadlineMS * float64(time.Millisecond))
+	fmt.Fprintf(s.digest.h, "%d|%s|%d|%d|%s|%d|%d|%s\n",
+		s.count, cs.spec.ID, arrival.Nanoseconds(), deadline.Nanoseconds(),
+		cs.spec.Tool, vi, v.Seed, v.Program.Fingerprint())
 	cs.nextAt += cs.arrivals.next()
 	s.count++
-	s.digest.add(req)
-	return req
+	return cs, vi, arrival
 }
 
 // Count returns how many requests have been generated so far.
@@ -165,4 +192,61 @@ func (s *Stream) Count() int { return s.count }
 // two worker counts) can compare.
 func (s *Stream) Digest() string {
 	return hex.EncodeToString(s.digest.h.Sum(nil))
+}
+
+// StreamState is the generator's full serializable position: the merged
+// count, the running digest's internal state, and each client's RNG
+// cursors. Restoring it into a fresh Stream over the same (spec, seed)
+// resumes generation exactly where the capture left off — byte-identical
+// requests and final digest.
+type StreamState struct {
+	Count   int                 `json:"count"`
+	Digest  []byte              `json:"digest"`
+	Clients []ClientStreamState `json:"clients"`
+}
+
+// ClientStreamState is one client's generator cursor within the merge.
+type ClientStreamState struct {
+	ArrivalRNG uint64        `json:"arrival_rng"`
+	PickerRNG  uint64        `json:"picker_rng"`
+	NextAt     time.Duration `json:"next_at_ns"`
+}
+
+// State captures the generator's position. Callers must not interleave
+// State with concurrent Next/Seek calls (the stream is single-producer).
+func (s *Stream) State() (*StreamState, error) {
+	d, err := checkpoint.MarshalHash(s.digest.h)
+	if err != nil {
+		return nil, err
+	}
+	st := &StreamState{Count: s.count, Digest: d}
+	for _, cs := range s.clients {
+		st.Clients = append(st.Clients, ClientStreamState{
+			ArrivalRNG: cs.arrivals.r.s,
+			PickerRNG:  cs.picker.s,
+			NextAt:     cs.nextAt,
+		})
+	}
+	return st, nil
+}
+
+// Restore rewinds this stream to a previously captured position. The
+// stream must have been built from the same (spec, seed) pair — variant
+// programs are deterministic in those, so only the cursors and digest
+// state need reloading. Client-count mismatch (a different spec) fails.
+func (s *Stream) Restore(st *StreamState) error {
+	if len(st.Clients) != len(s.clients) {
+		return fmt.Errorf("traffic: stream state has %d clients, spec has %d", len(st.Clients), len(s.clients))
+	}
+	if err := checkpoint.UnmarshalHash(s.digest.h, st.Digest); err != nil {
+		return err
+	}
+	s.count = st.Count
+	for i, c := range st.Clients {
+		cs := s.clients[i]
+		cs.arrivals.r.s = c.ArrivalRNG
+		cs.picker.s = c.PickerRNG
+		cs.nextAt = c.NextAt
+	}
+	return nil
 }
