@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate serve-smoke overload-smoke resume-smoke bench-table2 bench-table4 clean
+.PHONY: all build test race fuzz-smoke fuzz-smoke-hardened fault-smoke obs-smoke ci bench-smoke bench-gate serve-smoke overload-smoke resume-smoke trace-smoke bench-table2 bench-table4 clean
 
 all: build test
 
@@ -40,10 +40,10 @@ fault-smoke:
 # ephemeral port. Exit 0 plus non-empty exports proves the layer stays off
 # the report path while every facility records.
 obs-smoke:
-	$(GO) run ./cmd/fuzz -seed 7 -count 50 -metrics-json metrics-smoke.json \
-		-trace trace-smoke.json -profile-checks -http 127.0.0.1:0
-	test -s metrics-smoke.json
-	test -s trace-smoke.json
+	$(GO) run ./cmd/fuzz -seed 7 -count 50 -metrics-json artifacts/metrics-smoke.json \
+		-trace artifacts/trace-smoke.json -profile-checks -http 127.0.0.1:0
+	test -s artifacts/metrics-smoke.json
+	test -s artifacts/trace-smoke.json
 
 # The full local CI gate: static checks, build, the race-enabled unit
 # suites, the fuzz smokes (clean + hardened + fault-injected), and the
@@ -62,7 +62,7 @@ ci:
 # detection rates and the engine's cache/pooling behaviour after a change.
 bench-smoke:
 	$(GO) run ./cmd/julietbench -table 2 -scale 0.05 -progress 0 -json BENCH_table2.json \
-		-metrics-json metrics-smoke.json
+		-metrics-json artifacts/metrics-smoke.json
 	$(GO) run ./cmd/temporalbench -json BENCH_temporal.json
 
 # Performance-trend gate: regenerate the bench-smoke record into a scratch
@@ -79,15 +79,20 @@ bench-gate:
 	rm -f BENCH_fresh.json BENCH_serve_fresh.json
 
 # Traffic-campaign smoke: a bounded closed-loop run of the shipped
-# interactive/batch spec through cmd/serve. -min-completed 1 asserts every
-# class made progress; the JSON record is the committed serve baseline and
-# the CI artifact. Runs after bench-gate — it overwrites the baseline.
+# interactive/batch spec through cmd/serve, with the flight recorder armed
+# at default sampling and the SLO gate live (-slo-exit: any exhausted error
+# budget or violated p99 objective fails the target). -min-completed 1
+# asserts every class made progress; the JSON record is the committed serve
+# baseline and the CI artifact. Runs after bench-gate — it overwrites the
+# baseline.
 serve-smoke:
 	$(GO) run ./cmd/serve -spec examples/workloads/interactive-batch.yaml \
-		-max-requests 2000 -min-completed 1 -json BENCH_serve.json \
-		-metrics-json metrics-serve-smoke.json
+		-max-requests 2000 -min-completed 1 -slo-exit -json BENCH_serve.json \
+		-flight artifacts/serve-flight.jsonl \
+		-metrics-json artifacts/metrics-serve-smoke.json
 	test -s BENCH_serve.json
-	test -s metrics-serve-smoke.json
+	test -s artifacts/metrics-serve-smoke.json
+	test -s artifacts/serve-flight.jsonl
 
 # Overload-resilience smoke, three gates in one target:
 #
@@ -174,6 +179,42 @@ resume-smoke:
 	cmp $(RSM)/fuzz-ref.json $(RSM)/fuzz-res.json
 	rm -rf $(RSM)
 
+# Request-tracing smoke, three gates in one scratch dir:
+#
+#  1. Trace-ID determinism: the same seeded chaos campaign at two worker
+#     counts must retain byte-identical trace-ID sets — IDs derive from
+#     (seed, stream index) and chaos retention runs in deterministic-only
+#     mode, so the flight record is scheduling-independent.
+#  2. Fault retention: the chaos record must actually contain faulted
+#     traces (cmd/serve additionally self-checks 100% faulted retention
+#     against the campaign's fault counter and exits 2 on loss).
+#  3. Crash post-mortem: a supervised crashy campaign must leave a
+#     readable <flight>.crash dump reconstructed from the last checkpoint
+#     by the supervisor — the worker died without writing its own.
+TSM := .trace-smoke
+# -retry-max -1 makes chaos faults terminal (instead of retried away), so
+# the record provably retains faulted traces.
+TSM_SERVE := -spec examples/workloads/interactive-batch.yaml \
+	-seed 42 -chaos-seed 11 -max-requests 1152 -retry-max -1
+trace-smoke:
+	rm -rf $(TSM) && mkdir -p $(TSM)
+	$(GO) build -o $(TSM)/serve ./cmd/serve
+	$(TSM)/serve $(TSM_SERVE) -workers 2 -flight $(TSM)/a.jsonl \
+		-flight-chrome $(TSM)/a-chrome.json
+	$(TSM)/serve $(TSM_SERVE) -workers 7 -flight $(TSM)/b.jsonl
+	grep -o '"trace_id":"[0-9a-f]*"' $(TSM)/a.jsonl | sort > $(TSM)/a.ids
+	grep -o '"trace_id":"[0-9a-f]*"' $(TSM)/b.jsonl | sort > $(TSM)/b.ids
+	test -s $(TSM)/a.ids
+	cmp $(TSM)/a.ids $(TSM)/b.ids
+	grep -q '"outcome":"fault"' $(TSM)/a.jsonl
+	test -s $(TSM)/a-chrome.json
+	$(TSM)/serve $(TSM_SERVE) -workers 2 -checkpoint $(TSM)/sup.ckpt \
+		-checkpoint-every 256 -crash-after 500 -supervise \
+		-flight $(TSM)/sup.jsonl
+	test -s $(TSM)/sup.jsonl.crash
+	test -s $(TSM)/sup.jsonl
+	rm -rf $(TSM)
+
 # Full-scale table regenerations.
 bench-table2:
 	$(GO) run ./cmd/julietbench -table 2 -json BENCH_table2.json
@@ -183,6 +224,5 @@ bench-table4:
 
 clean:
 	rm -f BENCH_fresh.json BENCH_serve_fresh.json BENCH_overload_fresh.json \
-		metrics-smoke.json metrics-serve-smoke.json trace-smoke.json \
 		chaos-a.json chaos-b.json chaos-a.digest chaos-b.digest
-	rm -rf .resume-smoke
+	rm -rf .resume-smoke .trace-smoke artifacts

@@ -97,6 +97,20 @@ type serveClassRecord struct {
 	Completed int64  `json:"completed"`
 }
 
+// serveFlightRecord mirrors the flight-recorder summary fields benchgate
+// reads from the cmd/serve -json schema.
+type serveFlightRecord struct {
+	Retained           int64 `json:"retained"`
+	EvictedInteresting int64 `json:"evicted_interesting"`
+}
+
+// serveSLORecord mirrors the per-class SLO status fields benchgate reads.
+type serveSLORecord struct {
+	Class       string `json:"class"`
+	Exhausted   bool   `json:"exhausted"`
+	P99Violated bool   `json:"p99_violated"`
+}
+
 // serveRecord mirrors the top-level cmd/serve -json schema.
 type serveRecord struct {
 	Seed           uint64             `json:"seed"`
@@ -105,6 +119,8 @@ type serveRecord struct {
 	RequestsPerSec float64            `json:"requests_per_sec"`
 	StreamDigest   string             `json:"stream_digest"`
 	Classes        []serveClassRecord `json:"classes"`
+	Flight         *serveFlightRecord `json:"flight,omitempty"`
+	SLO            []serveSLORecord   `json:"slo,omitempty"`
 }
 
 // overloadPointRecord mirrors the per-point fields benchgate reads from
@@ -262,6 +278,20 @@ func gateServe(baselinePath, freshPath string, maxSlowdown float64) error {
 	}
 	if fresh.Completed == 0 {
 		return fmt.Errorf("fresh serve record %s completed 0 requests", freshPath)
+	}
+	// Observability gates run on the fresh record alone: trace loss and SLO
+	// violations are absolute failures, not trends against a baseline.
+	if fresh.Flight != nil && fresh.Flight.EvictedInteresting > 0 {
+		return fmt.Errorf("fresh serve record %s evicted %d interesting traces (flight budget too small for the smoke)",
+			freshPath, fresh.Flight.EvictedInteresting)
+	}
+	for _, st := range fresh.SLO {
+		if st.Exhausted {
+			return fmt.Errorf("fresh serve record %s: class %q SLO budget exhausted", freshPath, st.Class)
+		}
+		if st.P99Violated {
+			return fmt.Errorf("fresh serve record %s: class %q p99 objective violated", freshPath, st.Class)
+		}
 	}
 	if baselinePath == "" {
 		fmt.Println("serve: no -serve-baseline given, record is well-formed; skipping trend checks")

@@ -17,6 +17,8 @@
 //	      [-overload] [-overload-multiples 1,2,4] [-overload-requests N]
 //	      [-checkpoint s.ckpt] [-checkpoint-every N] [-resume s.ckpt]
 //	      [-supervise] [-max-restarts N]
+//	      [-flight f.jsonl] [-flight-chrome f.json]
+//	      [-flight-budget N] [-flight-sample N] [-slo-exit]
 //	      [-json BENCH_serve.json] [-progress]
 //	      [-metrics-json m.json] [-trace t.json] [-http 127.0.0.1:0]
 //
@@ -55,13 +57,29 @@
 // it from the last checkpoint after an abnormal exit (signal death,
 // panic, internal error — never an assertion failure), with a bounded
 // restart budget (-max-restarts) and crash-loop backoff. The summary's
-// restarts counter records how many times the worker died.
+// restarts counter records how many times the worker died. When -flight
+// is also set, each abnormal exit dumps the last checkpoint's retained
+// traces to <flight>.crash before restarting — a post-mortem that
+// survives the worker's death.
+//
+// -flight arms the tail-sampling flight recorder: every request carries
+// a lifecycle trace (trace IDs derive from (seed, stream index), so they
+// are byte-identical across worker counts), and the recorder retains all
+// faulted/retried/shed/rejected traces plus a deterministic 1-in-N
+// healthy sample (-flight-sample) inside a fixed budget (-flight-budget).
+// Retained traces are written as JSON lines to the -flight path;
+// -flight-chrome additionally writes the Chrome trace_event view
+// (load it in chrome://tracing or Perfetto).
+//
+// -slo-exit gates the exit status on the spec's slo: declarations: any
+// class with its error budget exhausted or its p99 objective violated
+// exits 1. Specs without slo: sections fail the gate loudly (exit 2).
 //
 // Exit status:
 //
 //	0  campaign completed
-//	1  -min-completed, -max/min-breaker-trips, -min-degradations or
-//	   -min-recoveries violated
+//	1  -min-completed, -max/min-breaker-trips, -min-degradations,
+//	   -min-recoveries or -slo-exit violated
 //	2  spec or internal error
 package main
 
@@ -142,6 +160,11 @@ func run() (int, error) {
 	supervise := flag.Bool("supervise", false, "fork a worker process and restart it from the last checkpoint after abnormal exits")
 	maxRestarts := flag.Int("max-restarts", 5, "restart budget for -supervise before giving up")
 	crashAfter := flag.Int("crash-after", 0, "kill -9 this process after N processed requests this incarnation (crash-injection testing; 0 = off)")
+	flightPath := flag.String("flight", "", "arm the flight recorder and write retained traces as JSON lines to this path")
+	flightChrome := flag.String("flight-chrome", "", "also write retained traces in Chrome trace_event format to this path (implies the recorder)")
+	flightBudget := flag.Int("flight-budget", obs.DefaultFlightBudget, "flight recorder trace budget")
+	flightSample := flag.Int("flight-sample", obs.DefaultFlightSampleN, "keep 1 in N healthy traces (deterministic, keyed on trace ID)")
+	sloExit := flag.Bool("slo-exit", false, "exit 1 if any class's SLO budget is exhausted or p99 objective violated")
 	obsFlags := cliutil.ObsFlagsCmd()
 	flag.Parse()
 
@@ -161,7 +184,15 @@ func run() (int, error) {
 		if *ckptPath == "" {
 			return exitInternal, fmt.Errorf("-supervise requires -checkpoint (restarts resume from the last snapshot)")
 		}
-		return runSupervised(*ckptPath, *maxRestarts)
+		return runSupervised(*ckptPath, *maxRestarts, *flightPath)
+	}
+
+	var flight *obs.FlightRecorder
+	if *flightPath != "" || *flightChrome != "" {
+		flight = obs.NewFlightRecorder(obs.FlightConfig{
+			Budget:  *flightBudget,
+			SampleN: *flightSample,
+		})
 	}
 
 	var resCfg *traffic.ResilienceConfig
@@ -227,6 +258,12 @@ func run() (int, error) {
 		}
 	}
 
+	if *progress && observer == nil {
+		// The status line reads shed/breaker gauges from the registry, so
+		// -progress arms a private observer even without metrics flags.
+		observer = obs.New()
+	}
+
 	cfg := traffic.ServeConfig{
 		Spec:            spec,
 		Seed:            *seed,
@@ -243,13 +280,14 @@ func run() (int, error) {
 		CheckpointEvery: *ckptEvery,
 		Resume:          resume,
 		Restarts:        restartCount(),
+		Flight:          flight,
 	}
 	if *progress {
-		start := time.Now()
-		cfg.Progress = func(done int) {
-			fmt.Fprintf(os.Stderr, "serve: %d requests processed (%.0f/sec)\n",
-				done, float64(done)/time.Since(start).Seconds())
+		total := *maxRequests
+		if total == 0 {
+			total = spec.MaxRequests
 		}
+		cfg.Progress = progressLine(spec, observer, total)
 	}
 	if *crashAfter > 0 {
 		// Crash injection for resume testing: die hard (no signal handler,
@@ -272,6 +310,10 @@ func run() (int, error) {
 	}
 
 	res, err := traffic.Serve(cfg)
+	if *progress {
+		// The status line ends in \r; terminate it before the summary.
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return exitInternal, err
 	}
@@ -287,8 +329,41 @@ func run() (int, error) {
 			err = werr
 		}
 	}
+	if flight != nil {
+		sum := flight.Summary()
+		// Self-check the retention contract: with no interesting-ring
+		// eviction, every faulted request must have its trace retained.
+		if sum.EvictedInteresting == 0 && sum.Faulted != res.Faults {
+			return exitInternal, fmt.Errorf("flight recorder lost traces: %d faulted traces retained, %d faults accounted", sum.Faulted, res.Faults)
+		}
+		if *flightPath != "" {
+			if werr := cliutil.WriteAtomic(*flightPath, flight.WriteJSONLines); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if *flightChrome != "" {
+			if werr := cliutil.WriteAtomic(*flightChrome, flight.WriteChromeTrace); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	}
 	if err != nil {
 		return exitInternal, err
+	}
+	if *sloExit {
+		if len(res.SLO) == 0 {
+			return exitInternal, fmt.Errorf("-slo-exit: the spec declares no slo: sections, nothing to gate on")
+		}
+		for _, st := range res.SLO {
+			if st.Exhausted {
+				return exitShort, fmt.Errorf("class %q: SLO budget exhausted (%.4f of target %.4f good, budget used %.2f)",
+					st.Class, float64(st.Good)/max(float64(st.Total), 1), st.Target, st.BudgetUsed)
+			}
+			if st.P99Violated {
+				return exitShort, fmt.Errorf("class %q: p99 %dus exceeds objective %dus",
+					st.Class, st.P99US, st.P99ObjectiveUS)
+			}
+		}
 	}
 	if *minCompleted > 0 {
 		for _, cs := range res.Classes {
@@ -317,6 +392,38 @@ func run() (int, error) {
 	return exitOK, nil
 }
 
+// progressLine builds the -progress callback: a carriage-return status
+// line (mirroring cmd/fuzz -progress) with throughput, shed totals, open
+// breaker count and — for a bounded campaign — an ETA extrapolated from
+// the processed fraction.
+func progressLine(spec *traffic.Spec, o *obs.Observer, total int) func(int) {
+	start := time.Now()
+	return func(done int) {
+		elapsed := time.Since(start)
+		var shed float64
+		open := 0
+		for i := range spec.Clients {
+			l := obs.L("class", spec.Clients[i].ID)
+			for _, name := range []string{"traffic_shed", "traffic_shed_bucket", "traffic_shed_delay"} {
+				if v, ok := o.Registry.Value(name, l); ok {
+					shed += v
+				}
+			}
+			// 2 = open (breakerOpen); half-open probes count as recovering.
+			if v, ok := o.Registry.Value("traffic_breaker_state", l); ok && v == 2 {
+				open++
+			}
+		}
+		line := fmt.Sprintf("\rserve: %d processed (%.0f/sec) shed=%.0f breakers_open=%d",
+			done, float64(done)/elapsed.Seconds(), shed, open)
+		if total > 0 && done > 0 && done < total {
+			eta := time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+			line += fmt.Sprintf(" eta=%s", eta.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "%s      ", line)
+	}
+}
+
 // printServe writes the human summary: the legacy line, a resilience line
 // when that layer did anything, and the per-class table.
 func printServe(specPath string, res *traffic.ServeResult) {
@@ -338,6 +445,21 @@ func printServe(specPath string, res *traffic.ServeResult) {
 				"", cs.Retries, cs.BreakerTrips, cs.BreakerRejected,
 				cs.DegradationLevel, cs.Degradations, cs.Recoveries)
 		}
+	}
+	for _, st := range res.SLO {
+		status := "ok"
+		if st.Exhausted {
+			status = "EXHAUSTED"
+		} else if st.P99Violated {
+			status = "P99 VIOLATED"
+		}
+		fmt.Printf("  slo %-16s target=%.3f good=%d/%d budget_used=%.3f burn(short=%.2f long=%.2f) %s\n",
+			st.Class, st.Target, st.Good, st.Total, st.BudgetUsed, st.BurnShort, st.BurnLong, status)
+	}
+	if res.Flight != nil {
+		f := res.Flight
+		fmt.Printf("  flight: retained=%d (interesting %d, sampled %d) faulted=%d retried=%d shed=%d evicted=%d\n",
+			f.Retained, f.Interesting, f.SampledHealthy, f.Faulted, f.Retried, f.Shed, f.EvictedInteresting+f.EvictedSampled)
 	}
 	fmt.Printf("  stream digest %s\n", res.StreamDigest)
 	if res.ChaosDigest != "" {

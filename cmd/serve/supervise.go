@@ -10,6 +10,11 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"cecsan/internal/checkpoint"
+	"cecsan/internal/cliutil"
+	"cecsan/internal/obs"
+	"cecsan/internal/traffic"
 )
 
 // restartEnv carries the supervisor's restart count into the worker so the
@@ -32,7 +37,12 @@ func restartCount() int64 {
 // 0) and assertion failures (exit 1) end the loop: an assertion verdict is
 // deterministic, so a restart would only replay it. The budget bounds
 // crash-looping; each restart backs off twice as long as the last.
-func runSupervised(ckptPath string, maxRestarts int) (int, error) {
+//
+// When the campaign records flight traces, each abnormal exit dumps the
+// last checkpoint's retained traces to <flightPath>.crash before the
+// restart: the worker died without writing its own dump, but the
+// checkpoint's flight state is the post-mortem as of the last barrier.
+func runSupervised(ckptPath string, maxRestarts int, flightPath string) (int, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return exitInternal, err
@@ -68,6 +78,11 @@ func runSupervised(ckptPath string, maxRestarts int) (int, error) {
 		if werr == nil || interrupted || code == exitShort {
 			return code, werr
 		}
+		if flightPath != "" {
+			if derr := dumpFlight(ckptPath, flightPath+".crash"); derr != nil {
+				fmt.Fprintf(os.Stderr, "serve: supervise: flight dump failed: %v\n", derr)
+			}
+		}
 		if restarts >= maxRestarts {
 			return exitInternal, fmt.Errorf("supervise: worker died %d times (budget %d), giving up: %v",
 				restarts+1, maxRestarts, werr)
@@ -81,6 +96,29 @@ func runSupervised(ckptPath string, maxRestarts int) (int, error) {
 		time.Sleep(backoff)
 		backoff *= 2
 	}
+}
+
+// dumpFlight reconstructs a flight recorder from the last checkpoint's
+// flight state and writes its retained traces (as JSON lines) to path. The
+// supervisor cannot see the dead worker's memory; the checkpoint's
+// consistent cut is the best post-mortem available. A checkpoint without
+// flight state (recorder not armed, or none taken yet) is not an error —
+// there is simply nothing to dump.
+func dumpFlight(ckptPath, path string) error {
+	var ck traffic.ServeCheckpoint
+	if err := checkpoint.Load(ckptPath, checkpoint.KindServe, &ck); err != nil {
+		return err
+	}
+	if ck.Flight == nil {
+		return nil
+	}
+	rec := obs.FlightFromState(ck.Flight)
+	if err := cliutil.WriteAtomic(path, rec.WriteJSONLines); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: supervise: dumped %d retained traces to %s\n",
+		len(ck.Flight.Interesting)+len(ck.Flight.Sampled), path)
+	return nil
 }
 
 // exitStatus classifies a Wait error: the worker's exit code, and whether a

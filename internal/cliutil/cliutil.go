@@ -194,14 +194,25 @@ func (f *ObsFlags) Finish(o *obs.Observer, srv *obs.Server, totalChecks int64) e
 	return firstErr
 }
 
+// WriteAtomic streams write into path atomically and durably — the
+// exported form of writeTo, for artifact writers (flight recorder dumps,
+// trace exports) living outside this package.
+func WriteAtomic(path string, write func(w io.Writer) error) error {
+	return writeTo(path, write)
+}
+
 // writeTo streams write into path atomically and durably: the content
 // lands in a temporary file in the same directory (same filesystem, so the
-// rename is atomic), is fsynced before the close, and replaces path only
-// after a successful write — then the directory itself is fsynced so the
-// rename survives a crash, not just the data. On any failure the temporary
-// file is removed and the previous path contents are left untouched.
+// rename is atomic; the directory is created first if missing), is fsynced
+// before the close, and replaces path only after a successful write — then
+// the directory itself is fsynced so the rename survives a crash, not just
+// the data. On any failure the temporary file is removed and the previous
+// path contents are left untouched.
 func writeTo(path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	fh, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err

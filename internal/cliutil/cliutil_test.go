@@ -259,3 +259,34 @@ func TestWriteToDurable(t *testing.T) {
 		t.Fatalf("directory holds %d entries, want just the target", len(entries))
 	}
 }
+
+// TestWriteAtomicCreatesParents: artifact paths like artifacts/foo.jsonl
+// must work on a fresh checkout — the writer creates missing parent
+// directories before staging the temp file.
+func TestWriteAtomicCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifacts", "nested", "out.jsonl")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, `{"ok":true}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"ok\":true}\n" {
+		t.Fatalf("content %q", data)
+	}
+
+	// A failed write must leave no file behind.
+	failPath := filepath.Join(t.TempDir(), "sub", "bad.json")
+	if err := WriteAtomic(failPath, func(io.Writer) error {
+		return fmt.Errorf("boom")
+	}); err == nil {
+		t.Fatal("write error not propagated")
+	}
+	if _, err := os.Stat(failPath); !os.IsNotExist(err) {
+		t.Fatalf("failed write left %s behind", failPath)
+	}
+}

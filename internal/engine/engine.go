@@ -736,6 +736,10 @@ type PlannedRun struct {
 	// BypassCache makes instrumentation skip the cache entirely — the
 	// cache-fill-failure chaos mode. The inline result is not cached.
 	BypassCache bool
+	// Trace, when set, receives instrument/run/reset sub-spans for this
+	// execution — the request-lifecycle tracing of the serving layer. Nil
+	// keeps the path branch-only.
+	Trace *obs.RequestTrace
 }
 
 // RunPlanned executes p exactly once under an explicit per-run fault plan.
@@ -744,17 +748,37 @@ type PlannedRun struct {
 // policy themselves, and a retry under the same plan would just reproduce
 // the injection. Panicked machines are still dropped from the pools.
 func (e *Engine) RunPlanned(p *prog.Program, pr PlannedRun, inputs ...[]byte) (*interp.Result, error) {
+	tr := pr.Trace
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	m, err := e.newMachineCfg(p, machineConfig{
 		fresh:       e.opts.FreshRuntime,
 		plan:        &pr.Plan,
 		bypassCache: pr.BypassCache,
 	})
+	if tr != nil {
+		// Machine construction is where instrumentation happens (cached or
+		// fresh), so the span covers the whole lookup-or-instrument phase.
+		tr.Span("instrument", t0, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
 	m.Feed(inputs...)
+	if tr != nil {
+		t0 = time.Now()
+	}
 	res := m.Run()
+	if tr != nil {
+		tr.Span("run", t0, time.Since(t0))
+		t0 = time.Now()
+	}
 	m.Release()
+	if tr != nil {
+		tr.Span("reset", t0, time.Since(t0))
+	}
 	return res, nil
 }
 

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDeriveTraceIDDeterministic(t *testing.T) {
+	a := DeriveTraceID(42, 7)
+	b := DeriveTraceID(42, 7)
+	if a != b {
+		t.Fatalf("same (seed, index) produced %s and %s", a, b)
+	}
+	if DeriveTraceID(42, 8) == a || DeriveTraceID(43, 7) == a {
+		t.Fatal("different seed or index must produce a different trace ID")
+	}
+	if len(a.String()) != 16 {
+		t.Fatalf("trace ID %q is not 16 hex chars", a.String())
+	}
+}
+
+// finish runs one synthetic trace through the recorder.
+func finish(f *FlightRecorder, seed, idx uint64, outcome string, mut func(*RequestTrace)) {
+	tr := NewRequestTrace(seed, idx, "c")
+	if mut != nil {
+		mut(tr)
+	}
+	f.Finish(tr, outcome)
+}
+
+func TestFlightRetention(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 64, SampleN: 4})
+	finish(f, 1, 0, OutcomeFault, nil)
+	finish(f, 1, 1, OutcomeRejected, nil)
+	finish(f, 1, 2, OutcomeShedQueue, nil)
+	finish(f, 1, 3, OutcomeAbandoned, nil)
+	finish(f, 1, 4, OutcomeClean, func(tr *RequestTrace) { tr.Retried = true })
+	finish(f, 1, 5, OutcomeClean, func(tr *RequestTrace) { tr.DeadlineMiss = true })
+	sum := f.Summary()
+	if sum.Interesting != 6 {
+		t.Fatalf("interesting = %d, want 6 (fault, rejected, shed, abandoned, retried, deadline-missed)", sum.Interesting)
+	}
+	if sum.Faulted != 1 || sum.Rejected != 1 || sum.Shed != 1 || sum.Abandoned != 1 || sum.Retried != 1 || sum.DeadlineMissed != 1 {
+		t.Fatalf("category counts wrong: %+v", sum)
+	}
+}
+
+func TestFlightDeterministicOnlyExcludesDeadlineMiss(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 64, SampleN: 1 << 20})
+	f.SetDeterministicOnly(true)
+	// A deadline miss is wall-clock-dependent: in deterministic-only mode it
+	// must not, by itself, make a trace interesting.
+	finish(f, 1, 5, OutcomeClean, func(tr *RequestTrace) { tr.DeadlineMiss = true })
+	finish(f, 1, 6, OutcomeFault, nil)
+	sum := f.Summary()
+	if sum.Interesting != 1 || sum.Faulted != 1 {
+		t.Fatalf("deterministic-only retained %d interesting (want only the fault): %+v", sum.Interesting, sum)
+	}
+}
+
+func TestFlightHealthySampling(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 4096, SampleN: 4})
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		finish(f, 9, i, OutcomeClean, nil)
+	}
+	sum := f.Summary()
+	if sum.Interesting != 0 {
+		t.Fatalf("clean traces retained as interesting: %+v", sum)
+	}
+	// The sample is keyed on the trace ID (uniform under splitmix64), so
+	// roughly 1/4 of 1000 traces land in the sampled ring.
+	if sum.SampledHealthy < n/8 || sum.SampledHealthy > n/2 {
+		t.Fatalf("sampled %d of %d healthy traces, want ~%d", sum.SampledHealthy, n, n/4)
+	}
+	// The sampled set is a pure function of the IDs: a second recorder over
+	// the same traces retains the identical set.
+	g := NewFlightRecorder(FlightConfig{Budget: 4096, SampleN: 4})
+	for i := uint64(0); i < n; i++ {
+		finish(g, 9, i, OutcomeClean, nil)
+	}
+	a, b := f.Records(), g.Records()
+	if len(a) != len(b) {
+		t.Fatalf("retained %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].TraceID != b[i].TraceID {
+			t.Fatalf("record %d: %s vs %s", i, a[i].TraceID, b[i].TraceID)
+		}
+	}
+}
+
+func TestFlightEviction(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 8, SampleN: 1}) // caps: 2 sampled, 6 interesting
+	for i := uint64(0); i < 10; i++ {
+		finish(f, 3, i, OutcomeFault, nil)
+	}
+	for i := uint64(100); i < 110; i++ {
+		finish(f, 3, i, OutcomeClean, nil)
+	}
+	sum := f.Summary()
+	if sum.Retained > 8 {
+		t.Fatalf("retained %d traces over budget 8", sum.Retained)
+	}
+	if sum.EvictedInteresting != 4 {
+		t.Fatalf("evicted_interesting = %d, want 4 (10 faults into 6 slots)", sum.EvictedInteresting)
+	}
+	if sum.EvictedSampled != 8 {
+		t.Fatalf("evicted_sampled = %d, want 8 (10 healthy at SampleN=1 into 2 slots)", sum.EvictedSampled)
+	}
+	// Healthy pressure never evicts interesting traces: the rings are
+	// separate.
+	if sum.Interesting != 6 {
+		t.Fatalf("interesting ring holds %d, want its full cap 6", sum.Interesting)
+	}
+}
+
+func TestFlightExportImportRoundtrip(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 64, SampleN: 2})
+	f.SetDeterministicOnly(true)
+	finish(f, 5, 0, OutcomeFault, nil)
+	finish(f, 5, 1, OutcomeClean, nil)
+	finish(f, 5, 2, OutcomeClean, nil)
+	st := f.Export()
+
+	g := NewFlightRecorder(FlightConfig{Budget: 64, SampleN: 2})
+	if err := g.Import(&st); err != nil {
+		t.Fatal(err)
+	}
+	a, b := f.Records(), g.Records()
+	if len(a) != len(b) {
+		t.Fatalf("roundtrip retained %d records, want %d", len(b), len(a))
+	}
+	sa, sb := f.Summary(), g.Summary()
+	if sa != sb {
+		t.Fatalf("summaries diverge after roundtrip:\n%+v\n%+v", sa, sb)
+	}
+
+	mismatched := NewFlightRecorder(FlightConfig{Budget: 32, SampleN: 2})
+	if err := mismatched.Import(&st); err == nil {
+		t.Fatal("importing into a recorder with a different budget must fail")
+	}
+}
+
+func TestFlightFromState(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 16, SampleN: 1 << 20})
+	finish(f, 5, 3, OutcomeFault, nil)
+	st := f.Export()
+	g := FlightFromState(&st)
+	recs := g.Records()
+	if len(recs) != 1 || recs[0].Outcome != OutcomeFault {
+		t.Fatalf("reconstructed recorder holds %+v", recs)
+	}
+}
+
+func TestFlightWriteJSONLines(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 16, SampleN: 1 << 20})
+	finish(f, 5, 3, OutcomeFault, func(tr *RequestTrace) {
+		tr.Add("attempt").Detail = "full"
+	})
+	var b strings.Builder
+	if err := f.WriteJSONLines(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1:\n%s", len(lines), b.String())
+	}
+	var rec TraceRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	if rec.TraceID != DeriveTraceID(5, 3).String() || rec.Outcome != OutcomeFault {
+		t.Fatalf("record %+v", rec)
+	}
+}
+
+func TestFlightWriteChromeTrace(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Budget: 16, SampleN: 1 << 20})
+	finish(f, 5, 3, OutcomeFault, func(tr *RequestTrace) {
+		ev := tr.Add("run")
+		ev.DurUS = 12
+	})
+	var b strings.Builder
+	if err := f.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	var haveSpan, haveInstant bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			haveSpan = true
+		case "i":
+			haveInstant = true
+		}
+	}
+	if !haveSpan || !haveInstant {
+		t.Fatalf("chrome trace must mix complete (X) and instant (i) events:\n%s", b.String())
+	}
+}

@@ -14,11 +14,13 @@
 // not (pinned by TestFuzzReportByteIdentity / TestTable2ByteIdentity).
 package obs
 
-// Observer bundles the three observability facilities a consumer can attach
-// to the execution pipeline. Registry is always present; Tracer and Sites
-// are nil unless the corresponding flag (-trace, -profile-checks) enabled
-// them, so their costs — span recording, per-check timing — are strictly
-// opt-in.
+import "sync/atomic"
+
+// Observer bundles the observability facilities a consumer can attach to
+// the execution pipeline. Registry and Health are always present; Tracer
+// and Sites are nil unless the corresponding flag (-trace, -profile-checks)
+// enabled them, so their costs — span recording, per-check timing — are
+// strictly opt-in.
 type Observer struct {
 	// Registry holds the metric instruments. Never nil on an Observer built
 	// with New.
@@ -29,10 +31,36 @@ type Observer struct {
 	// Sites profiles executed checks per (sanitizer, check site); nil
 	// disables the per-check timing instrumentation.
 	Sites *SiteProfiler
+	// Health backs the /healthz and /readyz endpoints. Never nil on an
+	// Observer built with New; the serving layer flips readiness once its
+	// cache prewarm completes.
+	Health *Health
+	// SLO, when the attached campaign declared objectives, backs the /slo
+	// endpoint and the slo_* gauges.
+	SLO *SLO
 }
 
-// New returns an Observer with a fresh Registry and no tracer or site
-// profiler. Callers enable those by assigning NewTracer / NewSiteProfiler.
+// New returns an Observer with a fresh Registry and Health, no tracer or
+// site profiler. Callers enable those by assigning NewTracer /
+// NewSiteProfiler.
 func New() *Observer {
-	return &Observer{Registry: NewRegistry()}
+	return &Observer{Registry: NewRegistry(), Health: &Health{}}
 }
+
+// Health is the process's liveness/readiness state. Liveness is implicit
+// (the endpoint answering is the signal); readiness is flipped by the
+// consumer once it can usefully serve — the traffic layer sets it after the
+// instrumentation-cache prewarm.
+type Health struct {
+	ready atomic.Bool
+}
+
+// SetReady flips the readiness state.
+func (h *Health) SetReady(v bool) {
+	if h != nil {
+		h.ready.Store(v)
+	}
+}
+
+// Ready reports the readiness state.
+func (h *Health) Ready() bool { return h != nil && h.ready.Load() }

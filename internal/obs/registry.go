@@ -86,11 +86,20 @@ type entry struct {
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+	helps   map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	return &Registry{entries: make(map[string]*entry), helps: make(map[string]string)}
+}
+
+// SetHelp attaches a help string to a metric family; WritePrometheus emits
+// it as the family's # HELP line (before # TYPE, per the exposition format).
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.helps[name] = help
+	r.mu.Unlock()
 }
 
 // lookup returns the series for (name, ls), creating it with mk on first use.
@@ -234,10 +243,19 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // _bucket{le=...} series plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
+	r.mu.Lock()
+	helps := make(map[string]string, len(r.helps))
+	for k, v := range r.helps {
+		helps[k] = v
+	}
+	r.mu.Unlock()
 	var b strings.Builder
 	lastName := ""
 	for _, m := range snap {
 		if m.Name != lastName {
+			if h, ok := helps[m.Name]; ok {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, escapeHelp(h))
+			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Type)
 			lastName = m.Name
 		}
@@ -270,13 +288,30 @@ func labelBlock(labels map[string]string, extraK, extraV string) string {
 	sort.Strings(keys)
 	var parts []string
 	for _, k := range keys {
-		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+		parts = append(parts, k+`="`+escapeLabelValue(labels[k])+`"`)
 	}
 	if extraK != "" {
-		parts = append(parts, fmt.Sprintf("%s=%q", extraK, extraV))
+		parts = append(parts, extraK+`="`+escapeLabelValue(extraV)+`"`)
 	}
 	if len(parts) == 0 {
 		return ""
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
+
+// escapeLabelValue applies the Prometheus text-format label-value escaping:
+// exactly backslash, double-quote and newline — Go's %q would additionally
+// escape tabs and non-ASCII, which the format forbids.
+func escapeLabelValue(s string) string {
+	return labelEscaper.Replace(s)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeHelp applies the HELP-line escaping (backslash and newline only;
+// quotes are literal there).
+func escapeHelp(s string) string {
+	return helpEscaper.Replace(s)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)

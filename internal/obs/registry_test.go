@@ -128,3 +128,95 @@ func TestWritePrometheus(t *testing.T) {
 		}
 	}
 }
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	// Exactly backslash, double-quote and newline are escaped in label
+	// values; a tab must pass through literally (Go's %q would emit the
+	// invalid \t escape).
+	r.Counter("esc_total", L("v", "a\\b\"c\nd\te")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\\b\"c\nd` + "\t" + `e"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series missing, want %q in:\n%s", want, b.String())
+	}
+}
+
+func TestPrometheusHelpBeforeType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Inc()
+	r.Counter("a_total").Inc()
+	r.SetHelp("a_total", "the a counter\nsecond line \\ with backslash")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	help := strings.Index(out, `# HELP a_total the a counter\nsecond line \\ with backslash`)
+	typ := strings.Index(out, "# TYPE a_total counter")
+	if help < 0 || typ < 0 {
+		t.Fatalf("missing HELP or TYPE line:\n%s", out)
+	}
+	if help > typ {
+		t.Fatalf("# HELP must precede # TYPE for a family:\n%s", out)
+	}
+	if strings.Contains(out, "# HELP b_total") {
+		t.Fatalf("b_total has no registered help, none must be emitted:\n%s", out)
+	}
+}
+
+func TestPrometheusTypeLineOncePerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("multi_total", L("class", "a")).Inc()
+	r.Counter("multi_total", L("class", "b")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "# TYPE multi_total counter"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times for a two-series family:\n%s", n, b.String())
+	}
+}
+
+func TestPrometheusHistogramConformance(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", L("class", "a"))
+	h.Observe(1)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// The +Inf bucket is mandatory, must equal _count, and must come after
+	// every finite bucket; _sum and _count close the family.
+	var infIdx, lastBucketIdx, sumIdx, countIdx int = -1, -1, -1, -1
+	for i, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, `lat_us_bucket{class="a",le="+Inf"}`):
+			infIdx = i
+		case strings.HasPrefix(ln, "lat_us_bucket"):
+			lastBucketIdx = i
+		case strings.HasPrefix(ln, "lat_us_sum"):
+			sumIdx = i
+		case strings.HasPrefix(ln, "lat_us_count"):
+			countIdx = i
+		}
+	}
+	if infIdx < 0 || sumIdx < 0 || countIdx < 0 {
+		t.Fatalf("missing +Inf bucket, _sum or _count:\n%s", out)
+	}
+	if lastBucketIdx > infIdx {
+		t.Fatalf("+Inf bucket must be the last bucket:\n%s", out)
+	}
+	if !strings.HasSuffix(lines[infIdx], " 2") || !strings.HasSuffix(lines[countIdx], " 2") {
+		t.Fatalf("+Inf bucket and _count must both equal the observation count:\n%s", out)
+	}
+	if !strings.HasSuffix(lines[sumIdx], " 6") {
+		t.Fatalf("_sum must be 6 (1+5):\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -26,6 +27,11 @@ type Server struct {
 //	/metrics       Prometheus text exposition
 //	/metrics.json  expvar-style JSON snapshot
 //	/checks        check-site table (404 unless -profile-checks)
+//	/healthz       liveness: 200 while the process answers
+//	/readyz        readiness: 503 until the consumer flips Health (the
+//	               serving layer does after cache prewarm), then 200
+//	/slo           per-class objective status (404 unless the campaign
+//	               declared SLOs)
 //	/debug/pprof/  net/http/pprof index, profile, heap, ...
 func (o *Observer) Serve(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -48,6 +54,29 @@ func (o *Observer) Serve(addr string) (*Server, error) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		o.Sites.FormatSites(w, 0, 0)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !o.Health.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		if o.SLO == nil {
+			http.Error(w, "no SLOs declared (workload spec has no slo sections)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.SLO.Status())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

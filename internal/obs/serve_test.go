@@ -72,3 +72,57 @@ func TestServeChecksWithoutProfiler(t *testing.T) {
 		t.Fatalf("/checks without profiling: %d, want 404", code)
 	}
 }
+
+func TestHealthEndpoints(t *testing.T) {
+	o := New()
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	// Readiness starts false and flips once the campaign reports ready
+	// (after cache prewarm).
+	if code, _ := get(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before ready: %d, want 503", code)
+	}
+	o.Health.SetReady(true)
+	if code, body := get(t, base+"/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz after ready: %d %q", code, body)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	o := New()
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	// No SLO engine attached: the endpoint 404s rather than serving an
+	// empty document.
+	if code, _ := get(t, base+"/slo"); code != http.StatusNotFound {
+		t.Fatalf("/slo without engine: %d, want 404", code)
+	}
+
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "interactive", Target: 0.95}, nil)
+	c.Record(true)
+	c.Record(false)
+	o.SLO = s
+	code, body := get(t, base+"/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo: %d\n%s", code, body)
+	}
+	for _, want := range []string{`"class": "interactive"`, `"target": 0.95`, `"budget_used"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/slo missing %q:\n%s", want, body)
+		}
+	}
+}

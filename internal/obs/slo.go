@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sloRingSeconds sizes the per-second bucket ring behind the burn-rate
+// windows. Windows longer than the ring cannot be evaluated, so MaxSLOWindow
+// bounds what configs may ask for (with slack for ring-wrap staleness).
+const sloRingSeconds = 256
+
+// MaxSLOWindow is the longest burn-rate window an SLOConfig may declare.
+const MaxSLOWindow = 240 * time.Second
+
+// Default burn-rate windows (the classic short/long multi-window pair,
+// scaled to campaign timescales).
+const (
+	DefaultSLOShortWindow = 10 * time.Second
+	DefaultSLOLongWindow  = 60 * time.Second
+)
+
+// SLOConfig declares one class's service-level objectives.
+type SLOConfig struct {
+	// Class names the traffic class the objective covers.
+	Class string
+	// Target is the goodput objective in (0, 1): the fraction of terminally
+	// accounted requests that must be good (completed within deadline).
+	// 1 - Target is the error budget.
+	Target float64
+	// P99ObjectiveUS, when > 0, additionally bounds the class's p99 latency
+	// (read from the class latency histogram).
+	P99ObjectiveUS int64
+	// ShortWindow and LongWindow are the burn-rate evaluation windows
+	// (defaults 10s / 60s; both clamped to MaxSLOWindow).
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+}
+
+// sloBucket is one second's worth of windowed accounting. sec tags which
+// wall-clock second the counts belong to; a bucket whose tag is stale is
+// reset by the first writer of the new second and skipped by readers.
+type sloBucket struct {
+	sec   atomic.Int64
+	good  atomic.Int64
+	total atomic.Int64
+}
+
+// SLOClass evaluates one class's objectives: cumulative good/total counters
+// for budget-used, plus a per-second ring for the multi-window burn rates.
+// Record is two-to-four atomic adds — safe from any worker.
+type SLOClass struct {
+	cfg  SLOConfig
+	lat  *Histogram // class latency distribution; nil disables the p99 check
+	good atomic.Int64
+	tot  atomic.Int64
+	ring [sloRingSeconds]sloBucket
+}
+
+// Record accounts one terminally accounted request. Across a second
+// boundary two writers can race the bucket reset; at worst a handful of
+// counts land in the wrong second — monitoring-grade, never touching the
+// cumulative counters the budget math uses.
+func (c *SLOClass) Record(good bool) {
+	c.recordAt(good, time.Now().Unix())
+}
+
+func (c *SLOClass) recordAt(good bool, sec int64) {
+	c.tot.Add(1)
+	if good {
+		c.good.Add(1)
+	}
+	b := &c.ring[uint64(sec)%sloRingSeconds]
+	for {
+		old := b.sec.Load()
+		if old == sec {
+			break
+		}
+		if b.sec.CompareAndSwap(old, sec) {
+			b.good.Store(0)
+			b.total.Store(0)
+			break
+		}
+	}
+	b.total.Add(1)
+	if good {
+		b.good.Add(1)
+	}
+}
+
+// window sums the ring buckets inside (now-w, now].
+func (c *SLOClass) window(nowSec int64, w time.Duration) (good, total int64) {
+	ws := int64(w / time.Second)
+	if ws < 1 {
+		ws = 1
+	}
+	for i := range c.ring {
+		b := &c.ring[i]
+		sec := b.sec.Load()
+		if sec > nowSec-ws && sec <= nowSec {
+			good += b.good.Load()
+			total += b.total.Load()
+		}
+	}
+	return good, total
+}
+
+// SLOStatus is one class's evaluated objective — the /slo payload and the
+// serve summary's slo entries.
+type SLOStatus struct {
+	Class  string  `json:"class"`
+	Target float64 `json:"target"`
+	Good   int64   `json:"good"`
+	Total  int64   `json:"total"`
+	// BudgetUsed is the cumulative error-budget consumption: the observed
+	// bad fraction over (1 - Target). >= 1 means the budget is exhausted.
+	BudgetUsed float64 `json:"budget_used"`
+	Exhausted  bool    `json:"exhausted"`
+	// BurnShort/BurnLong are the windowed burn rates: the bad fraction
+	// inside the window over the error budget. A sustained burn rate of 1
+	// consumes exactly the budget; >> 1 is an active incident.
+	BurnShort      float64 `json:"burn_rate_short"`
+	BurnLong       float64 `json:"burn_rate_long"`
+	ShortWindowSec float64 `json:"short_window_sec"`
+	LongWindowSec  float64 `json:"long_window_sec"`
+	P99US          int64   `json:"p99_us,omitempty"`
+	P99ObjectiveUS int64   `json:"p99_objective_us,omitempty"`
+	P99Violated    bool    `json:"p99_violated,omitempty"`
+}
+
+// Status evaluates the class now.
+func (c *SLOClass) Status() SLOStatus {
+	return c.statusAt(time.Now().Unix())
+}
+
+func (c *SLOClass) statusAt(nowSec int64) SLOStatus {
+	budget := 1 - c.cfg.Target
+	st := SLOStatus{
+		Class:          c.cfg.Class,
+		Target:         c.cfg.Target,
+		Good:           c.good.Load(),
+		Total:          c.tot.Load(),
+		ShortWindowSec: c.cfg.ShortWindow.Seconds(),
+		LongWindowSec:  c.cfg.LongWindow.Seconds(),
+		P99ObjectiveUS: c.cfg.P99ObjectiveUS,
+	}
+	if st.Total > 0 && budget > 0 {
+		bad := float64(st.Total-st.Good) / float64(st.Total)
+		st.BudgetUsed = bad / budget
+	}
+	st.Exhausted = st.BudgetUsed >= 1
+	burn := func(w time.Duration) float64 {
+		good, total := c.window(nowSec, w)
+		if total == 0 || budget <= 0 {
+			return 0
+		}
+		return (float64(total-good) / float64(total)) / budget
+	}
+	st.BurnShort = burn(c.cfg.ShortWindow)
+	st.BurnLong = burn(c.cfg.LongWindow)
+	if c.cfg.P99ObjectiveUS > 0 && c.lat != nil {
+		st.P99US = c.lat.Quantile(0.99)
+		st.P99Violated = st.P99US > c.cfg.P99ObjectiveUS
+	}
+	return st
+}
+
+// SLO is the campaign's objective set: one SLOClass per declaring class, in
+// registration order.
+type SLO struct {
+	mu      sync.Mutex
+	classes []*SLOClass
+}
+
+// NewSLO returns an empty objective set.
+func NewSLO() *SLO { return &SLO{} }
+
+// Add registers a class objective. lat, when non-nil, is the class latency
+// histogram the p99 objective reads. Windows default and clamp here.
+func (s *SLO) Add(cfg SLOConfig, lat *Histogram) *SLOClass {
+	if cfg.ShortWindow <= 0 {
+		cfg.ShortWindow = DefaultSLOShortWindow
+	}
+	if cfg.LongWindow <= 0 {
+		cfg.LongWindow = DefaultSLOLongWindow
+	}
+	if cfg.ShortWindow > MaxSLOWindow {
+		cfg.ShortWindow = MaxSLOWindow
+	}
+	if cfg.LongWindow > MaxSLOWindow {
+		cfg.LongWindow = MaxSLOWindow
+	}
+	c := &SLOClass{cfg: cfg, lat: lat}
+	s.mu.Lock()
+	s.classes = append(s.classes, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Status evaluates every class, in registration order.
+func (s *SLO) Status() []SLOStatus {
+	s.mu.Lock()
+	classes := append([]*SLOClass(nil), s.classes...)
+	s.mu.Unlock()
+	out := make([]SLOStatus, 0, len(classes))
+	nowSec := time.Now().Unix()
+	for _, c := range classes {
+		out = append(out, c.statusAt(nowSec))
+	}
+	return out
+}
+
+// Register mirrors the objective set into the registry as slo_* gauges, so
+// a /metrics scrape sees budget consumption and live burn rates.
+func (s *SLO) Register(r *Registry) {
+	r.SetHelp("slo_target", "declared goodput objective for the class")
+	r.SetHelp("slo_budget_used", "cumulative error-budget consumption; >= 1 means exhausted")
+	r.SetHelp("slo_exhausted", "1 when the class's error budget is exhausted")
+	r.SetHelp("slo_burn_rate_short", "error-budget burn rate over the short window")
+	r.SetHelp("slo_burn_rate_long", "error-budget burn rate over the long window")
+	r.SetHelp("slo_p99_us", "observed p99 latency for classes with a p99 objective")
+	r.SetHelp("slo_p99_objective_us", "declared p99 latency objective")
+	s.mu.Lock()
+	classes := append([]*SLOClass(nil), s.classes...)
+	s.mu.Unlock()
+	for _, c := range classes {
+		c := c
+		l := L("class", c.cfg.Class)
+		r.GaugeFunc("slo_target", func() float64 { return c.cfg.Target }, l)
+		r.GaugeFunc("slo_budget_used", func() float64 { return c.Status().BudgetUsed }, l)
+		r.GaugeFunc("slo_exhausted", func() float64 {
+			if c.Status().Exhausted {
+				return 1
+			}
+			return 0
+		}, l)
+		r.GaugeFunc("slo_burn_rate_short", func() float64 { return c.Status().BurnShort }, l)
+		r.GaugeFunc("slo_burn_rate_long", func() float64 { return c.Status().BurnLong }, l)
+		if c.cfg.P99ObjectiveUS > 0 && c.lat != nil {
+			r.GaugeFunc("slo_p99_us", func() float64 { return float64(c.lat.Quantile(0.99)) }, l)
+			r.GaugeFunc("slo_p99_objective_us", func() float64 { return float64(c.cfg.P99ObjectiveUS) }, l)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almost(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+func TestSLOBudgetMath(t *testing.T) {
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "c", Target: 0.9}, nil)
+	const sec = int64(1000)
+	// 100 requests, 5 bad: half of the 10% error budget.
+	for i := 0; i < 95; i++ {
+		c.recordAt(true, sec)
+	}
+	for i := 0; i < 5; i++ {
+		c.recordAt(false, sec)
+	}
+	st := c.statusAt(sec)
+	if st.Good != 95 || st.Total != 100 {
+		t.Fatalf("good/total = %d/%d", st.Good, st.Total)
+	}
+	if !almost(st.BudgetUsed, 0.5) {
+		t.Fatalf("budget_used = %v, want 0.5", st.BudgetUsed)
+	}
+	if st.Exhausted {
+		t.Fatal("half-consumed budget reported exhausted")
+	}
+	// Both windows cover the single active second, so the burn rate equals
+	// the bad fraction over the budget: 0.05 / 0.1 = 0.5.
+	if !almost(st.BurnShort, 0.5) || !almost(st.BurnLong, 0.5) {
+		t.Fatalf("burn = %v/%v, want 0.5/0.5", st.BurnShort, st.BurnLong)
+	}
+}
+
+func TestSLOExhausted(t *testing.T) {
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "c", Target: 0.9}, nil)
+	const sec = int64(1000)
+	for i := 0; i < 80; i++ {
+		c.recordAt(true, sec)
+	}
+	for i := 0; i < 20; i++ {
+		c.recordAt(false, sec)
+	}
+	st := c.statusAt(sec)
+	if !almost(st.BudgetUsed, 2.0) || !st.Exhausted {
+		t.Fatalf("20%% bad against a 10%% budget: budget_used=%v exhausted=%v", st.BudgetUsed, st.Exhausted)
+	}
+	if !almost(st.BurnShort, 2.0) {
+		t.Fatalf("burn_short = %v, want 2.0", st.BurnShort)
+	}
+}
+
+func TestSLOWindowing(t *testing.T) {
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "c", Target: 0.9, ShortWindow: 10 * time.Second, LongWindow: 60 * time.Second}, nil)
+	// An incident 30s ago: outside the short window, inside the long one.
+	for i := 0; i < 10; i++ {
+		c.recordAt(false, 1000)
+	}
+	// A healthy current second.
+	for i := 0; i < 10; i++ {
+		c.recordAt(true, 1030)
+	}
+	st := c.statusAt(1030)
+	if st.BurnShort != 0 {
+		t.Fatalf("short window must exclude the 30s-old incident: burn_short=%v", st.BurnShort)
+	}
+	// Long window: 10 bad of 20 → 0.5 bad fraction / 0.1 budget = 5.
+	if !almost(st.BurnLong, 5.0) {
+		t.Fatalf("burn_long = %v, want 5.0", st.BurnLong)
+	}
+}
+
+func TestSLOBucketReset(t *testing.T) {
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "c", Target: 0.5}, nil)
+	// Two writes into the same ring slot, sloRingSeconds apart: the second
+	// write must reset the stale bucket, not accumulate into it.
+	c.recordAt(false, 1000)
+	c.recordAt(true, 1000+sloRingSeconds)
+	st := c.statusAt(1000 + sloRingSeconds)
+	if st.BurnShort != 0 || st.BurnLong != 0 {
+		t.Fatalf("stale bucket leaked into the window: burn=%v/%v", st.BurnShort, st.BurnLong)
+	}
+	// The cumulative counters still see both.
+	if st.Good != 1 || st.Total != 2 {
+		t.Fatalf("good/total = %d/%d, want 1/2", st.Good, st.Total)
+	}
+}
+
+func TestSLOP99Objective(t *testing.T) {
+	lat := &Histogram{}
+	for i := 0; i < 100; i++ {
+		lat.Observe(100)
+	}
+	lat.Observe(100000)
+
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "c", Target: 0.9, P99ObjectiveUS: 50000}, lat)
+	c.recordAt(true, 1000)
+	st := c.statusAt(1000)
+	if st.P99US <= 0 {
+		t.Fatalf("p99_us = %d, want the histogram's p99", st.P99US)
+	}
+	if st.P99Violated {
+		t.Fatalf("p99 %dus within objective 50000us reported violated", st.P99US)
+	}
+
+	tight := s.Add(SLOConfig{Class: "tight", Target: 0.9, P99ObjectiveUS: 10}, lat)
+	if st := tight.statusAt(1000); !st.P99Violated {
+		t.Fatalf("p99 %dus over objective 10us not reported violated", st.P99US)
+	}
+}
+
+func TestSLOWindowDefaultsAndClamp(t *testing.T) {
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "c", Target: 0.9}, nil)
+	if c.cfg.ShortWindow != DefaultSLOShortWindow || c.cfg.LongWindow != DefaultSLOLongWindow {
+		t.Fatalf("windows defaulted to %v/%v", c.cfg.ShortWindow, c.cfg.LongWindow)
+	}
+	d := s.Add(SLOConfig{Class: "d", Target: 0.9, ShortWindow: time.Hour, LongWindow: 2 * time.Hour}, nil)
+	if d.cfg.ShortWindow != MaxSLOWindow || d.cfg.LongWindow != MaxSLOWindow {
+		t.Fatalf("windows not clamped to MaxSLOWindow: %v/%v", d.cfg.ShortWindow, d.cfg.LongWindow)
+	}
+}
+
+func TestSLORegisterGauges(t *testing.T) {
+	s := NewSLO()
+	c := s.Add(SLOConfig{Class: "c", Target: 0.9}, nil)
+	for i := 0; i < 8; i++ {
+		c.Record(true)
+	}
+	c.Record(false)
+	r := NewRegistry()
+	s.Register(r)
+	if v, ok := r.Value("slo_target", L("class", "c")); !ok || !almost(v, 0.9) {
+		t.Fatalf("slo_target = %v, %v", v, ok)
+	}
+	if v, ok := r.Value("slo_budget_used", L("class", "c")); !ok || v <= 0 {
+		t.Fatalf("slo_budget_used = %v, %v", v, ok)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP slo_budget_used") || !strings.Contains(out, `slo_target{class="c"} 0.9`) {
+		t.Fatalf("prometheus exposition missing slo gauges:\n%s", out)
+	}
+}

@@ -29,6 +29,10 @@ type ServeCheckpoint struct {
 	Processed       int64             `json:"processed"`
 	Stream          StreamState       `json:"stream"`
 	Classes         []ClassCheckpoint `json:"classes"`
+	// Flight is the flight recorder's retained-trace state, present only
+	// when a recorder is armed. Optional so pre-tracing checkpoints still
+	// load; the supervisor also reads it to dump traces after a crash.
+	Flight *obs.FlightState `json:"flight,omitempty"`
 }
 
 // ClassCheckpoint is one class's share of the snapshot.
@@ -128,6 +132,10 @@ func (s *server) capture(stream *Stream) (*ServeCheckpoint, error) {
 		}
 		ck.Classes = append(ck.Classes, c)
 	}
+	if s.rec != nil {
+		st := s.rec.Export()
+		ck.Flight = &st
+	}
 	return ck, nil
 }
 
@@ -203,6 +211,14 @@ func (s *server) restore(stream *Stream, ck *ServeCheckpoint) error {
 			}
 		}
 		admitted += n.Admitted
+	}
+	if (ck.Flight != nil) != (s.rec != nil) {
+		return fmt.Errorf("traffic: resume: flight state %v in checkpoint, recorder armed %v now", ck.Flight != nil, s.rec != nil)
+	}
+	if ck.Flight != nil {
+		if err := s.rec.Import(ck.Flight); err != nil {
+			return fmt.Errorf("traffic: resume: %w", err)
+		}
 	}
 	// At the barrier every admitted request was terminally accounted, so
 	// the resumed pipeline starts drained.

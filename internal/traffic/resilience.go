@@ -360,6 +360,15 @@ func (l *ladder) engine() *engine.Engine {
 	return l.rungs[l.level].eng
 }
 
+// engineRung returns the current rung's engine and name (for the request
+// trace's attempt annotation).
+func (l *ladder) engineRung() (*engine.Engine, string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := l.rungs[l.level]
+	return r.eng, r.name
+}
+
 // onTrip records a breaker trip, stepping down when the budget is spent.
 func (l *ladder) onTrip() {
 	if l.stepTrips < 0 || len(l.rungs) == 1 {

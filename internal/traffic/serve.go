@@ -15,6 +15,7 @@ import (
 	"cecsan/internal/core"
 	"cecsan/internal/engine"
 	"cecsan/internal/faultinject"
+	"cecsan/internal/interp"
 	"cecsan/internal/obs"
 	"cecsan/internal/sanitizers"
 	"cecsan/prog"
@@ -58,6 +59,14 @@ type ServeConfig struct {
 	// Obs, when set, registers per-class latency histograms, percentile
 	// gauges and deadline/shed counters, and is passed to the engines.
 	Obs *obs.Observer
+	// Flight, when set, arms per-request lifecycle tracing: every generated
+	// request carries a RequestTrace (deterministic ID from (seed, stream
+	// index)) through admission, shedding, breaker decisions, retries and
+	// engine execution, and the recorder tail-samples the finished traces.
+	// Nil keeps the hot path branch-only. Chaos campaigns switch the
+	// recorder to its deterministic interest classification so the retained
+	// ID set is byte-identical across worker counts.
+	Flight *obs.FlightRecorder
 	// Stop, when set, ends admission early (signal handling in cmd/serve).
 	Stop <-chan struct{}
 	// Progress, when set, is called with the processed-request count every
@@ -154,7 +163,12 @@ type ServeResult struct {
 	ChaosDigest     string        `json:"chaos_digest,omitempty"`
 	Checkpoints     int64         `json:"checkpoints,omitempty"`
 	Restarts        int64         `json:"restarts,omitempty"`
-	Classes         []ClassStats  `json:"classes"`
+	// Flight is the flight recorder's accounting (present when tracing was
+	// armed); SLO is the per-class objective status (present when the spec
+	// declared objectives).
+	Flight  *obs.FlightSummary `json:"flight,omitempty"`
+	SLO     []obs.SLOStatus    `json:"slo,omitempty"`
+	Classes []ClassStats       `json:"classes"`
 }
 
 // classCounters is one class's live accounting. Counters are atomics
@@ -225,6 +239,7 @@ const (
 type queued struct {
 	req *Request
 	at  time.Time
+	tr  *obs.RequestTrace // nil unless tracing is armed
 }
 
 // server carries one campaign's wiring between Serve and its loops.
@@ -243,6 +258,14 @@ type server struct {
 	codel     *codel
 	done      chan struct{}
 	processed atomic.Int64
+
+	// Observability v2 wiring: rec tail-samples finished request traces
+	// (nil = tracing off, the branch-only default); slo/sloC evaluate the
+	// spec-declared objectives (sloC is indexed by class, nil entries for
+	// classes without one).
+	rec  *obs.FlightRecorder
+	slo  *obs.SLO
+	sloC []*obs.SLOClass
 
 	// Checkpoint machinery. admittedAll counts producer-side admissions,
 	// finalized counts admitted requests that reached terminal accounting
@@ -292,7 +315,15 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		depth:   depth,
 		chaos:   cfg.ChaosSeed,
 		done:    make(chan struct{}),
+		rec:     cfg.Flight,
 	}
+	if s.rec != nil && s.chaos != 0 {
+		// Chaos campaigns promise a worker-count-independent retained set:
+		// restrict the recorder's interest rules to deterministic signals,
+		// mirroring the chaos digest's exclusion of wall-clock fields.
+		s.rec.SetDeterministicOnly(true)
+	}
+	s.sloC = make([]*obs.SLOClass, len(spec.Clients))
 	res := cfg.Resilience
 	if s.chaos != 0 && res == nil {
 		res = &ResilienceConfig{}
@@ -341,6 +372,18 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			cc.lat = &obs.Histogram{}
 		}
 		s.counters[i] = cc
+		if c.SLO != nil {
+			if s.slo == nil {
+				s.slo = obs.NewSLO()
+			}
+			s.sloC[i] = s.slo.Add(obs.SLOConfig{
+				Class:          c.ID,
+				Target:         c.SLO.Target,
+				P99ObjectiveUS: int64(c.SLO.P99MS * 1000),
+				ShortWindow:    time.Duration(c.SLO.ShortWindowS * float64(time.Second)),
+				LongWindow:     time.Duration(c.SLO.LongWindowS * float64(time.Second)),
+			}, cc.lat)
+		}
 
 		cls := &classState{}
 		if s.resOn {
@@ -399,6 +442,13 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		reg := cfg.Obs.Registry
 		reg.GaugeFunc("traffic_checkpoints", func() float64 { return float64(s.checkpoints.Load()) })
 		reg.GaugeFunc("traffic_restarts", func() float64 { return float64(cfg.Restarts) })
+		if s.slo != nil {
+			s.slo.Register(reg)
+			cfg.Obs.SLO = s.slo
+		}
+		// Every class's variant family is preinstrumented: the service can
+		// usefully answer, so the live endpoint's /readyz flips to ready.
+		cfg.Obs.Health.SetReady(true)
 	}
 
 	var closeOnce sync.Once
@@ -508,6 +558,7 @@ func (s *server) runShared(stream *Stream, start time.Time) {
 				case <-s.done:
 					// Stopped: account the backlog instead of running it.
 					cc.abandoned.Add(1)
+					s.finishTrace(q.tr, obs.OutcomeAbandoned)
 					s.finalized.Add(1)
 					continue
 				default:
@@ -515,13 +566,15 @@ func (s *server) runShared(stream *Stream, start time.Time) {
 				now := time.Now()
 				if s.codel != nil && s.codel.shed(now, now.Sub(q.at)) {
 					cc.shedDelay.Add(1)
+					s.recordSLO(q.req.ClassIndex, false)
+					s.finishTrace(q.tr, obs.OutcomeShedDelay)
 					s.finalized.Add(1)
 					continue
 				}
 				if s.resOn {
 					s.process(q.req.ClassIndex, q, faultinject.ChaosPlan{})
 				} else {
-					runOne(s.engines[q.req.ClassIndex], cc, q)
+					s.runLegacy(q)
 				}
 				s.finalized.Add(1)
 				s.progress()
@@ -542,6 +595,7 @@ producer:
 		}
 		cc := s.counters[req.ClassIndex]
 		cc.generated.Add(1)
+		tr := s.newTrace(req)
 		if s.cfg.Speedup > 0 {
 			target := start.Add(time.Duration(float64(req.Arrival) / s.cfg.Speedup))
 			if d := time.Until(target); d > 0 {
@@ -555,23 +609,39 @@ producer:
 				// Class over its burst allowance: shed at its own bucket
 				// before it can crowd the shared queue.
 				cc.shedBucket.Add(1)
+				s.recordSLO(req.ClassIndex, false)
+				s.finishTrace(tr, obs.OutcomeShedBucket)
 				if !s.maybeCheckpoint(stream) {
 					break producer
 				}
 				continue
 			}
+			// The admit event goes on before the send: a delivered trace
+			// belongs to the worker. If the send fails the producer still
+			// owns it and pops the event back off.
+			if tr != nil {
+				tr.Add("admit")
+			}
 			select {
-			case reqCh <- queued{req: req, at: time.Now()}:
+			case reqCh <- queued{req: req, at: time.Now(), tr: tr}:
 				cc.admitted.Add(1)
 				s.admittedAll.Add(1)
 			default:
 				// Queue full under overload: shed instead of building an
 				// unbounded backlog.
 				cc.shed.Add(1)
+				s.recordSLO(req.ClassIndex, false)
+				if tr != nil {
+					tr.Events = tr.Events[:len(tr.Events)-1]
+				}
+				s.finishTrace(tr, obs.OutcomeShedQueue)
 			}
 		} else {
+			if tr != nil {
+				tr.Add("admit")
+			}
 			select {
-			case reqCh <- queued{req: req, at: time.Now()}:
+			case reqCh <- queued{req: req, at: time.Now(), tr: tr}:
 				cc.admitted.Add(1)
 				s.admittedAll.Add(1)
 			case <-s.done:
@@ -611,6 +681,7 @@ func (s *server) runChaos(stream *Stream, start time.Time) {
 					// Stop is wall-clock territory: abandoned requests are
 					// excluded from the digest chain by construction.
 					cc.abandoned.Add(1)
+					s.finishTrace(q.tr, obs.OutcomeAbandoned)
 					s.finalized.Add(1)
 					continue
 				default:
@@ -639,6 +710,7 @@ producer:
 		}
 		cc := s.counters[req.ClassIndex]
 		cc.generated.Add(1)
+		tr := s.newTrace(req)
 		if s.cfg.Speedup > 0 {
 			target := start.Add(time.Duration(float64(req.Arrival) / s.cfg.Speedup))
 			if d := time.Until(target); d > 0 {
@@ -648,16 +720,27 @@ producer:
 				case <-time.After(d):
 				}
 			}
+			if tr != nil {
+				tr.Add("admit")
+			}
 			select {
-			case chans[req.ClassIndex] <- queued{req: req, at: time.Now()}:
+			case chans[req.ClassIndex] <- queued{req: req, at: time.Now(), tr: tr}:
 				cc.admitted.Add(1)
 				s.admittedAll.Add(1)
 			default:
 				cc.shed.Add(1)
+				s.recordSLO(req.ClassIndex, false)
+				if tr != nil {
+					tr.Events = tr.Events[:len(tr.Events)-1]
+				}
+				s.finishTrace(tr, obs.OutcomeShedQueue)
 			}
 		} else {
+			if tr != nil {
+				tr.Add("admit")
+			}
 			select {
-			case chans[req.ClassIndex] <- queued{req: req, at: time.Now()}:
+			case chans[req.ClassIndex] <- queued{req: req, at: time.Now(), tr: tr}:
 				cc.admitted.Add(1)
 				s.admittedAll.Add(1)
 			case <-s.done:
@@ -680,7 +763,17 @@ producer:
 func (s *server) process(ci int, q queued, chaos faultinject.ChaosPlan) (code byte, attempts int) {
 	cc := s.counters[ci]
 	cls := s.classes[ci]
+	tr := q.tr
+	if tr != nil {
+		ev := tr.Add("dequeue")
+		ev.DurUS = time.Since(q.at).Microseconds()
+	}
 	if cls.breaker != nil && !cls.breaker.allow() {
+		if tr != nil {
+			tr.Add("breaker_reject")
+		}
+		s.recordSLO(ci, false)
+		s.finishTrace(tr, obs.OutcomeRejected)
 		return outcomeRejected, 0
 	}
 	if !chaos.Zero() {
@@ -693,12 +786,19 @@ func (s *server) process(ci int, q queued, chaos faultinject.ChaosPlan) (code by
 			time.Sleep(time.Duration(armed.SlowdownUS) * time.Microsecond)
 		}
 		eng := s.engines[ci]
+		rungName := "full"
 		if cls.ladder != nil {
-			eng = cls.ladder.engine()
+			eng, rungName = cls.ladder.engineRung()
+		}
+		if tr != nil {
+			ev := tr.Add("attempt")
+			ev.Attempt = attempts
+			ev.Detail = rungName
 		}
 		res, err := eng.RunPlanned(q.req.Program, engine.PlannedRun{
 			Plan:        armed.Run,
 			BypassCache: armed.CacheBypass,
+			Trace:       tr,
 		}, q.req.Inputs...)
 		fault := err != nil || res == nil || res.Err != nil
 		if cls.breaker != nil {
@@ -708,7 +808,14 @@ func (s *server) process(ci int, q queued, chaos faultinject.ChaosPlan) (code by
 		}
 		if fault && attempts <= s.rc.RetryMax && s.rc.RetryMax >= 0 && retryable(armed, res, err) {
 			cc.retries.Add(1)
-			if d := backoffUS(s.rc, s.seed, uint64(q.req.Index), attempts); d > 0 {
+			d := backoffUS(s.rc, s.seed, uint64(q.req.Index), attempts)
+			if tr != nil {
+				ev := tr.Add("retry")
+				ev.Attempt = attempts
+				ev.ValueUS = d
+				ev.Detail = faultDetail(err, res)
+			}
+			if d > 0 {
 				time.Sleep(time.Duration(d) * time.Microsecond)
 			}
 			// A transient cleared: the retry runs with the plan dropped.
@@ -721,11 +828,21 @@ func (s *server) process(ci int, q queued, chaos faultinject.ChaosPlan) (code by
 		if missed {
 			cc.deadlineMisses.Add(1)
 		}
+		if tr != nil {
+			tr.Attempts = attempts
+			tr.Retried = attempts > 1
+			tr.DeadlineMiss = missed
+		}
 		if fault {
 			cc.faults.Add(1)
 			if cls.ladder != nil {
 				cls.ladder.onFault()
 			}
+			if tr != nil {
+				tr.Add("fault").Detail = faultDetail(err, res)
+			}
+			s.recordSLO(ci, false)
+			s.finishTrace(tr, obs.OutcomeFault)
 			return outcomeFault, attempts
 		}
 		cc.completed.Add(1)
@@ -738,18 +855,63 @@ func (s *server) process(ci int, q queued, chaos faultinject.ChaosPlan) (code by
 		if cls.ladder != nil {
 			cls.ladder.onClean()
 		}
+		s.recordSLO(ci, !missed)
 		if res.Violation != nil {
 			cc.detected.Add(1)
+			s.finishTrace(tr, obs.OutcomeDetected)
 			return outcomeDetected, attempts
 		}
+		s.finishTrace(tr, obs.OutcomeClean)
 		return outcomeClean, attempts
 	}
+}
+
+// faultDetail classifies a failed execution for trace annotations: the
+// engine fault class when one is attached, otherwise a coarse bucket.
+func faultDetail(err error, res *interp.Result) string {
+	if err != nil {
+		return "engine_error"
+	}
+	if res == nil {
+		return "no_result"
+	}
+	if fo := engine.AsFault(res.Err); fo != nil {
+		return fo.Class.String()
+	}
+	return "error"
 }
 
 func (s *server) progress() {
 	n := s.processed.Add(1)
 	if s.cfg.Progress != nil && n%256 == 0 {
 		s.cfg.Progress(int(n))
+	}
+}
+
+// newTrace starts a lifecycle trace for req when tracing is armed; nil
+// otherwise, keeping every downstream touch a single branch.
+func (s *server) newTrace(req *Request) *obs.RequestTrace {
+	if s.rec == nil {
+		return nil
+	}
+	return obs.NewRequestTrace(s.seed, uint64(req.Index), req.Class)
+}
+
+// finishTrace hands a trace to the flight recorder with its terminal
+// outcome. The trace must not be touched afterwards.
+func (s *server) finishTrace(tr *obs.RequestTrace, outcome string) {
+	if tr != nil {
+		s.rec.Finish(tr, outcome)
+	}
+}
+
+// recordSLO accounts one terminal service decision against the class
+// objective. Abandoned requests are deliberately excluded — they are a
+// stop-drain artifact of campaign shutdown, not a serving decision, and
+// counting them would burn the budget on the way out.
+func (s *server) recordSLO(ci int, good bool) {
+	if c := s.sloC[ci]; c != nil {
+		c.Record(good)
 	}
 }
 
@@ -843,32 +1005,66 @@ func (s *server) collect(stream *Stream, elapsed time.Duration) *ServeResult {
 		res.RequestsPerSec = float64(res.Completed+res.Faults) / elapsed.Seconds()
 		res.GoodputPerSec = float64(res.Good) / elapsed.Seconds()
 	}
+	if s.rec != nil {
+		sum := s.rec.Summary()
+		res.Flight = &sum
+	}
+	if s.slo != nil {
+		res.SLO = s.slo.Status()
+	}
 	return res
 }
 
-// runOne executes one admitted request on the pre-resilience path and
+// runLegacy executes one admitted request on the pre-resilience path and
 // accounts it. A sanitizer detection still counts as completed (the service
 // answered); only harness faults (panic, budget exhaustion) and engine
 // errors do not.
-func runOne(eng *engine.Engine, cc *classCounters, q queued) {
+func (s *server) runLegacy(q queued) {
+	ci := q.req.ClassIndex
+	eng := s.engines[ci]
+	cc := s.counters[ci]
+	tr := q.tr
+	if tr != nil {
+		ev := tr.Add("dequeue")
+		ev.DurUS = time.Since(q.at).Microseconds()
+	}
+	execStart := time.Now()
 	res, err := eng.Run(q.req.Program, q.req.Inputs...)
+	if tr != nil {
+		// Run retries recycled panics internally, so the legacy path gets
+		// one aggregate span instead of instrument/run/reset sub-spans.
+		tr.Span("execute", execStart, time.Since(execStart))
+	}
 	lat := time.Since(q.at)
 	cc.lat.Observe(lat.Microseconds())
 	missed := q.req.Deadline > 0 && lat > q.req.Deadline
 	if missed {
 		cc.deadlineMisses.Add(1)
 	}
+	if tr != nil {
+		tr.Attempts = 1
+		tr.DeadlineMiss = missed
+	}
 	if err != nil || engine.AsFault(res.Err) != nil || res.Err != nil {
 		cc.faults.Add(1)
+		if tr != nil {
+			tr.Add("fault").Detail = faultDetail(err, res)
+		}
+		s.recordSLO(ci, false)
+		s.finishTrace(tr, obs.OutcomeFault)
 		return
 	}
 	cc.completed.Add(1)
 	if !missed {
 		cc.good.Add(1)
 	}
+	s.recordSLO(ci, !missed)
 	if res.Violation != nil {
 		cc.detected.Add(1)
+		s.finishTrace(tr, obs.OutcomeDetected)
+		return
 	}
+	s.finishTrace(tr, obs.OutcomeClean)
 }
 
 // registerClassGauges mirrors a class's counters, resilience state and

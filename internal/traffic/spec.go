@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 
+	"cecsan/internal/obs"
 	"cecsan/internal/sanitizers"
 )
 
@@ -50,6 +51,26 @@ type ClientSpec struct {
 	Program ProgramSpec
 	// Budget bounds each request's execution (the PR 3 fault machinery).
 	Budget BudgetSpec
+	// SLO declares the class's service-level objectives; nil means the
+	// class has none (no burn-rate evaluation, no slo_* gauges).
+	SLO *SLOSpec
+}
+
+// SLOSpec declares one class's service-level objectives, evaluated by the
+// obs SLO engine as cumulative budget consumption plus multi-window burn
+// rates over the class's terminal accounting.
+type SLOSpec struct {
+	// Target is the goodput objective in (0, 1): the fraction of terminally
+	// accounted requests that must be good — completed within the class
+	// deadline. 1 - Target is the error budget.
+	Target float64
+	// P99MS, when > 0, additionally bounds the class's p99 latency in
+	// milliseconds (read from the class latency histogram).
+	P99MS float64
+	// ShortWindowS / LongWindowS are the burn-rate windows in seconds
+	// (defaults 10 / 60; at most 240).
+	ShortWindowS float64
+	LongWindowS  float64
 }
 
 // ArrivalSpec selects and parameterizes an inter-arrival process.
@@ -168,6 +189,14 @@ func Parse(src string) (*Spec, error) {
 			c.Budget.MaxSteps = d.int64(bm, "max_steps", 0)
 			c.Budget.WallMS = d.float(bm, "wall_ms", 0)
 			c.Budget.HeapBytes = d.int64(bm, "heap_bytes", 0)
+		}
+		if sm := d.section(cm, "slo", i); sm != nil {
+			c.SLO = &SLOSpec{
+				Target:       d.float(sm, "target", 0),
+				P99MS:        d.float(sm, "p99_ms", 0),
+				ShortWindowS: d.float(sm, "short_window_s", 10),
+				LongWindowS:  d.float(sm, "long_window_s", 60),
+			}
 		}
 		spec.Clients = append(spec.Clients, c)
 	}
@@ -329,6 +358,19 @@ func (s *Spec) Validate() error {
 		}
 		if c.DeadlineMS < 0 || c.Budget.WallMS < 0 || c.Budget.MaxSteps < 0 || c.Budget.HeapBytes < 0 {
 			return fmt.Errorf("%s: deadlines and budgets must be >= 0", where)
+		}
+		if o := c.SLO; o != nil {
+			if o.Target <= 0 || o.Target >= 1 {
+				return fmt.Errorf("%s: slo target must be in (0, 1)", where)
+			}
+			if o.P99MS < 0 {
+				return fmt.Errorf("%s: slo p99_ms must be >= 0", where)
+			}
+			maxWindow := obs.MaxSLOWindow.Seconds()
+			if o.ShortWindowS <= 0 || o.LongWindowS <= 0 ||
+				o.ShortWindowS > o.LongWindowS || o.LongWindowS > maxWindow {
+				return fmt.Errorf("%s: slo windows must satisfy 0 < short <= long <= %.0fs", where, maxWindow)
+			}
 		}
 	}
 	if math.Abs(fracSum-1) > 1e-6 {

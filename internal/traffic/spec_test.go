@@ -92,6 +92,11 @@ func TestParseErrors(t *testing.T) {
 		{"type error", "aggregate_rate: fast\nclients:\n  - id: a\n    rate_fraction: 1.0\n", "expected a number"},
 		{"clients not seq", "aggregate_rate: 5\nclients: 3\n", "must be a sequence"},
 		{"negative budget", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    budget:\n      max_steps: -4\n", "must be >= 0"},
+		{"slo target high", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    slo:\n      target: 1.0\n", "slo target must be in (0, 1)"},
+		{"slo target zero", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    slo:\n      target: 0\n", "slo target must be in (0, 1)"},
+		{"slo p99 negative", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    slo:\n      target: 0.9\n      p99_ms: -1\n", "slo p99_ms"},
+		{"slo window order", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    slo:\n      target: 0.9\n      short_window_s: 60\n      long_window_s: 10\n", "slo windows"},
+		{"slo window max", "aggregate_rate: 5\nclients:\n  - id: a\n    rate_fraction: 1.0\n    slo:\n      target: 0.9\n      long_window_s: 900\n", "slo windows"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -140,5 +145,39 @@ e: -3
 	}
 	if _, err := parseYAML("a:\n  - x\n- y\n"); err == nil {
 		t.Fatal("accepted outdented sequence continuation")
+	}
+}
+
+// TestParseSLO covers the slo: section: values, window defaults, and that
+// classes without the section have no objective.
+func TestParseSLO(t *testing.T) {
+	spec, err := Parse(`
+version: "1"
+seed: 1
+aggregate_rate: 10
+clients:
+  - id: a
+    rate_fraction: 0.5
+    slo:
+      target: 0.99
+      p99_ms: 25
+  - id: b
+    rate_fraction: 0.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := spec.Clients[0], spec.Clients[1]
+	if a.SLO == nil {
+		t.Fatal("client a declared an slo: section, spec has none")
+	}
+	if a.SLO.Target != 0.99 || a.SLO.P99MS != 25 {
+		t.Fatalf("slo = %+v", a.SLO)
+	}
+	if a.SLO.ShortWindowS != 10 || a.SLO.LongWindowS != 60 {
+		t.Fatalf("windows did not default to 10/60: %+v", a.SLO)
+	}
+	if b.SLO != nil {
+		t.Fatalf("client b declared no slo: section, got %+v", b.SLO)
 	}
 }
